@@ -1,0 +1,107 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* stride w (4 vs 8): depth/memory trade;
+* HABS aggregation on/off: Figure 6's knob, checked for functional
+  identity and its throughput side (larger CPA walks cost nothing extra —
+  reads stay 2/level — but the unaggregated image may not fit SRAM);
+* POP_COUNT vs RISC loop (§5.4): throughput effect of the instruction;
+* placement policy: headroom-proportional vs round-robin vs single
+  channel (§5.3's optimisation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import ExpCutsClassifier
+from repro.harness import get_classifier, get_ruleset, get_trace
+from repro.npsim import IXP2850, place, simulate_throughput
+
+RULESET = "CR01"  # mid-size: every variant builds in seconds
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_ruleset(RULESET), get_trace(RULESET)
+
+
+def test_ablation_stride(run_once, setup):
+    ruleset, trace = setup
+    rows = {}
+
+    def build_both():
+        for stride in (4, 8):
+            clf = ExpCutsClassifier.build(ruleset, stride=stride)
+            res = simulate_throughput(clf, trace, num_threads=71,
+                                      max_packets=6000, trace_limit=600)
+            rows[stride] = {
+                "depth": clf.tree.depth_bound,
+                "memory_kb": clf.memory_bytes() / 1024,
+                "gbps": res.gbps,
+                "worst_case": clf.worst_case_accesses(),
+            }
+        return rows
+
+    run_once(build_both)
+    print("\nstride ablation:", rows)
+    # Narrower stride doubles the depth bound and the access bound...
+    assert rows[4]["depth"] == 26 and rows[8]["depth"] == 13
+    assert rows[4]["worst_case"] == 2 * rows[8]["worst_case"]
+    # ...which costs throughput (more reads per packet)...
+    assert rows[4]["gbps"] < rows[8]["gbps"]
+    # ...but buys memory (smaller fanout per node).
+    assert rows[4]["memory_kb"] < rows[8]["memory_kb"]
+
+
+def test_ablation_popcount(run_once, setup):
+    ruleset, trace = setup
+    gbps = {}
+
+    def run_both():
+        for use_pop in (True, False):
+            clf = ExpCutsClassifier.build(ruleset, use_pop_count=use_pop)
+            gbps[use_pop] = simulate_throughput(
+                clf, trace, num_threads=71, max_packets=6000, trace_limit=600
+            ).gbps
+        return gbps
+
+    run_once(run_both)
+    print("\npopcount ablation:", gbps)
+    # §5.4: without the hardware instruction the HABS computation burden
+    # becomes a real bottleneck.
+    assert gbps[False] < 0.85 * gbps[True]
+
+
+def test_ablation_placement(run_once, setup):
+    ruleset, trace = setup
+    clf = get_classifier(RULESET, "expcuts")
+    regions = clf.memory_regions()
+    gbps = {}
+
+    def run_policies():
+        for policy in ("headroom_proportional", "round_robin", "single_channel"):
+            placement = place(regions, list(IXP2850.sram_channels), policy)
+            gbps[policy] = simulate_throughput(
+                clf, trace, num_threads=71, max_packets=6000,
+                trace_limit=600, placement=placement,
+            ).gbps
+        return gbps
+
+    run_once(run_policies)
+    print("\nplacement ablation:", gbps)
+    assert gbps["headroom_proportional"] >= gbps["round_robin"] * 0.98
+    assert gbps["headroom_proportional"] > gbps["single_channel"]
+
+
+def test_ablation_aggregation_identity(run_once, setup):
+    ruleset, trace = setup
+
+    def compare():
+        packed = ExpCutsClassifier.build(ruleset, aggregated=True)
+        full = ExpCutsClassifier.build(ruleset, aggregated=False)
+        a = packed.classify_batch(trace.field_arrays())
+        b = full.classify_batch(trace.field_arrays())
+        return packed, full, a, b
+
+    packed, full, a, b = run_once(compare)
+    np.testing.assert_array_equal(a, b)
+    assert packed.memory_bytes() < 0.4 * full.memory_bytes()

@@ -1,0 +1,72 @@
+"""Rule-count scaling ablation — the driver behind Figure 9's trend.
+
+Sweeps one profile over rule counts and measures, per algorithm, the
+memory and simulated throughput curves: ExpCuts flat in speed and linear
+in memory; HSM's lookup cost growing with log N (and its tables
+super-linearly); HiCuts modest memory, leaf-capped speed.
+"""
+
+import pytest
+
+from repro.classifiers import ExpCutsClassifier, HSMClassifier, HiCutsClassifier
+from repro.npsim import simulate_throughput
+from repro.rulesets import generate
+from repro.rulesets.profiles import PROFILES
+from repro.traffic import matched_trace
+
+SIZES = (100, 300, 600, 1000)
+
+
+@pytest.fixture(scope="module")
+def sweep_data():
+    data = {}
+    for size in SIZES:
+        ruleset = generate(PROFILES["CR02"], size=size, seed=99).with_default()
+        trace = matched_trace(ruleset, 800, seed=100)
+        row = {}
+        for cls in (ExpCutsClassifier, HiCutsClassifier, HSMClassifier):
+            clf = cls.build(ruleset)
+            res = simulate_throughput(clf, trace, num_threads=71,
+                                      max_packets=5000, trace_limit=500)
+            row[cls.name] = {
+                "gbps": res.gbps,
+                "memory_kb": clf.memory_bytes() / 1024,
+                "accesses": res.accesses_per_packet,
+            }
+        data[size] = row
+    return data
+
+
+def test_scaling_sweep(run_once, sweep_data):
+    data = run_once(lambda: sweep_data)
+    print()
+    for size, row in data.items():
+        print(f"N={size}: " + "  ".join(
+            f"{algo}: {d['gbps']:.2f}G/{d['memory_kb']:.0f}KB"
+            for algo, d in row.items()
+        ))
+
+    sizes = sorted(data)
+    # ExpCuts throughput stays flat across a 10x rule-count range.
+    exp = [data[s]["expcuts"]["gbps"] for s in sizes]
+    assert min(exp) > 0.85 * max(exp)
+
+    # HSM per-lookup accesses grow with N (the Θ(log N) searches)...
+    hsm_acc = [data[s]["hsm"]["accesses"] for s in sizes]
+    assert hsm_acc[-1] > hsm_acc[0]
+    # ...and its throughput falls while ExpCuts' does not.
+    hsm = [data[s]["hsm"]["gbps"] for s in sizes]
+    assert hsm[-1] < hsm[0]
+
+    # Memory growth: HSM's cross-product tables outgrow ExpCuts' tree
+    # relative to the smallest size.
+    exp_mem_growth = (data[sizes[-1]]["expcuts"]["memory_kb"]
+                      / data[sizes[0]]["expcuts"]["memory_kb"])
+    hsm_mem_growth = (data[sizes[-1]]["hsm"]["memory_kb"]
+                      / data[sizes[0]]["hsm"]["memory_kb"])
+    assert hsm_mem_growth > exp_mem_growth * 0.8  # at least comparable
+
+    # HiCuts stays the memory miser of the three.
+    for s in sizes:
+        assert (data[s]["hicuts"]["memory_kb"]
+                < data[s]["expcuts"]["memory_kb"])

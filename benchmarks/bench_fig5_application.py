@@ -1,0 +1,23 @@
+"""Figure 5 (running) — the staged application simulation at full scale."""
+
+from repro.harness.fig5 import run_fig5
+
+
+def test_fig5_full(run_once):
+    result = run_once(lambda: run_fig5(quick=False))
+    print("\n" + result.text)
+    sweep = result.data["sweep"]
+    mbps = [p["mbps"] for p in sweep]
+    # Throughput scales with processing MEs...
+    assert mbps == sorted(mbps)
+    # ...because processing is the bottleneck stage throughout the sweep
+    # (the premise of Figure 7's thread axis).
+    for point in sweep:
+        assert point["bottleneck"].startswith("processing")
+    # End-to-end rate at 9 processing MEs lands in the Figure 7 regime.
+    assert 5_000 <= mbps[-1] <= 9_000
+    # The fixed stages never saturate before processing does.
+    final = sweep[-1]["stage_busy"]
+    assert final["processing"] >= max(
+        v for k, v in final.items() if k != "processing"
+    ) - 0.05

@@ -1,0 +1,52 @@
+"""Figure 6 — space aggregation effect (SRAM usage with/without HABS).
+
+Regenerates the with/without-aggregation memory bars for all seven rule
+sets and checks the paper's two claims: compression retains roughly 15 %,
+and the largest set fits the 4x8 MB SRAM budget only *with* aggregation
+at full scale.
+"""
+
+import pytest
+
+from repro.core.layout import pack_tree
+from repro.harness.fig6 import SRAM_BUDGET_BYTES, run_fig6
+from repro.rulesets import PAPER_ORDER
+
+def test_fig6_full(benchmark, run_once):
+    result = run_once(lambda: run_fig6(quick=False))
+    print("\n" + result.text)
+    ratios = [entry["ratio"] for entry in result.data.values()]
+    # Paper: aggregation retains ~15 % of the uncompressed image.
+    assert all(r < 0.35 for r in ratios)
+    assert min(r for r in ratios) < 0.2
+    # Every aggregated image fits the 4x8MB SRAM budget.
+    for entry in result.data.values():
+        assert entry["bytes_with"] <= SRAM_BUDGET_BYTES
+    # Memory grows with rule count within each family.
+    fw = [result.data[n]["bytes_with"] for n in PAPER_ORDER if n.startswith("FW")]
+    assert fw == sorted(fw)
+
+
+@pytest.mark.parametrize("aggregated", [True, False], ids=["habs", "full"])
+def test_fig6_pack_tree_speed(benchmark, cr04_expcuts, aggregated):
+    """Packing throughput of the word-image emitter itself."""
+    tree = cr04_expcuts.tree
+    image = benchmark.pedantic(
+        lambda: pack_tree(tree, aggregated=aggregated),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert image.total_words > 0
+
+
+def test_fig6_cr04_fits_only_with_aggregation(run_once, cr04_expcuts):
+    """§6.3: without aggregation the large CR sets exceed the SRAM."""
+    tree = cr04_expcuts.tree
+    sizes = run_once(lambda: {
+        "with": pack_tree(tree, aggregated=True).total_bytes,
+        "without": pack_tree(tree, aggregated=False).total_bytes,
+    })
+    assert sizes["with"] <= SRAM_BUDGET_BYTES
+    assert sizes["without"] > SRAM_BUDGET_BYTES
+    print(f"\nCR04: {sizes['with'] / 2**20:.1f} MB with aggregation, "
+          f"{sizes['without'] / 2**20:.1f} MB without "
+          f"(budget {SRAM_BUDGET_BYTES / 2**20:.0f} MB)")

@@ -1,0 +1,35 @@
+"""Figure 7 — ExpCuts relative speedups (threads 7..71 on CR04).
+
+Asserts the paper's shape: near-linear scaling with thread count,
+reaching multi-Gbps at 71 threads.
+"""
+
+from repro.harness.fig7 import THREAD_SWEEP, run_fig7
+
+
+def test_fig7_full(run_once):
+    result = run_once(lambda: run_fig7(quick=False))
+    print("\n" + result.text)
+    series = result.data["series"]
+    assert [p["threads"] for p in series] == list(THREAD_SWEEP)
+    mbps = [p["mbps"] for p in series]
+    # Monotone increase all the way to 71 threads.
+    assert mbps == sorted(mbps)
+    # Near-linear: the last point achieves >= 70 % of perfect scaling
+    # from the first point (the paper's "almost linear" speedup).
+    perfect = mbps[0] / series[0]["threads"] * series[-1]["threads"]
+    assert mbps[-1] >= 0.7 * perfect
+    # Order of magnitude: ~7 Gbps at 71 threads on 64-byte packets.
+    assert 5_000 <= mbps[-1] <= 9_500
+
+
+def test_fig7_single_point_latency(benchmark, cr04_expcuts, cr04_trace):
+    """Wall-clock of one DES operating point (71 threads, 12k packets)."""
+    from repro.npsim import simulate_throughput
+
+    res = benchmark.pedantic(
+        lambda: simulate_throughput(cr04_expcuts, cr04_trace, num_threads=71,
+                                    max_packets=12_000),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert res.gbps > 4.0

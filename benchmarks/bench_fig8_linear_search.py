@@ -1,0 +1,26 @@
+"""Figure 8 — the linear-search effect.
+
+Asserts the paper's statements: throughput decays with the number of
+linearly searched rules, and past 8 rules the system runs below 3 Gbps.
+"""
+
+from repro.harness.fig8 import run_fig8
+
+
+def test_fig8_full(run_once):
+    result = run_once(lambda: run_fig8(quick=False))
+    print("\n" + result.text)
+    forced = {p["rules"]: p["mbps"] for p in result.data["forced"]}
+    # Decaying curve.
+    assert forced[1] > forced[8] > forced[20]
+    # The paper's threshold: more than 8 rules -> below 3 Gbps.
+    for n, mbps in forced.items():
+        if n > 8:
+            assert mbps < 3_000, f"N={n} still above 3 Gbps"
+    # Strong overall effect: >= 3x decay from 1 to 20 rules.
+    assert forced[1] / forced[20] >= 3.0
+
+    # Companion sweep on real HiCuts builds: the binth=8 configuration
+    # (the paper's) is bounded well below ExpCuts' ~7 Gbps.
+    binth = {p["binth"]: p["mbps"] for p in result.data["binth"]}
+    assert binth[8] is not None and binth[8] < 5_500

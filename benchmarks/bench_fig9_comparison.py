@@ -1,0 +1,37 @@
+"""Figure 9 — ExpCuts vs HiCuts vs HSM on all seven rule sets.
+
+Asserts the paper's three conclusions: ExpCuts best and stable
+everywhere; HSM competitive on small sets but degrading with rule count;
+HiCuts capped by leaf linear search.
+"""
+
+from repro.harness.fig9 import run_fig9
+from repro.rulesets import PAPER_ORDER
+
+
+def test_fig9_full(run_once):
+    result = run_once(lambda: run_fig9(quick=False))
+    print("\n" + result.text)
+    data = result.data
+
+    # (1) ExpCuts wins on every rule set.
+    for name in PAPER_ORDER:
+        assert data[name]["expcuts"] >= data[name]["hicuts"], name
+        assert data[name]["expcuts"] >= data[name]["hsm"] * 0.98, name
+
+    # (1b) ...and is *stable*: spread across rule sets within ~15 %.
+    exp = [data[name]["expcuts"] for name in PAPER_ORDER]
+    assert max(exp) / min(exp) < 1.15
+
+    # (2) HSM degrades from the small sets to the big ones.
+    assert data["CR04"]["hsm"] < data["FW01"]["hsm"]
+
+    # (3) HiCuts is capped well below ExpCuts everywhere (the leaf
+    # linear search), and is the slowest algorithm on most sets.
+    for name in PAPER_ORDER:
+        assert data[name]["hicuts"] <= data[name]["expcuts"] * 0.85, name
+    slowest = sum(
+        1 for name in PAPER_ORDER
+        if data[name]["hicuts"] <= min(data[name]["expcuts"], data[name]["hsm"])
+    )
+    assert slowest >= 4

@@ -1,0 +1,20 @@
+"""Table 4 — optimized memory allocations (levels -> SRAM channels)."""
+
+from repro.harness.table4 import run_table4
+
+
+def test_table4_full(run_once):
+    result = run_once(lambda: run_table4(quick=False))
+    print("\n" + result.text)
+    rows = result.data["rows"]
+    assert len(rows) == 4
+    # The paper's measured utilisations drive the split.
+    assert [round(r["utilization"], 2) for r in rows] == [0.56, 0.0, 0.47, 0.31]
+    # Level counts per channel follow headroom: the idle channel takes
+    # the most levels (5 of 13), the busiest the fewest (2).
+    level_counts = [len(r["regions"]) for r in rows]
+    assert level_counts == [2, 5, 3, 3]
+    assert rows[0]["allocation"] == "level 0~1"
+    assert rows[1]["allocation"] == "level 2~6"
+    assert rows[2]["allocation"] == "level 7~9"
+    assert rows[3]["allocation"] == "level 10~12"

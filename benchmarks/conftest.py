@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures at full scale; classifier
+builds are cached on disk (``.repro_cache/``) so only the first invocation
+pays construction time.  Each benchmark prints the regenerated rows —
+``pytest benchmarks/ --benchmark-only -s`` shows them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import get_classifier, get_ruleset, get_trace
+
+
+@pytest.fixture(scope="session")
+def cr04_expcuts():
+    return get_classifier("CR04", "expcuts")
+
+
+@pytest.fixture(scope="session")
+def cr04_trace():
+    return get_trace("CR04")
+
+
+@pytest.fixture(scope="session")
+def cr04_ruleset():
+    return get_ruleset("CR04")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a heavy regeneration exactly once (no warmup rounds)."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

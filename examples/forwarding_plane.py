@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A complete forwarding plane: classification + LPM + flow cache.
+
+Assembles everything the library models into the box the paper's
+application actually is: ExpCuts classification, a multibit-trie IPv4
+route lookup recorded per packet, the staged receive/processing/
+scheduling/transmit pipeline — and then asks the deployment questions:
+what does the full box sustain, and does an exact-match flow cache in
+front of classification help on this traffic?
+
+Run with::
+
+    python examples/forwarding_plane.py [num_rules] [num_routes]
+"""
+
+import sys
+
+from repro import ExpCutsClassifier
+from repro.forwarding import BinaryTrie, MultibitTrie, generate_fib
+from repro.npsim import (
+    IXP2850,
+    cached_program_set,
+    compile_programs,
+    place,
+    simulate_hit_rate,
+    simulate_throughput,
+)
+from repro.npsim.allocator import Placement
+from repro.npsim.application import run_application
+from repro.rulesets import generate
+from repro.rulesets.profiles import PROFILES
+from repro.traffic import flow_trace
+
+
+def main() -> None:
+    num_rules = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    num_routes = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+    rules = generate(PROFILES["CR02"], size=num_rules, seed=31).with_default()
+    fib = generate_fib(num_routes, seed=32)
+    clf = ExpCutsClassifier.build(rules)
+    trie = MultibitTrie(fib)
+    print(f"policy: {len(rules)} rules -> ExpCuts, "
+          f"{clf.memory_bytes() / 1024:.0f} KB")
+    print(f"routes: {len(fib)} prefixes -> stride-8 multibit trie, "
+          f"{trie.memory_words() * 4 / 1024:.0f} KB, "
+          f"<= {trie.worst_case_accesses()} reads/lookup "
+          f"(binary trie would need {BinaryTrie(fib).depth()})\n")
+
+    trace = flow_trace(rules, 2000, num_flows=3000, seed=33, zipf_skew=1.1)
+
+    res = run_application(clf, trace, max_packets=8000, fib=fib)
+    print("full application (rx 2 ME / proc 9 / sched 3 / tx 2):")
+    print(f"  {res.gbps(1400.0, 64):.2f} Gbps end to end; "
+          f"bottleneck: {res.bottleneck_stage}")
+    for report in res.stage_reports:
+        print(f"    {report.name:12s} MEs {report.me_busy_fraction:4.0%} busy, "
+              f"waiting on input {report.input_wait_fraction:.0%}")
+
+    print("\nflow cache in front of classification (this traffic):")
+    ps = compile_programs(clf, trace, limit=2000)
+    base = place(clf.memory_regions(), list(IXP2850.sram_channels))
+    plain = simulate_throughput(ps, num_threads=71, max_packets=8000,
+                                placement=base)
+    for capacity in (128, 1024, 8192):
+        outcome = cached_program_set(ps, trace, capacity=capacity)
+        placement = Placement({**base.mapping, "flowcache": 1}, "example")
+        cached = simulate_throughput(outcome.program_set, num_threads=71,
+                                     max_packets=8000, placement=placement)
+        print(f"  capacity {capacity:5d}: hit rate "
+              f"{outcome.hit_rate:5.1%} -> {cached.gbps:.2f} Gbps "
+              f"(no cache: {plain.gbps:.2f})")
+    print(f"  (stand-alone hit rate check: "
+          f"{simulate_hit_rate(trace, 1024):.1%} at capacity 1024)")
+    print("\nTakeaway: the explicit-worst-case classifier carries the box;")
+    print("the cache only pays when traffic concentrates on few flows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Latency and packet ordering under offered load — beyond the paper.
+
+The paper reports saturation throughput; an operator also cares what
+happens *below* saturation: per-packet latency percentiles as load rises,
+how bursty arrivals move the tail, and how much reordering the parallel
+microengines introduce (the paper's §3.2 third programming challenge).
+
+Run with::
+
+    python examples/latency_under_load.py [ruleset-name]
+"""
+
+import sys
+
+from repro import ExpCutsClassifier
+from repro.npsim import analyze_completion_order, simulate_throughput
+from repro.rulesets import paper_ruleset
+from repro.traffic import matched_trace
+
+ME_CLOCK_MHZ = 1400.0
+
+
+def cycles_to_us(cycles: float) -> float:
+    return cycles / ME_CLOCK_MHZ
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CR01"
+    rules = paper_ruleset(name)
+    clf = ExpCutsClassifier.build(rules)
+    trace = matched_trace(rules, 1200, seed=11)
+    print(f"{name}: {len(rules)} rules, ExpCuts, 71 threads\n")
+
+    saturation = simulate_throughput(clf, trace, num_threads=71,
+                                     max_packets=8000)
+    cap = saturation.gbps
+    print(f"saturation throughput: {cap:.2f} Gbps\n")
+
+    print(f"{'load':>6s} {'achieved':>9s} {'p50':>8s} {'p95':>8s} "
+          f"{'p99':>8s} {'reordered':>10s} {'buffer':>7s}")
+    for frac in (0.3, 0.5, 0.7, 0.9):
+        res = simulate_throughput(clf, trace, num_threads=71,
+                                  max_packets=8000,
+                                  arrival_rate_gbps=cap * frac)
+        p50, p95, p99 = res.sim.latency_percentiles(0.5, 0.95, 0.99)
+        order = analyze_completion_order(res.sim.completion_order)
+        print(f"{frac:5.0%} {res.gbps:8.2f}G "
+              f"{cycles_to_us(p50):7.2f}u {cycles_to_us(p95):7.2f}u "
+              f"{cycles_to_us(p99):7.2f}u {order.reordered_fraction:9.1%} "
+              f"{order.reorder_buffer_peak:7d}")
+
+    print("\nbursty arrivals at 70% load (burst = packets arriving back to back):")
+    for burst in (1, 16, 64):
+        res = simulate_throughput(clf, trace, num_threads=71,
+                                  max_packets=8000,
+                                  arrival_rate_gbps=cap * 0.7,
+                                  burst_size=burst)
+        p50, p99 = res.sim.latency_percentiles(0.5, 0.99)
+        print(f"  burst {burst:3d}: p50 {cycles_to_us(p50):6.2f}us, "
+              f"p99 {cycles_to_us(p99):6.2f}us")
+
+    print("\nTakeaway: the explicit worst-case lookup keeps the latency tail")
+    print("tight until the ME pipelines saturate; reordering stays within a")
+    print("small sequence-number buffer (how CSIX transmit restores order).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""SRAM channel planning — what §5.3 and Table 4 automate.
+
+Given a rule set, shows how the ExpCuts tree's level segments should be
+distributed over the four IXP2850 SRAM channels under each placement
+policy, and simulates the throughput each policy actually delivers —
+quantifying the paper's claim that headroom-proportional placement is
+the right default.
+
+Run with::
+
+    python examples/memory_planner.py [ruleset-name]
+
+where ruleset-name is one of FW01..FW03, CR01..CR04 (default CR01).
+"""
+
+import sys
+
+from repro import ExpCutsClassifier
+from repro.npsim import IXP2850, allocation_table, place, simulate_throughput
+from repro.rulesets import paper_ruleset
+from repro.traffic import matched_trace
+
+POLICIES = ("headroom_proportional", "round_robin", "single_channel")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CR01"
+    rules = paper_ruleset(name)
+    print(f"rule set {name}: {len(rules)} rules")
+    clf = ExpCutsClassifier.build(rules)
+    regions = clf.memory_regions()
+    channels = list(IXP2850.sram_channels)
+    trace = matched_trace(rules, 1200, seed=3)
+
+    print(f"tree image: {clf.memory_bytes() / 1024:.0f} KB across "
+          f"{len(regions)} level segments\n")
+
+    for policy in POLICIES:
+        placement = place(regions, channels, policy)
+        res = simulate_throughput(clf, trace, num_threads=71,
+                                  max_packets=6000, placement=placement)
+        print(f"policy: {policy}  ->  {res.gbps:.2f} Gbps "
+              f"(bottleneck: {res.bounds.binding})")
+        for row in allocation_table(regions, channels, placement):
+            if row["regions"]:
+                print(f"    {row['channel']} (headroom {row['headroom']:.0%}): "
+                      f"{row['allocation']}, {row['words'] * 4 / 1024:.0f} KB")
+        print()
+
+    print("Conclusion: spreading levels in proportion to per-channel")
+    print("headroom keeps every channel below saturation at once — the")
+    print("single-channel plan hits that channel's bandwidth wall first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — ExpCuts packet classification for multi-core network processors.
+
+A from-scratch reproduction of Qi et al., "Towards Optimized Packet
+Classification Algorithms for Multi-Core Network Processors" (ICPP 2007):
+the ExpCuts algorithm with HABS space aggregation, the HiCuts and HSM
+baselines it is evaluated against, and a discrete-event simulator of the
+Intel IXP2850 network processor the paper ran on.
+
+Quick start::
+
+    from repro import Rule, RuleSet, ExpCutsClassifier
+
+    rules = RuleSet([
+        Rule.from_prefixes(sip="10.0.0.0/8", dport=(0, 1023), proto=6),
+        Rule.from_prefixes(dip="192.168.1.0/24"),
+    ]).with_default()
+    clf = ExpCutsClassifier.build(rules)
+    clf.classify((0x0A000001, 0xC0A80105, 12345, 80, 6))   # -> 0
+"""
+
+from .classifiers import (
+    ABVClassifier,
+    BitVectorClassifier,
+    ExpCutsClassifier,
+    HiCutsClassifier,
+    HSMClassifier,
+    HyperCutsClassifier,
+    LinearSearchClassifier,
+    PacketClassifier,
+    RFCClassifier,
+    TupleSpaceClassifier,
+)
+from .classifiers.updates import UpdatableClassifier
+from .core import (
+    ExpCutsConfig,
+    ExpCutsEngine,
+    ExpCutsTree,
+    Field,
+    Header,
+    Interval,
+    Rule,
+    RuleSet,
+    build_expcuts,
+    pack_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABVClassifier",
+    "BitVectorClassifier",
+    "ExpCutsClassifier",
+    "ExpCutsConfig",
+    "ExpCutsEngine",
+    "ExpCutsTree",
+    "Field",
+    "HSMClassifier",
+    "Header",
+    "HiCutsClassifier",
+    "HyperCutsClassifier",
+    "Interval",
+    "LinearSearchClassifier",
+    "PacketClassifier",
+    "RFCClassifier",
+    "Rule",
+    "RuleSet",
+    "TupleSpaceClassifier",
+    "UpdatableClassifier",
+    "build_expcuts",
+    "pack_tree",
+    "__version__",
+]

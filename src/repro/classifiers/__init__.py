@@ -1,0 +1,46 @@
+"""Packet classification algorithms: ExpCuts plus the paper's baselines."""
+
+from .abv import ABVClassifier
+from .base import MemoryRegion, PacketClassifier
+from .bitvector import BitVectorClassifier
+from .expcuts import ExpCutsClassifier
+from .hicuts import HiCutsClassifier
+from .hsm import HSMClassifier
+from .hypercuts import HyperCutsClassifier
+from .linear import LinearSearchClassifier
+from .rfc import RFCClassifier
+from .tuplespace import TupleSpaceClassifier
+from .updates import UpdatableClassifier, UpdateStats
+
+#: All concrete algorithms, keyed by their short name.
+ALGORITHMS = {
+    cls.name: cls
+    for cls in (
+        LinearSearchClassifier,
+        ExpCutsClassifier,
+        HiCutsClassifier,
+        HSMClassifier,
+        RFCClassifier,
+        BitVectorClassifier,
+        HyperCutsClassifier,
+        TupleSpaceClassifier,
+        ABVClassifier,
+    )
+}
+
+__all__ = [
+    "ABVClassifier",
+    "ALGORITHMS",
+    "BitVectorClassifier",
+    "ExpCutsClassifier",
+    "HSMClassifier",
+    "HiCutsClassifier",
+    "HyperCutsClassifier",
+    "LinearSearchClassifier",
+    "MemoryRegion",
+    "PacketClassifier",
+    "RFCClassifier",
+    "TupleSpaceClassifier",
+    "UpdatableClassifier",
+    "UpdateStats",
+]

@@ -1,0 +1,133 @@
+"""Packed rule bitmasks and cross-product equivalence classes.
+
+Field-independent classifiers (HSM, RFC, bit-vector) all reduce to the
+same machinery: represent "the set of rules matching here" as a packed
+bit mask (bit ``i`` = rule ``i``), build per-field segment masks, and
+combine fields by intersecting masks and renumbering the distinct results
+as equivalence classes.  This module owns that machinery.
+
+Masks are ``numpy.uint64`` rows of ``words_for(n)`` words; bit ``i`` of a
+mask lives at word ``i // 64``, bit ``i % 64``.  Lower rule index = higher
+priority, so "first match" is the lowest set bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.interval import Interval, elementary_edges
+
+
+def words_for(num_rules: int) -> int:
+    """uint64 words needed for ``num_rules`` bits (at least one)."""
+    return max(1, (num_rules + 63) // 64)
+
+
+def segment_masks(
+    intervals: list[Interval], width: int, num_rules: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Elementary segments of one field and their rule masks.
+
+    ``intervals[i]`` is rule ``i``'s projection onto the field.  Returns
+    ``(edges, masks)`` where ``edges`` are the segment left endpoints
+    (``int64``, starting at 0) and ``masks[s]`` is the packed mask of
+    rules covering segment ``s``.
+    """
+    edges = np.asarray(elementary_edges(intervals, width), dtype=np.int64)
+    nseg = len(edges)
+    masks = np.zeros((nseg, words_for(num_rules)), dtype=np.uint64)
+    for rule_id, iv in enumerate(intervals):
+        first = int(np.searchsorted(edges, iv.lo, side="right")) - 1
+        last = int(np.searchsorted(edges, iv.hi, side="right")) - 1
+        masks[first:last + 1, rule_id >> 6] |= np.uint64(1 << (rule_id & 63))
+    return edges, masks
+
+
+def dedupe_masks(masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Renumber identical mask rows as equivalence classes.
+
+    Returns ``(class_ids, class_masks)``: ``class_ids[i]`` is the class of
+    row ``i`` and ``class_masks[c]`` the representative mask, with class 0
+    being the first distinct mask encountered (ids are first-appearance
+    ordered, which keeps builds deterministic).
+    """
+    if masks.ndim != 2:
+        raise ValueError("masks must be 2-D")
+    n, w = masks.shape
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), masks.copy()
+    keys = np.ascontiguousarray(masks).view(
+        np.dtype((np.void, w * masks.dtype.itemsize))
+    ).ravel()
+    # np.unique gives sorted-key classes; remap to first-appearance order.
+    _, first_index, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(len(order))
+    class_ids = rank[inverse].astype(np.int64)
+    class_masks = masks[np.sort(first_index)]
+    return class_ids, class_masks
+
+
+def cross_product(
+    masks_a: np.ndarray, masks_b: np.ndarray, chunk_rows: int = 64
+) -> tuple[np.ndarray, np.ndarray]:
+    """Intersect every pair of masks and classify the results.
+
+    Returns ``(table, class_masks)`` where ``table[a, b]`` is the
+    equivalence class of ``masks_a[a] & masks_b[b]`` and ``class_masks``
+    holds one representative mask per class.  This is the build step of
+    every HSM/RFC combination stage; work is chunked over rows of ``a`` to
+    bound peak memory on large tables.
+    """
+    na, w = masks_a.shape
+    nb, wb = masks_b.shape
+    if w != wb:
+        raise ValueError("mask word counts differ")
+    table = np.empty((na, nb), dtype=np.int64)
+    class_index: dict[bytes, int] = {}
+    class_rows: list[np.ndarray] = []
+    void_dtype = np.dtype((np.void, w * masks_a.dtype.itemsize))
+    for start in range(0, na, chunk_rows):
+        stop = min(start + chunk_rows, na)
+        block = masks_a[start:stop, None, :] & masks_b[None, :, :]
+        flat = np.ascontiguousarray(block.reshape(-1, w))
+        keys = flat.view(void_dtype).ravel()
+        uniq_keys, first_index, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        local_to_global = np.empty(len(uniq_keys), dtype=np.int64)
+        # Visit new keys in first-appearance order so global class ids are
+        # invariant to the chunking (determinism the tests rely on).
+        for local_id in np.argsort(first_index, kind="stable"):
+            key_bytes = uniq_keys[local_id].tobytes()
+            global_id = class_index.get(key_bytes)
+            if global_id is None:
+                global_id = len(class_rows)
+                class_index[key_bytes] = global_id
+                class_rows.append(flat[first_index[local_id]].copy())
+            local_to_global[local_id] = global_id
+        table[start:stop] = local_to_global[inverse].reshape(stop - start, nb)
+    class_masks = (
+        np.stack(class_rows) if class_rows else np.zeros((0, w), dtype=masks_a.dtype)
+    )
+    return table, class_masks
+
+
+def first_set_bit(mask: np.ndarray) -> int | None:
+    """Lowest set bit index (= highest-priority rule id), or ``None``."""
+    for word_idx, word in enumerate(mask):
+        w = int(word)
+        if w:
+            return word_idx * 64 + (w & -w).bit_length() - 1
+    return None
+
+
+def masks_to_rule_ids(class_masks: np.ndarray) -> np.ndarray:
+    """Per class, the first-match rule id (``-1`` for the empty mask)."""
+    out = np.full(len(class_masks), -1, dtype=np.int64)
+    for idx, mask in enumerate(class_masks):
+        bit = first_set_bit(mask)
+        if bit is not None:
+            out[idx] = bit
+    return out

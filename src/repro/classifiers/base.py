@@ -1,0 +1,116 @@
+"""The common classifier interface every algorithm in the library implements.
+
+A classifier is built once from a :class:`~repro.core.rule.RuleSet` and
+then answers three questions:
+
+* ``classify(header)`` — which rule matches first (functional result);
+* ``access_trace(header)`` — exactly which memory references and compute
+  cycles that lookup costs (consumed by :mod:`repro.npsim`);
+* ``memory_regions()`` — the logical memory segments the built structure
+  occupies (consumed by the channel allocator).
+
+Keeping performance characterisation *derived from the real built data
+structure* — rather than from closed-form estimates — is the library's
+central design rule (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import LookupTrace
+from ..core.rule import RuleSet
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One logical memory segment of a built classifier.
+
+    ``name`` matches the ``region`` field of trace reads; ``words`` is the
+    segment size; ``access_weight`` estimates the fraction of lookup reads
+    that hit this region (used by bandwidth-aware placement).
+    """
+
+    name: str
+    words: int
+    access_weight: float
+
+    @property
+    def bytes(self) -> int:
+        return self.words * 4
+
+
+class PacketClassifier(abc.ABC):
+    """Abstract base for all packet classification algorithms."""
+
+    #: Short algorithm name used in reports and benchmarks.
+    name: str = "abstract"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    @abc.abstractmethod
+    def build(cls, ruleset: RuleSet, **params) -> "PacketClassifier":
+        """Preprocess ``ruleset`` into the algorithm's search structure."""
+
+    # -- lookup -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def classify(self, header: Sequence[int]) -> int | None:
+        """First-matching rule index for one header, or ``None``."""
+
+    def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
+        """Vectorized lookup over five parallel field arrays.
+
+        Default implementation loops over :meth:`classify`; algorithms
+        with a NumPy fast path override it.  Returns ``int64`` rule ids
+        with ``-1`` for no-match.
+        """
+        n = len(fields[0])
+        out = np.full(n, -1, dtype=np.int64)
+        for idx in range(n):
+            header = tuple(int(f[idx]) for f in fields)
+            result = self.classify(header)
+            if result is not None:
+                out[idx] = result
+        return out
+
+    # -- characterisation ---------------------------------------------------
+
+    @abc.abstractmethod
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        """The memory/compute footprint of classifying ``header``."""
+
+    @abc.abstractmethod
+    def memory_regions(self) -> list[MemoryRegion]:
+        """The logical memory segments the structure occupies."""
+
+    def memory_bytes(self) -> int:
+        """Total structure size in bytes."""
+        return sum(region.bytes for region in self.memory_regions())
+
+    def memory_words(self) -> int:
+        return sum(region.words for region in self.memory_regions())
+
+    # -- misc ---------------------------------------------------------------
+
+    def worst_case_accesses(self) -> int | None:
+        """An explicit bound on per-lookup memory accesses, if one exists.
+
+        ExpCuts returns a real bound (the paper's headline property);
+        algorithms with data-dependent search depth return ``None``.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} rules={len(self.ruleset)} "
+            f"mem={self.memory_bytes() / 1024:.1f}KiB>"
+        )

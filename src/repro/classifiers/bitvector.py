@@ -1,0 +1,131 @@
+"""Parallel Bit-Vector classification — Lakshman & Stiliadis, SIGCOMM 1998.
+
+An extension baseline (not in the paper's Figure 9, but the classic
+decomposition scheme both HSM and RFC descend from): each field keeps its
+elementary-segment array and, per segment, an *N-bit vector* of the rules
+covering it.  A lookup binary-searches all five fields, reads the five
+vectors, ANDs them and takes the lowest set bit.
+
+Its signature cost is bandwidth: every lookup moves ``5 * ceil(N/32)``
+words of bit vector, so throughput collapses with rule count on a
+word-oriented memory system — a useful contrast to ExpCuts' flat 26 words
+in the channel-saturation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import LookupTrace, MemRead
+from ..core.fields import FIELD_WIDTHS, Field
+from ..core.rule import RuleSet
+from .base import MemoryRegion, PacketClassifier
+from ._bitmask import first_set_bit, segment_masks
+
+#: Cycles per binary-search step.
+BSEARCH_STEP_CYCLES = 4
+#: Cycles to AND one pair of 32-bit vector words and test for zero.
+AND_WORD_CYCLES = 2
+
+
+@dataclass
+class _FieldVectors:
+    edges: np.ndarray   # int64 segment left endpoints
+    masks: np.ndarray   # (nseg, words64) uint64 rule vectors
+
+    @property
+    def depth(self) -> int:
+        return max(1, math.ceil(math.log2(max(len(self.edges), 2))))
+
+    def locate(self, value: int) -> int:
+        return int(np.searchsorted(self.edges, value, side="right")) - 1
+
+
+class BitVectorClassifier(PacketClassifier):
+    """Five parallel segment searches + bit-vector intersection."""
+
+    name = "bitvector"
+
+    def __init__(self, ruleset: RuleSet, fields: list[_FieldVectors]) -> None:
+        super().__init__(ruleset)
+        self.fields = fields
+        self._vector_words32 = max(1, (len(ruleset) + 31) // 32)
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, **params) -> "BitVectorClassifier":
+        if params:
+            raise TypeError(f"unexpected parameters: {sorted(params)}")
+        fields = []
+        for fld in Field:
+            intervals = [rule.intervals[fld] for rule in ruleset.rules]
+            edges, masks = segment_masks(intervals, FIELD_WIDTHS[fld], len(ruleset))
+            fields.append(_FieldVectors(edges=edges, masks=masks))
+        return cls(ruleset, fields)
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        combined = None
+        for fld, fv in enumerate(self.fields):
+            mask = fv.masks[fv.locate(header[fld])]
+            combined = mask if combined is None else combined & mask
+        if combined is None:
+            return None
+        return first_set_bit(combined)
+
+    def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
+        n = len(fields[0])
+        combined = None
+        for fld, fv in enumerate(self.fields):
+            segs = np.searchsorted(fv.edges, np.asarray(fields[fld], dtype=np.int64),
+                                   side="right") - 1
+            masks = fv.masks[segs]
+            combined = masks if combined is None else combined & masks
+        out = np.full(n, -1, dtype=np.int64)
+        assert combined is not None
+        nonzero_rows = np.nonzero(combined.any(axis=1))[0]
+        for row in nonzero_rows:
+            bit = first_set_bit(combined[row])
+            if bit is not None:
+                out[row] = bit
+        return out
+
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        reads: list[MemRead] = []
+        combined = None
+        vw = self._vector_words32
+        for fld, fv in enumerate(self.fields):
+            name = Field(fld).name.lower()
+            lo, hi = 0, len(fv.edges) - 1
+            value = header[fld]
+            pending = 2
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                reads.append(MemRead(f"bvseg:{name}", mid, 1, pending))
+                pending = BSEARCH_STEP_CYCLES
+                if int(fv.edges[mid]) <= value:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            # Fetch the whole N-bit vector for this segment.
+            reads.append(MemRead(f"bvvec:{name}", lo * vw, vw, BSEARCH_STEP_CYCLES))
+            mask = fv.masks[lo]
+            combined = mask if combined is None else combined & mask
+        result = first_set_bit(combined) if combined is not None else None
+        return LookupTrace(tuple(reads),
+                           compute_after=AND_WORD_CYCLES * vw * 4 + 2,
+                           result=result)
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        regions = []
+        vw = self._vector_words32
+        for fld, fv in enumerate(self.fields):
+            name = Field(fld).name.lower()
+            regions.append(MemoryRegion(f"bvseg:{name}", len(fv.edges), 0.05))
+            regions.append(MemoryRegion(f"bvvec:{name}", len(fv.edges) * vw, 0.15))
+        return regions
+
+    def worst_case_accesses(self) -> int:
+        return sum(fv.depth + 1 for fv in self.fields)

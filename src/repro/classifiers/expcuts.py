@@ -1,0 +1,77 @@
+"""ExpCuts packaged behind the common classifier interface."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import ExpCutsEngine, LookupTrace
+from ..core.expcuts import ExpCutsConfig, ExpCutsTree, build_expcuts
+from ..core.layout import TreeImage, pack_tree
+from ..core.rule import RuleSet
+from ..core.stats import TreeStats, collect_stats
+from .base import MemoryRegion, PacketClassifier
+
+
+class ExpCutsClassifier(PacketClassifier):
+    """The paper's algorithm: fixed-stride cuts, HABS aggregation, no
+    leaf linear search, explicit worst-case lookup bound."""
+
+    name = "expcuts"
+
+    def __init__(self, ruleset: RuleSet, tree: ExpCutsTree, image: TreeImage,
+                 use_pop_count: bool = True) -> None:
+        super().__init__(ruleset)
+        self.tree = tree
+        self.image = image
+        self.engine = ExpCutsEngine(image, use_pop_count=use_pop_count)
+
+    @classmethod
+    def build(
+        cls,
+        ruleset: RuleSet,
+        stride: int = 8,
+        habs_bits_log2: int = 4,
+        aggregated: bool = True,
+        use_pop_count: bool = True,
+        max_nodes: int = 4_000_000,
+    ) -> "ExpCutsClassifier":
+        """Build the tree and pack its word image.
+
+        ``aggregated=False`` and ``use_pop_count=False`` are the Figure 6
+        and §5.4 ablation switches; both leave results unchanged.
+        """
+        config = ExpCutsConfig(stride=stride, habs_bits_log2=habs_bits_log2,
+                               max_nodes=max_nodes)
+        tree = build_expcuts(ruleset, config)
+        image = pack_tree(tree, aggregated=aggregated)
+        return cls(ruleset, tree, image, use_pop_count=use_pop_count)
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        return self.engine.classify(header)
+
+    def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
+        return self.engine.classify_batch(fields)
+
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        return self.engine.access_trace(header)
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        regions = []
+        total = max(self.image.total_words, 1)
+        for level, seg in enumerate(self.image.levels):
+            if len(seg) == 0:
+                continue
+            # Every populated level is visited at most once per lookup;
+            # weight by node population as a proxy for hit likelihood.
+            regions.append(MemoryRegion(f"level:{level}", len(seg), len(seg) / total))
+        return regions
+
+    def worst_case_accesses(self) -> int:
+        """Two single-word reads per level — the explicit bound the paper
+        trades memory for."""
+        return 2 * self.tree.depth_bound
+
+    def stats(self) -> TreeStats:
+        return collect_stats(self.tree)

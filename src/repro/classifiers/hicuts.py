@@ -1,0 +1,347 @@
+"""HiCuts (Hierarchical Intelligent Cuttings) — Gupta & McKeown, HotI 1999.
+
+The baseline ExpCuts derives from (§4.1 of the reproduced paper).  Each
+internal node cuts its box into equal sub-spaces along one heuristically
+chosen dimension; recursion stops when at most ``binth`` rules remain,
+which are then *linearly searched* — the cost ExpCuts exists to remove
+(Figure 8 sweeps ``binth`` to expose it).
+
+Heuristics implemented (the classic ones):
+
+* **Dimension choice** — cut the dimension whose rule projections form the
+  most distinct clipped intervals (ties broken toward the wider remaining
+  field).
+* **Cut count** — powers of two, grown from ``~sqrt(n)`` while the space
+  measure ``sm(C) = Σ rules(child) + C`` stays within ``spfac * n``.
+* **Node reuse** — children are hash-consed on their normalised projected
+  rule lists (the same soundness argument as ExpCuts node sharing).
+* **Cover pruning** — rules behind a higher-priority full cover of a box
+  are dropped from that box.
+
+Layout: one monolithic ``tree`` region holding internal nodes and, inline
+behind each leaf header, the leaf's rule entries at 6 words apiece — read
+entry-by-entry during leaf linear search (paper §6.6).  Monolithic means
+single-channel placement, the root cause of the HiCuts throughput cap the
+paper measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.engine import LookupTrace, MemRead
+from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
+from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
+from ..core.rule import RuleSet
+from .base import MemoryRegion, PacketClassifier
+from .linear import RULE_COMPARE_CYCLES, RULE_WORDS
+
+#: ME cycles for one internal-node descend (load dim/shift, index math).
+NODE_COMPUTE_CYCLES = 5
+
+
+@dataclass(frozen=True)
+class _Internal:
+    """Internal node: cut ``field`` into ``2**log2_cuts`` children."""
+
+    field: int
+    log2_cuts: int
+    shift: int  # child-local bit width of the cut field
+    children: tuple[int, ...]  # builder refs (see expcuts ref encoding)
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    """Leaf node: rule ids searched linearly, in priority order."""
+
+    rule_ids: tuple[int, ...]
+
+
+@dataclass
+class HiCutsParams:
+    """The two classic tuning knobs plus a node-count safety valve."""
+
+    binth: int = 8
+    spfac: float = 4.0
+    max_nodes: int = 2_000_000
+
+
+class _Builder:
+    """Flat-rule, run-partition HiCuts builder.
+
+    Shares the performance machinery of the ExpCuts builder (see
+    :mod:`repro.core.expcuts`): projected rules are flat 11-int tuples and
+    children between rule-span endpoints on the cut dimension are built
+    once per uniform run.
+    """
+
+    def __init__(self, params: HiCutsParams) -> None:
+        self.params = params
+        self.nodes: list[_Internal | _Leaf] = []
+        self.memo: dict[tuple, int] = {}
+
+    def intern(self, node: _Internal | _Leaf) -> int:
+        node_id = len(self.nodes)
+        if node_id >= self.params.max_nodes:
+            raise MemoryError(f"HiCuts build exceeded max_nodes={self.params.max_nodes}")
+        self.nodes.append(node)
+        return node_id
+
+    @staticmethod
+    def _rule_covers(rule: FlatRule, widths: Sequence[int]) -> bool:
+        for fld in range(NUM_FIELDS):
+            if rule[1 + 2 * fld] != 0 or rule[2 + 2 * fld] != (1 << widths[fld]) - 1:
+                return False
+        return True
+
+    def _prune_covered(self, rules: tuple[FlatRule, ...],
+                       widths: Sequence[int]) -> tuple[FlatRule, ...]:
+        """Truncate the list after the first full-covering rule."""
+        for idx, rule in enumerate(rules):
+            if self._rule_covers(rule, widths):
+                return rules[: idx + 1]
+        return rules
+
+    def _choose_dimension(self, rules: tuple[FlatRule, ...],
+                          widths: Sequence[int]) -> int | None:
+        """Most-distinct-projections heuristic; ``None`` if nothing cuttable."""
+        best_field = None
+        best_score = (-1, -1)
+        for fld in range(NUM_FIELDS):
+            if widths[fld] == 0:
+                continue
+            pos = 1 + 2 * fld
+            distinct = len({(r[pos], r[pos + 1]) for r in rules})
+            score = (distinct, widths[fld])
+            if distinct > 1 and score > best_score:
+                best_score = score
+                best_field = fld
+        if best_field is not None:
+            return best_field
+        # No dimension separates the rules; fall back to any dimension with
+        # remaining width so recursion still terminates (boxes shrink to
+        # points, where the cover check fires).
+        for fld in range(NUM_FIELDS):
+            if widths[fld] > 0:
+                return fld
+        return None
+
+    def _choose_cuts(self, rules: tuple[FlatRule, ...], fld: int,
+                     widths: Sequence[int]) -> int:
+        """Power-of-two cut count bounded by the spfac space measure."""
+        n = len(rules)
+        width = widths[fld]
+        budget = self.params.spfac * max(n, 1)
+        pos = 1 + 2 * fld
+
+        def space_measure(lg: int) -> float:
+            shift = width - lg
+            total = 1 << lg
+            for r in rules:
+                total += (r[pos + 1] >> shift) - (r[pos] >> shift) + 1
+            return total
+
+        best = max(1, min(width, int(math.log2(max(math.sqrt(n), 2)))))
+        while best < width and space_measure(best + 1) <= budget:
+            best += 1
+        return best
+
+    def build(self, rules: tuple[FlatRule, ...],
+              widths: tuple[int, ...]) -> int:
+        rules = self._prune_covered(rules, widths)
+        if not rules:
+            return REF_NO_MATCH
+        is_point = all(w == 0 for w in widths)
+        if (
+            len(rules) <= self.params.binth
+            or is_point
+            or self._rule_covers(rules[0], widths)
+        ):
+            key = ("leaf", tuple(r[0] for r in rules))
+            cached = self.memo.get(key)
+            if cached is not None:
+                return cached
+            node_id = self.intern(_Leaf(tuple(r[0] for r in rules)))
+            self.memo[key] = node_id
+            return node_id
+
+        key = (widths, rules)
+        cached = self.memo.get(key)
+        if cached is not None:
+            return cached
+
+        fld = self._choose_dimension(rules, widths)
+        if fld is None:
+            node_id = self.intern(_Leaf(tuple(r[0] for r in rules)))
+            self.memo[key] = node_id
+            return node_id
+
+        log2_cuts = self._choose_cuts(rules, fld, widths)
+        width = widths[fld]
+        shift = width - log2_cuts
+        nchildren = 1 << log2_cuts
+        child_full = (1 << shift) - 1
+        child_widths = widths[:fld] + (shift,) + widths[fld + 1:]
+        pos = 1 + 2 * fld
+
+        # Uniform-run partition (see expcuts module docstring): children
+        # between consecutive rule-span endpoints have identical
+        # projections, so one build per run suffices.
+        spans = []
+        crit = {0, nchildren}
+        for rule in rules:
+            lo = rule[pos]
+            hi = rule[pos + 1]
+            k_lo = lo >> shift
+            k_hi = hi >> shift
+            spans.append((k_lo, k_hi, lo, hi, rule))
+            crit.add(k_lo)
+            crit.add(k_lo + 1)
+            crit.add(k_hi)
+            crit.add(k_hi + 1)
+        run_starts = sorted(c for c in crit if 0 <= c < nchildren)
+        run_starts.append(nchildren)
+        refs: list[int] = [REF_NO_MATCH] * nchildren
+        for run_idx in range(len(run_starts) - 1):
+            start, end = run_starts[run_idx], run_starts[run_idx + 1]
+            k = start
+            base = k << shift
+            top = base + child_full
+            child_rules = []
+            for k_lo, k_hi, lo, hi, rule in spans:
+                if not k_lo <= k <= k_hi:
+                    continue
+                clip_lo = lo - base if lo > base else 0
+                clip_hi = hi - base if hi < top else child_full
+                child_rules.append(rule[:pos] + (clip_lo, clip_hi) + rule[pos + 2:])
+            ref = self.build(tuple(child_rules), child_widths)
+            for k2 in range(start, end):
+                refs[k2] = ref
+        node_id = self.intern(_Internal(fld, log2_cuts, shift, tuple(refs)))
+        self.memo[key] = node_id
+        return node_id
+
+
+class HiCutsClassifier(PacketClassifier):
+    """Decision-tree classification with leaf linear search."""
+
+    name = "hicuts"
+
+    def __init__(self, ruleset: RuleSet, nodes: list[_Internal | _Leaf],
+                 root_ref: int, params: HiCutsParams) -> None:
+        super().__init__(ruleset)
+        self.nodes = nodes
+        self.root_ref = root_ref
+        self.params = params
+        self._tree_words, self._node_offsets = self._layout_words()
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, binth: int = 8, spfac: float = 4.0,
+              max_nodes: int = 2_000_000) -> "HiCutsClassifier":
+        params = HiCutsParams(binth=binth, spfac=spfac, max_nodes=max_nodes)
+        builder = _Builder(params)
+        root = builder.build(flat_projection(ruleset), tuple(FIELD_WIDTHS))
+        return cls(ruleset, builder.nodes, root, params)
+
+    # -- structure accounting ---------------------------------------------
+
+    def _layout_words(self) -> tuple[int, dict[int, int]]:
+        """Word offsets of each node in the ``tree`` region.
+
+        Internal node: 1 header word + ``2**log2_cuts`` pointer words.
+        Leaf: 1 count word + 1 word per stored rule id.
+        """
+        offsets: dict[int, int] = {}
+        cursor = 0
+        for node_id, node in enumerate(self.nodes):
+            offsets[node_id] = cursor
+            if isinstance(node, _Internal):
+                cursor += 1 + (1 << node.log2_cuts)
+            else:
+                cursor += 1 + RULE_WORDS * len(node.rule_ids)
+        return cursor, offsets
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        # One monolithic region: HiCuts leaves store their rule entries
+        # inline (6 words each) right behind the node header, so tree walk
+        # and linear search hit the same structure.  Being a single region
+        # it can occupy only one SRAM channel — exactly why the paper
+        # finds HiCuts capped by leaf linear search (Figures 8/9) while
+        # the level-segmented ExpCuts image spreads over all four.
+        return [MemoryRegion("tree", self._tree_words, 1.0)]
+
+    # -- lookup -------------------------------------------------------------
+
+    def _walk(self, header: Sequence[int]) -> tuple[_Leaf | None, list[MemRead]]:
+        reads: list[MemRead] = []
+        ref = self.root_ref
+        # Track each field's box origin so child indexing uses box-relative
+        # coordinates (required for shared nodes reached via different
+        # paths: projections are origin-normalised).
+        origin = [0] * NUM_FIELDS
+        pending = 2
+        while True:
+            if ref == REF_NO_MATCH:
+                return None, reads
+            node = self.nodes[ref]
+            addr = self._node_offsets[ref]
+            reads.append(MemRead("tree", addr, 1, pending))
+            if isinstance(node, _Leaf):
+                return node, reads
+            local = header[node.field] - origin[node.field]
+            idx = local >> node.shift
+            reads.append(MemRead("tree", addr + 1 + idx, 1, NODE_COMPUTE_CYCLES))
+            origin[node.field] += idx << node.shift
+            ref = node.children[idx]
+            pending = 2
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        leaf, _ = self._walk(header)
+        if leaf is None:
+            return None
+        for rule_id in leaf.rule_ids:
+            if self.ruleset[rule_id].matches(header):
+                return rule_id
+        return None
+
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        leaf, reads = self._walk(header)
+        result = None
+        if leaf is not None:
+            leaf_addr = reads[-1].addr if reads else 0
+            for slot, rule_id in enumerate(leaf.rule_ids):
+                reads.append(
+                    MemRead("tree", leaf_addr + 1 + slot * RULE_WORDS,
+                            RULE_WORDS, RULE_COMPARE_CYCLES)
+                )
+                if self.ruleset[rule_id].matches(header):
+                    result = rule_id
+                    break
+        return LookupTrace(tuple(reads), compute_after=RULE_COMPARE_CYCLES,
+                           result=result)
+
+    # -- statistics -----------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum tree depth (data dependent — no explicit bound)."""
+
+        def node_depth(ref: int, seen: dict[int, int]) -> int:
+            if ref < 0:
+                return 0
+            if ref in seen:
+                return seen[ref]
+            node = self.nodes[ref]
+            seen[ref] = 0  # cycle guard (tree is acyclic; DAG via sharing)
+            if isinstance(node, _Leaf):
+                depth = 1
+            else:
+                depth = 1 + max(node_depth(c, seen) for c in node.children)
+            seen[ref] = depth
+            return depth
+
+        return node_depth(self.root_ref, {})
+
+    def leaf_sizes(self) -> list[int]:
+        return [len(n.rule_ids) for n in self.nodes if isinstance(n, _Leaf)]

@@ -1,0 +1,185 @@
+"""HSM (Hierarchical Space Mapping) — Xu, Jiang & Li, AINA 2005.
+
+The field-*independent* baseline of the reproduced paper (§2, §6.6): each
+field is searched on its own (binary search over the elementary segments
+of the rule projections), and the per-field results are combined through
+hierarchical cross-product tables::
+
+    SIP  ─┐
+          ├─ X12 ─┐
+    DIP  ─┘       │
+                  ├─ X5 ─┐
+    SPORT ─┐      │      │
+           ├─ X34 ┘      ├─ X6 ──> matched rule
+    DPORT ─┘             │
+    PROTO ───────────────┘
+
+Lookup therefore costs Θ(log N) single-word reads (the binary searches)
+plus four table-index reads — fast, but both the table memory and the
+binary-search depth grow with the rule count, which is exactly the
+degradation Figure 9 shows on the larger CR sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import LookupTrace, MemRead
+from ..core.fields import FIELD_WIDTHS, Field
+from ..core.rule import RuleSet
+from .base import MemoryRegion, PacketClassifier
+from ._bitmask import cross_product, dedupe_masks, masks_to_rule_ids, segment_masks
+
+#: Cycles per binary-search step (compare + branch + halve).
+BSEARCH_STEP_CYCLES = 4
+#: Cycles to form a 2-D table index (multiply-add).
+TABLE_INDEX_CYCLES = 4
+
+
+def _packed_words(table: np.ndarray) -> int:
+    """SRAM words for a class/rule-id table: entries pack two per word
+    when every value fits 16 bits (the deployed encoding)."""
+    entries = int(table.size)
+    if entries == 0:
+        return 0
+    per_word = 2 if int(table.max(initial=0)) < 0x7FFF else 1
+    return (entries + per_word - 1) // per_word
+
+
+@dataclass
+class _FieldSearch:
+    """One field's segment search structure."""
+
+    edges: np.ndarray        # int64 left endpoints, edges[0] == 0
+    class_ids: np.ndarray    # int64 per segment -> field class
+
+    @property
+    def depth(self) -> int:
+        """Binary-search steps needed over this edge array."""
+        return max(1, math.ceil(math.log2(max(len(self.edges), 2))))
+
+    def locate(self, value: int) -> int:
+        seg = int(np.searchsorted(self.edges, value, side="right")) - 1
+        return int(self.class_ids[seg])
+
+
+class HSMClassifier(PacketClassifier):
+    """Field-independent parallel search with cross-product combination."""
+
+    name = "hsm"
+
+    def __init__(self, ruleset: RuleSet, fields: list[_FieldSearch],
+                 x12: np.ndarray, x34: np.ndarray, x5: np.ndarray,
+                 x6_rule: np.ndarray) -> None:
+        super().__init__(ruleset)
+        self.fields = fields
+        self.x12 = x12
+        self.x34 = x34
+        self.x5 = x5
+        self.x6_rule = x6_rule  # final stage already resolved to rule ids
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, **params) -> "HSMClassifier":
+        if params:
+            raise TypeError(f"unexpected parameters: {sorted(params)}")
+        num_rules = len(ruleset)
+        fields: list[_FieldSearch] = []
+        field_masks: list[np.ndarray] = []
+        for fld in Field:
+            intervals = [rule.intervals[fld] for rule in ruleset.rules]
+            edges, seg_mask = segment_masks(intervals, FIELD_WIDTHS[fld], num_rules)
+            class_ids, class_masks = dedupe_masks(seg_mask)
+            fields.append(_FieldSearch(edges=edges, class_ids=class_ids))
+            field_masks.append(class_masks)
+
+        x12, masks12 = cross_product(field_masks[Field.SIP], field_masks[Field.DIP])
+        x34, masks34 = cross_product(field_masks[Field.SPORT], field_masks[Field.DPORT])
+        x5, masks5 = cross_product(masks12, masks34)
+        x6, masks6 = cross_product(masks5, field_masks[Field.PROTO])
+        rule_of_class = masks_to_rule_ids(masks6)
+        x6_rule = rule_of_class[x6]
+        return cls(ruleset, fields, x12, x34, x5, x6_rule)
+
+    # -- lookup -------------------------------------------------------------
+
+    def _field_classes(self, header: Sequence[int]) -> list[int]:
+        return [fs.locate(header[fld]) for fld, fs in enumerate(self.fields)]
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        c = self._field_classes(header)
+        c12 = int(self.x12[c[Field.SIP], c[Field.DIP]])
+        c34 = int(self.x34[c[Field.SPORT], c[Field.DPORT]])
+        c5 = int(self.x5[c12, c34])
+        rule = int(self.x6_rule[c5, c[Field.PROTO]])
+        return None if rule < 0 else rule
+
+    def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
+        cls_per_field = []
+        for fld, fs in enumerate(self.fields):
+            segs = np.searchsorted(fs.edges, np.asarray(fields[fld], dtype=np.int64),
+                                   side="right") - 1
+            cls_per_field.append(fs.class_ids[segs])
+        c12 = self.x12[cls_per_field[Field.SIP], cls_per_field[Field.DIP]]
+        c34 = self.x34[cls_per_field[Field.SPORT], cls_per_field[Field.DPORT]]
+        c5 = self.x5[c12, c34]
+        return self.x6_rule[c5, cls_per_field[Field.PROTO]].astype(np.int64)
+
+    # -- characterisation -----------------------------------------------------
+
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        reads: list[MemRead] = []
+        classes: list[int] = []
+        for fld, fs in enumerate(self.fields):
+            # Binary search over the edge array: one word per probe.
+            lo, hi = 0, len(fs.edges) - 1
+            value = header[fld]
+            pending = 2
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                reads.append(MemRead(f"seg:{Field(fld).name.lower()}", mid, 1, pending))
+                pending = BSEARCH_STEP_CYCLES
+                if int(fs.edges[mid]) <= value:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            # Segment -> field class indirection (one word).
+            reads.append(MemRead(f"cls:{Field(fld).name.lower()}", lo, 1,
+                                 BSEARCH_STEP_CYCLES))
+            classes.append(int(fs.class_ids[lo]))
+        c = classes
+        c12 = int(self.x12[c[Field.SIP], c[Field.DIP]])
+        reads.append(MemRead("x12", c[Field.SIP] * self.x12.shape[1] + c[Field.DIP],
+                             1, TABLE_INDEX_CYCLES))
+        c34 = int(self.x34[c[Field.SPORT], c[Field.DPORT]])
+        reads.append(MemRead("x34", c[Field.SPORT] * self.x34.shape[1] + c[Field.DPORT],
+                             1, TABLE_INDEX_CYCLES))
+        c5 = int(self.x5[c12, c34])
+        reads.append(MemRead("x5", c12 * self.x5.shape[1] + c34, 1, TABLE_INDEX_CYCLES))
+        rule = int(self.x6_rule[c5, c[Field.PROTO]])
+        reads.append(MemRead("x6", c5 * self.x6_rule.shape[1] + c[Field.PROTO], 1,
+                             TABLE_INDEX_CYCLES))
+        return LookupTrace(tuple(reads), compute_after=2,
+                           result=None if rule < 0 else rule)
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        regions = []
+        total_search_reads = sum(fs.depth + 1 for fs in self.fields) + 4
+        for fld, fs in enumerate(self.fields):
+            name = Field(fld).name.lower()
+            share = (fs.depth + 1) / total_search_reads
+            regions.append(MemoryRegion(f"seg:{name}", len(fs.edges), share * 0.9))
+            regions.append(MemoryRegion(f"cls:{name}",
+                                        _packed_words(fs.class_ids), share * 0.1))
+        for name, table in (("x12", self.x12), ("x34", self.x34),
+                            ("x5", self.x5), ("x6", self.x6_rule)):
+            regions.append(MemoryRegion(name, _packed_words(table),
+                                        1 / total_search_reads))
+        return regions
+
+    def worst_case_accesses(self) -> int:
+        """Θ(log N): all binary-search probes plus the four table reads."""
+        return sum(fs.depth + 1 for fs in self.fields) + 4

@@ -1,0 +1,379 @@
+"""HyperCuts — Singh, Baboescu, Varghese & Wang, SIGCOMM 2003.
+
+The second field-dependent baseline the paper cites (§2, [9]).  Where
+HiCuts cuts one dimension per node, HyperCuts cuts *several at once*: a
+node splits into ``prod(2**lg_i)`` children indexed by the concatenation
+of per-dimension sub-indices.  Multi-dimensional cutting separates rules
+that differ in different fields in a single memory access, typically
+trading a wider node for a shallower tree.
+
+Implemented heuristics (the classic ones, adapted to power-of-two cuts):
+
+* **Dimension selection** — cut every dimension whose count of distinct
+  rule projections is above the mean over cuttable dimensions (the
+  original paper's rule).
+* **Cut budget** — the total fan-out is grown dimension-by-dimension
+  (round-robin over the selected dimensions, widest remaining field
+  first) while the HiCuts space measure stays within ``spfac * n`` and
+  the fan-out stays within ``max_log2_fanout``.
+* **Node sharing and cover pruning** — identical to the other cutting
+  builders (projection-keyed hash-consing; truncation after a full
+  cover).
+
+Leaves hold up to ``binth`` rules searched linearly against inline
+6-word entries, exactly like HiCuts — so HyperCuts inherits the same
+Figure 8 cliff; its advantage is fewer tree levels before it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.engine import LookupTrace, MemRead
+from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
+from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
+from ..core.rule import RuleSet
+from .base import MemoryRegion, PacketClassifier
+from .linear import RULE_COMPARE_CYCLES, RULE_WORDS
+
+#: ME cycles to form a multi-dimension child index (per dimension:
+#: subtract origin, shift, merge).
+DIM_INDEX_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class _Internal:
+    """Internal node cutting ``dims`` simultaneously.
+
+    ``dims``      fields cut, in index-significance order (first = most
+                  significant bits of the child index);
+    ``lgs``       log2 cuts per dim (parallel to ``dims``);
+    ``shifts``    child-local remaining bit width per dim;
+    ``children``  builder refs, length ``2 ** sum(lgs)``.
+    """
+
+    dims: tuple[int, ...]
+    lgs: tuple[int, ...]
+    shifts: tuple[int, ...]
+    children: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    rule_ids: tuple[int, ...]
+
+
+@dataclass
+class HyperCutsParams:
+    binth: int = 8
+    spfac: float = 4.0
+    #: Upper bound on a single node's log2 fan-out (2**6 = 64 children).
+    max_log2_fanout: int = 6
+    max_nodes: int = 2_000_000
+
+
+class _Builder:
+    def __init__(self, params: HyperCutsParams) -> None:
+        self.params = params
+        self.nodes: list[_Internal | _Leaf] = []
+        self.memo: dict[tuple, int] = {}
+
+    def intern(self, node: _Internal | _Leaf) -> int:
+        node_id = len(self.nodes)
+        if node_id >= self.params.max_nodes:
+            raise MemoryError(
+                f"HyperCuts build exceeded max_nodes={self.params.max_nodes}"
+            )
+        self.nodes.append(node)
+        return node_id
+
+    @staticmethod
+    def _covers(rule: FlatRule, widths: Sequence[int]) -> bool:
+        for fld in range(NUM_FIELDS):
+            if rule[1 + 2 * fld] != 0 or rule[2 + 2 * fld] != (1 << widths[fld]) - 1:
+                return False
+        return True
+
+    def _prune(self, rules: tuple[FlatRule, ...],
+               widths: Sequence[int]) -> tuple[FlatRule, ...]:
+        for idx, rule in enumerate(rules):
+            if self._covers(rule, widths):
+                return rules[: idx + 1]
+        return rules
+
+    def _select_dimensions(self, rules: tuple[FlatRule, ...],
+                           widths: Sequence[int]) -> list[int]:
+        """Dims with above-mean distinct projections (HyperCuts rule)."""
+        distinct = {}
+        for fld in range(NUM_FIELDS):
+            if widths[fld] == 0:
+                continue
+            pos = 1 + 2 * fld
+            count = len({(r[pos], r[pos + 1]) for r in rules})
+            if count > 1:
+                distinct[fld] = count
+        if not distinct:
+            return [fld for fld in range(NUM_FIELDS) if widths[fld] > 0][:1]
+        mean = sum(distinct.values()) / len(distinct)
+        chosen = [fld for fld, count in distinct.items() if count >= mean]
+        return chosen or list(distinct)
+
+    def _choose_cuts(self, rules: tuple[FlatRule, ...], dims: list[int],
+                     widths: Sequence[int]) -> dict[int, int]:
+        """Grow per-dim log2 cut counts round-robin under the budget."""
+        n = len(rules)
+        budget = self.params.spfac * max(n, 1)
+        lgs = {fld: 0 for fld in dims}
+
+        def space_measure() -> float:
+            total = 1
+            for lg in lgs.values():
+                total <<= lg
+            for rule in rules:
+                spans = 1
+                for fld, lg in lgs.items():
+                    shift = widths[fld] - lg
+                    pos = 1 + 2 * fld
+                    spans *= (rule[pos + 1] >> shift) - (rule[pos] >> shift) + 1
+                total += spans
+            return total
+
+        # Seed with one cut on the widest selected dim, then grow.
+        order = sorted(dims, key=lambda fld: -widths[fld])
+        progressed = True
+        while progressed and sum(lgs.values()) < self.params.max_log2_fanout:
+            progressed = False
+            for fld in order:
+                if lgs[fld] >= widths[fld]:
+                    continue
+                if sum(lgs.values()) >= self.params.max_log2_fanout:
+                    break
+                lgs[fld] += 1
+                if space_measure() > budget and sum(lgs.values()) > 1:
+                    lgs[fld] -= 1
+                else:
+                    progressed = True
+        if all(lg == 0 for lg in lgs.values()):
+            lgs[order[0]] = 1
+        return {fld: lg for fld, lg in lgs.items() if lg > 0}
+
+    def build(self, rules: tuple[FlatRule, ...],
+              widths: tuple[int, ...]) -> int:
+        rules = self._prune(rules, widths)
+        if not rules:
+            return REF_NO_MATCH
+        is_point = all(w == 0 for w in widths)
+        if (len(rules) <= self.params.binth or is_point
+                or self._covers(rules[0], widths)):
+            key = ("leaf", tuple(r[0] for r in rules))
+            cached = self.memo.get(key)
+            if cached is not None:
+                return cached
+            node_id = self.intern(_Leaf(tuple(r[0] for r in rules)))
+            self.memo[key] = node_id
+            return node_id
+
+        key = (widths, rules)
+        cached = self.memo.get(key)
+        if cached is not None:
+            return cached
+
+        dims = self._select_dimensions(rules, widths)
+        lgs_map = self._choose_cuts(rules, dims, widths)
+        cut_dims = tuple(sorted(lgs_map))
+        lgs = tuple(lgs_map[fld] for fld in cut_dims)
+        shifts = tuple(widths[fld] - lg for fld, lg in zip(cut_dims, lgs))
+        child_widths = list(widths)
+        for fld, shift in zip(cut_dims, shifts):
+            child_widths[fld] = shift
+        child_widths_t = tuple(child_widths)
+
+        # Per-dim uniform runs, then their Cartesian product: children
+        # inside one run-combination share identical projections.
+        per_dim_runs: list[list[int]] = []
+        for fld, lg, shift in zip(cut_dims, lgs, shifts):
+            nchildren = 1 << lg
+            pos = 1 + 2 * fld
+            crit = {0, nchildren}
+            for rule in rules:
+                k_lo = rule[pos] >> shift
+                k_hi = rule[pos + 1] >> shift
+                crit.update((k_lo, k_lo + 1, k_hi, k_hi + 1))
+            starts = sorted(c for c in crit if 0 <= c < nchildren)
+            starts.append(nchildren)
+            per_dim_runs.append(starts)
+
+        total_lg = sum(lgs)
+        refs = [REF_NO_MATCH] * (1 << total_lg)
+        self._fill(rules, cut_dims, lgs, shifts, per_dim_runs, 0, [],
+                   child_widths_t, refs)
+
+        node_id = self.intern(_Internal(cut_dims, lgs, shifts, tuple(refs)))
+        self.memo[key] = node_id
+        return node_id
+
+    def _fill(self, rules, cut_dims, lgs, shifts, per_dim_runs, depth,
+              chosen_runs, child_widths, refs) -> None:
+        """Recurse over run combinations; fill every covered child slot."""
+        if depth == len(cut_dims):
+            child_rules: list[FlatRule] = []
+            for rule in rules:
+                clipped = rule
+                alive = True
+                for fld, shift, (start, _end) in zip(cut_dims, shifts, chosen_runs):
+                    pos = 1 + 2 * fld
+                    lo, hi = clipped[pos], clipped[pos + 1]
+                    base = start << shift
+                    top = base + (1 << shift) - 1
+                    if lo > top or hi < base:
+                        alive = False
+                        break
+                    clip_lo = lo - base if lo > base else 0
+                    clip_hi = hi - base if hi < top else (1 << shift) - 1
+                    clipped = clipped[:pos] + (clip_lo, clip_hi) + clipped[pos + 2:]
+                if not alive:
+                    continue
+                child_rules.append(clipped)
+                if self._covers(clipped, child_widths):
+                    break
+            ref = self.build(tuple(child_rules), child_widths)
+            # Write the ref into every child slot of this run-combination.
+            self._assign(refs, lgs, chosen_runs, 0, 0, ref)
+            return
+        starts = per_dim_runs[depth]
+        for idx in range(len(starts) - 1):
+            chosen_runs.append((starts[idx], starts[idx + 1]))
+            self._fill(rules, cut_dims, lgs, shifts, per_dim_runs, depth + 1,
+                       chosen_runs, child_widths, refs)
+            chosen_runs.pop()
+
+    def _assign(self, refs, lgs, chosen_runs, depth, base, ref) -> None:
+        if depth == len(lgs):
+            refs[base] = ref
+            return
+        remaining_lg = sum(lgs[depth + 1:])
+        start, end = chosen_runs[depth]
+        for k in range(start, end):
+            self._assign(refs, lgs, chosen_runs, depth + 1,
+                         base | (k << remaining_lg), ref)
+
+
+class HyperCutsClassifier(PacketClassifier):
+    """Multi-dimensional cutting with leaf linear search."""
+
+    name = "hypercuts"
+
+    def __init__(self, ruleset: RuleSet, nodes, root_ref: int,
+                 params: HyperCutsParams) -> None:
+        super().__init__(ruleset)
+        self.nodes = nodes
+        self.root_ref = root_ref
+        self.params = params
+        self._tree_words, self._node_offsets = self._layout_words()
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, binth: int = 8, spfac: float = 4.0,
+              max_log2_fanout: int = 6,
+              max_nodes: int = 2_000_000) -> "HyperCutsClassifier":
+        params = HyperCutsParams(binth=binth, spfac=spfac,
+                                 max_log2_fanout=max_log2_fanout,
+                                 max_nodes=max_nodes)
+        builder = _Builder(params)
+        root = builder.build(flat_projection(ruleset), tuple(FIELD_WIDTHS))
+        return cls(ruleset, builder.nodes, root, params)
+
+    def _layout_words(self) -> tuple[int, dict[int, int]]:
+        offsets: dict[int, int] = {}
+        cursor = 0
+        for node_id, node in enumerate(self.nodes):
+            offsets[node_id] = cursor
+            if isinstance(node, _Internal):
+                # Header: 1 word for dims/lgs descriptor + per-dim origin
+                # bookkeeping folded into the pointer array.
+                cursor += 1 + len(node.children)
+            else:
+                cursor += 1 + RULE_WORDS * len(node.rule_ids)
+        return cursor, offsets
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        # Monolithic, like HiCuts (see that module's docstring).
+        return [MemoryRegion("tree", self._tree_words, 1.0)]
+
+    def _walk(self, header: Sequence[int]):
+        reads: list[MemRead] = []
+        ref = self.root_ref
+        origin = [0] * NUM_FIELDS
+        pending = 2
+        while True:
+            if ref == REF_NO_MATCH:
+                return None, reads
+            node = self.nodes[ref]
+            addr = self._node_offsets[ref]
+            reads.append(MemRead("tree", addr, 1, pending))
+            if isinstance(node, _Leaf):
+                return node, reads
+            index = 0
+            compute = 0
+            for fld, lg, shift in zip(node.dims, node.lgs, node.shifts):
+                local = header[fld] - origin[fld]
+                k = local >> shift
+                index = (index << lg) | k
+                compute += DIM_INDEX_CYCLES
+            reads.append(MemRead("tree", addr + 1 + index, 1, compute))
+            for fld, shift in zip(node.dims, node.shifts):
+                local = header[fld] - origin[fld]
+                origin[fld] += (local >> shift) << shift
+            ref = node.children[index]
+            pending = 2
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        leaf, _ = self._walk(header)
+        if leaf is None:
+            return None
+        for rule_id in leaf.rule_ids:
+            if self.ruleset[rule_id].matches(header):
+                return rule_id
+        return None
+
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        leaf, reads = self._walk(header)
+        result = None
+        if leaf is not None:
+            leaf_addr = reads[-1].addr if reads else 0
+            for slot, rule_id in enumerate(leaf.rule_ids):
+                reads.append(MemRead("tree", leaf_addr + 1 + slot * RULE_WORDS,
+                                     RULE_WORDS, RULE_COMPARE_CYCLES))
+                if self.ruleset[rule_id].matches(header):
+                    result = rule_id
+                    break
+        return LookupTrace(tuple(reads), compute_after=RULE_COMPARE_CYCLES,
+                           result=result)
+
+    def depth(self) -> int:
+        def node_depth(ref: int, seen: dict[int, int]) -> int:
+            if ref < 0:
+                return 0
+            if ref in seen:
+                return seen[ref]
+            node = self.nodes[ref]
+            seen[ref] = 0
+            if isinstance(node, _Leaf):
+                depth = 1
+            else:
+                depth = 1 + max(node_depth(c, seen) for c in node.children)
+            seen[ref] = depth
+            return depth
+
+        return node_depth(self.root_ref, {})
+
+    def leaf_sizes(self) -> list[int]:
+        return [len(n.rule_ids) for n in self.nodes if isinstance(n, _Leaf)]
+
+    def mean_dims_cut(self) -> float:
+        """Average number of dimensions cut per internal node (> 1 is
+        what distinguishes HyperCuts from HiCuts)."""
+        internal = [n for n in self.nodes if isinstance(n, _Internal)]
+        if not internal:
+            return 0.0
+        return sum(len(n.dims) for n in internal) / len(internal)

@@ -1,0 +1,83 @@
+"""Linear search — the semantic ground truth and cost yardstick.
+
+Every rule occupies the paper's 6 consecutive 32-bit words (two IPs, two
+port ranges packed, protocol+action, priority/metadata), and a lookup
+reads rule entries in priority order until one matches — exactly the
+per-leaf behaviour HiCuts relies on and ExpCuts eliminates (§4.2.1,
+Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import LookupTrace, MemRead
+from ..core.rule import RuleSet
+from .base import MemoryRegion, PacketClassifier
+
+#: SRAM words per stored rule (paper §6.6: "6 consecutive 32-bits words").
+RULE_WORDS = 6
+
+#: ME cycles to compare one loaded rule against header registers
+#: (5 range compares + branch).
+RULE_COMPARE_CYCLES = 12
+
+
+class LinearSearchClassifier(PacketClassifier):
+    """Priority-ordered scan of the whole rule table."""
+
+    name = "linear"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        super().__init__(ruleset)
+        # Vectorized bounds for classify_batch: (num_rules, 5) lo/hi.
+        self._lo = np.array(
+            [[iv.lo for iv in r.intervals] for r in ruleset.rules], dtype=np.int64
+        ).reshape(len(ruleset), 5)
+        self._hi = np.array(
+            [[iv.hi for iv in r.intervals] for r in ruleset.rules], dtype=np.int64
+        ).reshape(len(ruleset), 5)
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, **params) -> "LinearSearchClassifier":
+        if params:
+            raise TypeError(f"unexpected parameters: {sorted(params)}")
+        return cls(ruleset)
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        return self.ruleset.first_match(header)
+
+    def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
+        n = len(fields[0])
+        if not len(self.ruleset):
+            return np.full(n, -1, dtype=np.int64)
+        headers = np.stack(
+            [np.asarray(f, dtype=np.int64) for f in fields], axis=1
+        )  # (n, 5)
+        # (n, rules, 5) broadcast compare; fine for oracle-scale data.
+        matches = (
+            (headers[:, None, :] >= self._lo[None, :, :])
+            & (headers[:, None, :] <= self._hi[None, :, :])
+        ).all(axis=2)
+        any_match = matches.any(axis=1)
+        first = matches.argmax(axis=1)
+        return np.where(any_match, first, -1).astype(np.int64)
+
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        reads = []
+        result = None
+        for idx, rule in enumerate(self.ruleset.rules):
+            reads.append(
+                MemRead("rules", idx * RULE_WORDS, RULE_WORDS,
+                        RULE_COMPARE_CYCLES if idx else 2)
+            )
+            if rule.matches(header):
+                result = idx
+                break
+        return LookupTrace(tuple(reads), compute_after=RULE_COMPARE_CYCLES,
+                           result=result)
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        return [MemoryRegion("rules", len(self.ruleset) * RULE_WORDS, 1.0)]

@@ -1,0 +1,253 @@
+"""RFC (Recursive Flow Classification) — Gupta & McKeown, SIGCOMM 1999.
+
+The other field-independent scheme the paper cites alongside HSM (§2).
+Instead of binary searches, RFC direct-indexes *chunk* tables (16-bit
+header chunks), then folds chunk equivalence classes through a reduction
+tree::
+
+    sip_hi ──┐
+             ├─ A ─┐
+    sip_lo ──┘     │
+    dip_hi ──┐     ├─ D ─┐
+             ├─ B ─┘     │
+    dip_lo ──┘           ├─ F ──> matched rule
+    sport ──┐            │
+            ├─ C ─ E ────┘   (E = C × proto)
+    dport ──┘
+
+Lookup is a fixed 13 single-word reads (7 chunk indexes + 4 combination
+tables + 2 pipeline/result words as modelled); memory is the largest of
+all algorithms here — the classic RFC trade, which is why it serves as
+the memory-extreme point in the extension benchmarks.
+
+IP chunking note: splitting a 32-bit field into two 16-bit chunks is only
+product-exact when the field constraint is a *prefix*.  Arbitrary IP
+ranges are therefore decomposed into their minimal prefix cover (at most
+62 prefixes) and the rule is expanded into one *sub-rule per
+(sip-prefix, dip-prefix) pair*, each carrying its own mask bit.  Merging
+the prefixes into a single rule bit would be unsound: a header could
+match one prefix's high chunk and a different prefix's low chunk — the
+final stage maps sub-rule bits back to rule ids instead.  Sub-rule bits
+are allocated in rule-priority order, so "lowest set bit" remains
+"highest-priority match".  For real (prefix-constrained) rule sets the
+expansion is exactly one sub-rule per rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import LookupTrace, MemRead
+from ..core.fields import Field
+from ..core.interval import Interval, interval_to_prefixes, prefix_to_interval
+from ..core.rule import RuleSet
+from .base import MemoryRegion, PacketClassifier
+from ._bitmask import cross_product, dedupe_masks, masks_to_rule_ids, words_for
+
+#: Cycles to form a direct chunk index (shift + mask).
+CHUNK_INDEX_CYCLES = 2
+#: Cycles to form a combination-table index (multiply-add).
+TABLE_INDEX_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    """One phase-0 chunk: which field supplies it and how to extract it."""
+
+    label: str
+    field: Field
+    shift: int
+    bits: int
+
+
+CHUNKS: tuple[_Chunk, ...] = (
+    _Chunk("sip_hi", Field.SIP, 16, 16),
+    _Chunk("sip_lo", Field.SIP, 0, 16),
+    _Chunk("dip_hi", Field.DIP, 16, 16),
+    _Chunk("dip_lo", Field.DIP, 0, 16),
+    _Chunk("sport", Field.SPORT, 0, 16),
+    _Chunk("dport", Field.DPORT, 0, 16),
+    _Chunk("proto", Field.PROTO, 0, 8),
+)
+
+
+def _expand_subrules(ruleset: RuleSet) -> tuple[list[tuple[int, Interval, Interval]], np.ndarray]:
+    """Expand each rule into (sip-prefix x dip-prefix) sub-rules.
+
+    Returns the sub-rule list — ``(rule_id, sip_block, dip_block)`` in
+    rule-priority order — and the sub-rule -> rule id mapping array.
+    """
+    subrules: list[tuple[int, Interval, Interval]] = []
+    owners: list[int] = []
+    for rule_id, rule in enumerate(ruleset.rules):
+        sip_blocks = [
+            prefix_to_interval(value, plen, 32)
+            for value, plen in interval_to_prefixes(rule.intervals[Field.SIP], 32)
+        ]
+        dip_blocks = [
+            prefix_to_interval(value, plen, 32)
+            for value, plen in interval_to_prefixes(rule.intervals[Field.DIP], 32)
+        ]
+        for sip_block in sip_blocks:
+            for dip_block in dip_blocks:
+                subrules.append((rule_id, sip_block, dip_block))
+                owners.append(rule_id)
+    return subrules, np.array(owners, dtype=np.int64)
+
+
+def _split_block(block: Interval, want_high: bool) -> tuple[int, int]:
+    """Project an aligned 32-bit block onto its 16-bit half chunk."""
+    if want_high:
+        return block.lo >> 16, block.hi >> 16
+    if block.size > (1 << 16):
+        return 0, 0xFFFF  # low half unconstrained for short prefixes
+    return block.lo & 0xFFFF, block.hi & 0xFFFF
+
+
+def _chunk_masks(ruleset: RuleSet) -> tuple[list[np.ndarray], np.ndarray]:
+    """Phase-0 sub-rule masks per chunk value (product-exact by
+    construction; see the module docstring)."""
+    subrules, owners = _expand_subrules(ruleset)
+    num_bits = len(subrules)
+    w = words_for(num_bits)
+    out: list[np.ndarray] = []
+    for chunk in CHUNKS:
+        size = 1 << chunk.bits
+        masks = np.zeros((size, w), dtype=np.uint64)
+        for sub_id, (rule_id, sip_block, dip_block) in enumerate(subrules):
+            bit = np.uint64(1 << (sub_id & 63))
+            word = sub_id >> 6
+            if chunk.field == Field.SIP:
+                lo, hi = _split_block(sip_block, chunk.shift == 16)
+            elif chunk.field == Field.DIP:
+                lo, hi = _split_block(dip_block, chunk.shift == 16)
+            else:
+                iv = ruleset[rule_id].intervals[chunk.field]
+                lo, hi = iv.lo, iv.hi
+            masks[lo:hi + 1, word] |= bit
+        out.append(masks)
+    return out, owners
+
+
+class RFCClassifier(PacketClassifier):
+    """Direct-indexed recursive flow classification."""
+
+    name = "rfc"
+
+    def __init__(self, ruleset: RuleSet, chunk_tables: list[np.ndarray],
+                 a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                 d: np.ndarray, e: np.ndarray, f_rule: np.ndarray) -> None:
+        super().__init__(ruleset)
+        self.chunk_tables = chunk_tables
+        self.a, self.b, self.c, self.d, self.e = a, b, c, d, e
+        self.f_rule = f_rule
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, **params) -> "RFCClassifier":
+        if params:
+            raise TypeError(f"unexpected parameters: {sorted(params)}")
+        raw, owners = _chunk_masks(ruleset)
+        chunk_tables: list[np.ndarray] = []
+        chunk_cls_masks: list[np.ndarray] = []
+        for masks in raw:
+            ids, cls_masks = dedupe_masks(masks)
+            chunk_tables.append(ids)
+            chunk_cls_masks.append(cls_masks)
+        m = dict(zip((c.label for c in CHUNKS), chunk_cls_masks))
+        a, ma = cross_product(m["sip_hi"], m["sip_lo"])
+        b, mb = cross_product(m["dip_hi"], m["dip_lo"])
+        c, mc = cross_product(m["sport"], m["dport"])
+        d, md = cross_product(ma, mb)
+        e, me = cross_product(mc, m["proto"])
+        f, mf = cross_product(md, me)
+        sub_first = masks_to_rule_ids(mf)  # first-match *sub-rule* ids
+        if len(owners):
+            f_rule = np.where(sub_first >= 0, owners[sub_first], -1)[f]
+        else:
+            f_rule = np.full_like(f, -1)
+        return cls(ruleset, chunk_tables, a, b, c, d, e, f_rule)
+
+    # -- lookup -------------------------------------------------------------
+
+    def _chunk_classes(self, header: Sequence[int]) -> list[int]:
+        out = []
+        for chunk, table in zip(CHUNKS, self.chunk_tables):
+            value = (header[chunk.field] >> chunk.shift) & ((1 << chunk.bits) - 1)
+            out.append(int(table[value]))
+        return out
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        k = self._chunk_classes(header)
+        ca = int(self.a[k[0], k[1]])
+        cb = int(self.b[k[2], k[3]])
+        cc = int(self.c[k[4], k[5]])
+        cd = int(self.d[ca, cb])
+        ce = int(self.e[cc, k[6]])
+        rule = int(self.f_rule[cd, ce])
+        return None if rule < 0 else rule
+
+    def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
+        ks = []
+        for chunk, table in zip(CHUNKS, self.chunk_tables):
+            values = (
+                np.asarray(fields[chunk.field], dtype=np.int64) >> chunk.shift
+            ) & ((1 << chunk.bits) - 1)
+            ks.append(table[values])
+        ca = self.a[ks[0], ks[1]]
+        cb = self.b[ks[2], ks[3]]
+        cc = self.c[ks[4], ks[5]]
+        cd = self.d[ca, cb]
+        ce = self.e[cc, ks[6]]
+        return self.f_rule[cd, ce].astype(np.int64)
+
+    # -- characterisation -----------------------------------------------------
+
+    def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        reads: list[MemRead] = []
+        k = []
+        pending = 2
+        for chunk, table in zip(CHUNKS, self.chunk_tables):
+            value = (header[chunk.field] >> chunk.shift) & ((1 << chunk.bits) - 1)
+            reads.append(MemRead(f"chunk:{chunk.label}", value, 1,
+                                 pending + CHUNK_INDEX_CYCLES))
+            pending = 0
+            k.append(int(table[value]))
+        ca = int(self.a[k[0], k[1]])
+        reads.append(MemRead("rfc:a", k[0] * self.a.shape[1] + k[1], 1,
+                             TABLE_INDEX_CYCLES))
+        cb = int(self.b[k[2], k[3]])
+        reads.append(MemRead("rfc:b", k[2] * self.b.shape[1] + k[3], 1,
+                             TABLE_INDEX_CYCLES))
+        cc = int(self.c[k[4], k[5]])
+        reads.append(MemRead("rfc:c", k[4] * self.c.shape[1] + k[5], 1,
+                             TABLE_INDEX_CYCLES))
+        cd = int(self.d[ca, cb])
+        reads.append(MemRead("rfc:d", ca * self.d.shape[1] + cb, 1,
+                             TABLE_INDEX_CYCLES))
+        ce = int(self.e[cc, k[6]])
+        reads.append(MemRead("rfc:e", cc * self.e.shape[1] + k[6], 1,
+                             TABLE_INDEX_CYCLES))
+        rule = int(self.f_rule[cd, ce])
+        reads.append(MemRead("rfc:f", cd * self.f_rule.shape[1] + ce, 1,
+                             TABLE_INDEX_CYCLES))
+        return LookupTrace(tuple(reads), compute_after=2,
+                           result=None if rule < 0 else rule)
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        total_reads = len(CHUNKS) + 6
+        regions = [
+            MemoryRegion(f"chunk:{chunk.label}", int(table.size), 1 / total_reads)
+            for chunk, table in zip(CHUNKS, self.chunk_tables)
+        ]
+        for name, table in (("rfc:a", self.a), ("rfc:b", self.b), ("rfc:c", self.c),
+                            ("rfc:d", self.d), ("rfc:e", self.e),
+                            ("rfc:f", self.f_rule)):
+            regions.append(MemoryRegion(name, int(table.size), 1 / total_reads))
+        return regions
+
+    def worst_case_accesses(self) -> int:
+        """Fixed by construction: one read per chunk plus one per table."""
+        return len(CHUNKS) + 6

@@ -1,0 +1,186 @@
+"""Incremental rule updates over rebuild-based classifiers.
+
+Decision-tree and cross-producting structures are built for lookup speed,
+not mutation — on the paper's platform the XScale control core rebuilds
+the structure and hot-swaps the SRAM image while microengines keep
+classifying.  This module packages that standard production scheme:
+
+* inserts land in a small linear **overlay** consulted alongside the
+  compiled base structure (priority-correct merge);
+* deletes **tombstone** rules; if a lookup's base result is tombstoned the
+  slow path (priority scan of the live snapshot) answers exactly;
+* once the overlay or tombstone count crosses ``rebuild_threshold`` the
+  base classifier is **rebuilt** from the live rule list (the hot-swap).
+
+Semantics are always exact first-match over the *current* rule list —
+``tests/classifiers/test_updates.py`` drives random update/lookup
+sequences against the linear oracle, including a hypothesis state
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Type
+
+from ..core.rule import Rule, RuleSet
+from .base import PacketClassifier
+
+
+@dataclass
+class UpdateStats:
+    """Operation counters (exposed so tests/benchmarks can see the
+    fast/slow path split)."""
+
+    inserts: int = 0
+    removes: int = 0
+    rebuilds: int = 0
+    base_hits: int = 0
+    overlay_hits: int = 0
+    slow_path_lookups: int = 0
+
+
+@dataclass
+class _OverlayEntry:
+    rule: Rule
+    #: Priority expressed as position in the live rule order.
+    position: int
+
+
+class UpdatableClassifier:
+    """First-match classification with insert/remove over any base
+    :class:`PacketClassifier`."""
+
+    def __init__(self, ruleset: RuleSet,
+                 base_class: Type[PacketClassifier],
+                 rebuild_threshold: int = 32,
+                 **build_params) -> None:
+        if rebuild_threshold < 1:
+            raise ValueError("rebuild_threshold must be >= 1")
+        self.base_class = base_class
+        self.build_params = build_params
+        self.rebuild_threshold = rebuild_threshold
+        self.rules: list[Rule] = list(ruleset.rules)
+        self.name = f"updatable({base_class.name})"
+        self.stats = UpdateStats()
+        self._rebuild()
+
+    # -- structure maintenance ------------------------------------------------
+
+    def _rebuild(self) -> None:
+        self._snapshot = list(self.rules)
+        self.base = self.base_class.build(
+            RuleSet(self._snapshot, name="snapshot"), **self.build_params
+        )
+        # snapshot index -> current index (None once deleted).
+        self._snapshot_to_current: list[int | None] = list(range(len(self._snapshot)))
+        self._overlay: list[_OverlayEntry] = []
+        self._tombstones = 0
+        self.stats.rebuilds += 1
+
+    def _maybe_rebuild(self) -> None:
+        if len(self._overlay) + self._tombstones >= self.rebuild_threshold:
+            self._rebuild()
+
+    @property
+    def pending_updates(self) -> int:
+        """Updates absorbed since the last rebuild (overlay + tombstones)."""
+        return len(self._overlay) + self._tombstones
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, rule: Rule, position: int | None = None) -> int:
+        """Insert ``rule`` at priority ``position`` (default: lowest).
+
+        Returns the position actually used.
+        """
+        if position is None:
+            position = len(self.rules)
+        if not 0 <= position <= len(self.rules):
+            raise IndexError(f"position {position} out of range")
+        self.rules.insert(position, rule)
+        # Every live reference at or after the slot shifts down one.
+        for idx, current in enumerate(self._snapshot_to_current):
+            if current is not None and current >= position:
+                self._snapshot_to_current[idx] = current + 1
+        for entry in self._overlay:
+            if entry.position >= position:
+                entry.position += 1
+        self._overlay.append(_OverlayEntry(rule, position))
+        self.stats.inserts += 1
+        self._maybe_rebuild()
+        return position
+
+    def remove(self, position: int) -> Rule:
+        """Remove the rule at priority ``position``; returns it."""
+        if not 0 <= position < len(self.rules):
+            raise IndexError(f"position {position} out of range")
+        removed = self.rules.pop(position)
+        kept_overlay = []
+        dropped_from_overlay = False
+        for entry in self._overlay:
+            if entry.position == position and not dropped_from_overlay:
+                dropped_from_overlay = True
+                continue
+            if entry.position > position:
+                entry.position -= 1
+            kept_overlay.append(entry)
+        self._overlay = kept_overlay
+        if not dropped_from_overlay:
+            # The victim lives in the base snapshot: tombstone it.
+            for idx, current in enumerate(self._snapshot_to_current):
+                if current == position:
+                    self._snapshot_to_current[idx] = None
+                    self._tombstones += 1
+                    break
+        for idx, current in enumerate(self._snapshot_to_current):
+            if current is not None and current > position:
+                self._snapshot_to_current[idx] = current - 1
+        self.stats.removes += 1
+        self._maybe_rebuild()
+        return removed
+
+    def rebuild(self) -> None:
+        """Force the hot-swap rebuild immediately."""
+        self._rebuild()
+
+    # -- lookup -----------------------------------------------------------------
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        """Index of the first matching rule in the *current* rule order."""
+        best: int | None = None
+        for entry in self._overlay:
+            if entry.rule.matches(header):
+                if best is None or entry.position < best:
+                    best = entry.position
+        base_hit = self.base.classify(header)
+        if base_hit is not None:
+            current = self._snapshot_to_current[base_hit]
+            if current is None:
+                # Tombstoned winner: the base cannot reveal its runner-up,
+                # so answer from the live rule list (exact, amortised away
+                # by the rebuild threshold).
+                self.stats.slow_path_lookups += 1
+                scan = self._scan(header)
+                return scan if best is None else (
+                    min(best, scan) if scan is not None else best
+                )
+            if best is None or current < best:
+                self.stats.base_hits += 1
+                return current
+        if best is not None:
+            self.stats.overlay_hits += 1
+        return best
+
+    def _scan(self, header: Sequence[int]) -> int | None:
+        for idx, rule in enumerate(self.rules):
+            if rule.matches(header):
+                return idx
+        return None
+
+    def current_ruleset(self) -> RuleSet:
+        """The live rule list as a RuleSet (the oracle's view)."""
+        return RuleSet(list(self.rules), name="live")

@@ -1,0 +1,313 @@
+"""ExpCuts (Explicit Cuttings) decision-tree construction — §4.2 of the paper.
+
+ExpCuts departs from HiCuts in two ways that buy an *explicit* worst-case
+search time:
+
+* **Fixed stride.**  Every internal node cuts the current search space into
+  ``2**w`` equal sub-spaces, consuming the concatenated 104-bit header in a
+  fixed field order.  Tree depth is therefore exactly bounded by
+  ``ceil(104 / w)`` (13 levels for ``w = 8``) — no data-dependent depth.
+* **No leaf linear search.**  Cutting continues until the highest-priority
+  rule intersecting a sub-space *covers* it entirely (equivalent to
+  ``binth = 1``), so a leaf stores a single rule id and classification
+  never scans rule lists.
+
+Both choices would explode memory with naive ``2**w``-entry pointer arrays;
+the HABS + CPA aggregation of :mod:`repro.core.habs` recovers it (Figure 6
+measures the effect).
+
+Soundness of node sharing
+-------------------------
+Child nodes are hash-consed on ``(level, projected-rule list)`` where each
+rule is clipped to the child box and translated to the box origin.
+Because every cut below a node depends only on not-yet-consumed header
+bits — i.e. only on box-relative coordinates — equal projections provably
+induce equal subtrees, so sharing cannot change classification results.
+(Sharing on rule-id sets alone, a tempting shortcut, is *unsound* for
+ranges that cover siblings partially; ``tests/core/test_expcuts.py``
+contains the counterexample.)
+
+Builder performance
+-------------------
+Two properties keep construction polynomial in practice (profiled per the
+optimisation-workflow guide; the naive per-child partition was ~50×
+slower):
+
+* **Run-based partition.**  On the cut field, each rule occupies a
+  contiguous span of children and is clipped only at its two boundary
+  children, so children between consecutive span endpoints have
+  *identical* projections.  The builder enumerates those uniform runs
+  (≤ ``4·N + 1``, capped at ``2**w``) and builds one child per run.
+* **Flat projections.**  A projected rule is a flat 11-int tuple
+  ``(rule_id, lo0, hi0, …, lo4, hi4)`` — cheap to hash for the memo, cheap
+  to clip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Sequence
+
+from .fields import CutStep, FIELD_WIDTHS, NUM_FIELDS, cut_schedule
+from .habs import HabsArray, compress
+from .rule import RuleSet
+
+#: Builder-level reference encoding: non-negative = internal node id,
+#: negative = leaf.  ``REF_NO_MATCH`` is the empty leaf; other leaves
+#: encode ``-(rule_id + 2)``.
+REF_NO_MATCH = -1
+
+#: A flat projected rule: (rule_id, lo0, hi0, lo1, hi1, ..., lo4, hi4).
+FlatRule = tuple[int, ...]
+
+
+def leaf_ref(rule_id: int) -> int:
+    """Encode a matched-rule leaf reference."""
+    return -(rule_id + 2)
+
+
+def ref_rule_id(ref: int) -> int | None:
+    """Decode a leaf reference; ``None`` for the no-match leaf."""
+    if ref >= 0:
+        raise ValueError("not a leaf reference")
+    if ref == REF_NO_MATCH:
+        return None
+    return -ref - 2
+
+
+def flat_projection(ruleset: RuleSet) -> tuple[FlatRule, ...]:
+    """Root projections of all rules as flat tuples."""
+    flat = []
+    for rule_id, rule in enumerate(ruleset.rules):
+        row: list[int] = [rule_id]
+        for iv in rule.intervals:
+            row.append(iv.lo)
+            row.append(iv.hi)
+        flat.append(tuple(row))
+    return tuple(flat)
+
+
+@dataclass(frozen=True)
+class InternalNode:
+    """One internal tree node: its level and its compressed child refs."""
+
+    level: int
+    children: HabsArray
+
+
+@dataclass
+class ExpCutsTree:
+    """A built ExpCuts decision tree (pre-layout intermediate form)."""
+
+    stride: int
+    habs_bits_log2: int
+    schedule: list[CutStep]
+    nodes: list[InternalNode]
+    root_ref: int
+    num_rules: int
+    #: Build-time statistics (nodes visited, memo hits, ...).
+    build_stats: dict = dc_field(default_factory=dict)
+
+    @property
+    def depth_bound(self) -> int:
+        """The explicit worst-case number of levels, ``len(schedule)``."""
+        return len(self.schedule)
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        """Reference (IR-level) lookup; returns a rule id or ``None``.
+
+        The production path is :class:`repro.core.engine.ExpCutsEngine`
+        over the packed word image — this walk exists so the tree can be
+        validated independently of the layout.
+        """
+        ref = self.root_ref
+        while ref >= 0:
+            node = self.nodes[ref]
+            step = self.schedule[node.level]
+            key = (header[step.field] >> step.shift) & ((1 << step.width) - 1)
+            ref = node.children.lookup(key)
+        return ref_rule_id(ref)
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def level_histogram(self) -> dict[int, int]:
+        """Number of internal nodes per level."""
+        hist: dict[int, int] = {}
+        for node in self.nodes:
+            hist[node.level] = hist.get(node.level, 0) + 1
+        return hist
+
+    def max_depth(self) -> int:
+        """Deepest level that actually holds a node, plus one."""
+        if not self.nodes:
+            return 0
+        return max(node.level for node in self.nodes) + 1
+
+
+@dataclass
+class ExpCutsConfig:
+    """Build parameters.
+
+    ``stride``
+        Bits consumed per level (the paper's ``w``; default 8 → 13 levels).
+    ``habs_bits_log2``
+        The paper's ``v``: the HABS has ``2**v`` bits (default 4 → the
+        16-bit HABS that fits one word beside the cut info, Figure 4).
+        For levels narrower than ``v`` bits the effective ``v`` shrinks to
+        the level width.
+    ``max_nodes``
+        Safety valve against pathological rule sets.
+    """
+
+    stride: int = 8
+    habs_bits_log2: int = 4
+    max_nodes: int = 4_000_000
+
+
+def _remaining_widths(schedule: Sequence[CutStep]) -> list[tuple[int, ...]]:
+    """Per level, the remaining (not yet consumed) bit width of each field
+    *before* that level's cut, in node-normalised coordinates."""
+    widths = list(FIELD_WIDTHS)
+    out: list[tuple[int, ...]] = []
+    for step in schedule:
+        out.append(tuple(widths))
+        widths[step.field] -= step.width
+    out.append(tuple(widths))  # after the last level: all zeros
+    return out
+
+
+class _Builder:
+    """Recursive hash-consing builder (one instance per build call)."""
+
+    def __init__(self, config: ExpCutsConfig) -> None:
+        self.config = config
+        self.schedule = cut_schedule(config.stride)
+        self.widths = _remaining_widths(self.schedule)
+        # Per level, per field: the "full range" (lo, hi) pair used by the
+        # cover tests, precomputed once.
+        self.full_hi = [
+            tuple((1 << w) - 1 for w in widths) for widths in self.widths
+        ]
+        self.nodes: list[InternalNode] = []
+        self.memo: dict[tuple, int] = {}
+        self.memo_hits = 0
+        self.child_evals = 0
+
+    def full_cover(self, rule: FlatRule, level: int) -> bool:
+        full = self.full_hi[level]
+        for fld in range(NUM_FIELDS):
+            if rule[1 + 2 * fld] != 0 or rule[2 + 2 * fld] != full[fld]:
+                return False
+        return True
+
+    def build(self, level: int, rules: tuple[FlatRule, ...]) -> int:
+        if not rules:
+            return REF_NO_MATCH
+        if self.full_cover(rules[0], level):
+            # The highest-priority rule intersecting this box covers it:
+            # every point here matches it first.  This is the paper's
+            # "sub-space full-covered by a certain set of rules" leaf.
+            return leaf_ref(rules[0][0])
+        if level == len(self.schedule):
+            # All 104 bits consumed: the box is a single header point, so
+            # intersecting == matching and the first rule wins.
+            return leaf_ref(rules[0][0])
+
+        key = (level, rules)
+        cached = self.memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+
+        step = self.schedule[level]
+        fld = step.field
+        pos = 1 + 2 * fld
+        width = self.widths[level][fld]
+        shift = width - step.width  # child-local bit count on the cut field
+        nchildren = 1 << step.width
+        child_full = (1 << shift) - 1
+        full_next = self.full_hi[level + 1]
+
+        # Precompute per rule: child span, whether the rule covers the full
+        # remaining range of every non-cut field (for cover detection).
+        spans: list[tuple[int, int, int, int, bool, FlatRule]] = []
+        crit = {0, nchildren}
+        for rule in rules:
+            lo = rule[pos]
+            hi = rule[pos + 1]
+            k_lo = lo >> shift
+            k_hi = hi >> shift
+            others_full = True
+            for other in range(NUM_FIELDS):
+                if other == fld:
+                    continue
+                if rule[1 + 2 * other] != 0 or rule[2 + 2 * other] != full_next[other]:
+                    others_full = False
+                    break
+            spans.append((k_lo, k_hi, lo, hi, others_full, rule))
+            crit.add(k_lo)
+            crit.add(k_lo + 1)
+            crit.add(k_hi)
+            crit.add(k_hi + 1)
+
+        # Children between consecutive critical indices have identical
+        # projections (see module docstring): build one child per run.
+        run_starts = sorted(c for c in crit if 0 <= c < nchildren)
+        run_starts.append(nchildren)
+        refs: list[int] = [REF_NO_MATCH] * nchildren
+        for run_idx in range(len(run_starts) - 1):
+            start = run_starts[run_idx]
+            end = run_starts[run_idx + 1]
+            k = start  # representative child for the whole run
+            base = k << shift
+            top = base + child_full
+            child_rules: list[FlatRule] = []
+            for k_lo, k_hi, lo, hi, others_full, rule in spans:
+                if not k_lo <= k <= k_hi:
+                    continue
+                clip_lo = lo - base if lo > base else 0
+                clip_hi = hi - base if hi < top else child_full
+                child_rules.append(
+                    rule[:pos] + (clip_lo, clip_hi) + rule[pos + 2:]
+                )
+                if others_full and clip_lo == 0 and clip_hi == child_full:
+                    break  # full cover: lower-priority rules are dead here
+            self.child_evals += 1
+            ref = self.build(level + 1, tuple(child_rules))
+            for k2 in range(start, end):
+                refs[k2] = ref
+
+        v = min(self.config.habs_bits_log2, step.width)
+        node_id = len(self.nodes)
+        if node_id >= self.config.max_nodes:
+            raise MemoryError(
+                f"ExpCuts build exceeded max_nodes={self.config.max_nodes}"
+            )
+        self.nodes.append(InternalNode(level, compress(refs, v)))
+        self.memo[key] = node_id
+        return node_id
+
+
+def build_expcuts(ruleset: RuleSet, config: ExpCutsConfig | None = None) -> ExpCutsTree:
+    """Build an ExpCuts tree for ``ruleset``.
+
+    Rules are taken in priority (list) order; returns the tree IR which
+    :mod:`repro.core.layout` packs into the SRAM word image.
+    """
+    config = config or ExpCutsConfig()
+    builder = _Builder(config)
+    root = builder.build(0, flat_projection(ruleset))
+    return ExpCutsTree(
+        stride=config.stride,
+        habs_bits_log2=config.habs_bits_log2,
+        schedule=builder.schedule,
+        nodes=builder.nodes,
+        root_ref=root,
+        num_rules=len(ruleset),
+        build_stats={
+            "memo_hits": builder.memo_hits,
+            "child_evaluations": builder.child_evals,
+            "unique_nodes": len(builder.nodes),
+        },
+    )

@@ -1,0 +1,156 @@
+"""Packing an ExpCuts tree into its 32-bit SRAM word image (Figure 4).
+
+The paper stores each internal node's 16-bit HABS together with its cutting
+information in a single 32-bit long-word, followed by the Compressed
+Pointer Array, "effectively loaded by the word-oriented SRAM controller
+without any excessive memory accesses".  This module produces exactly that
+image as one contiguous ``numpy.uint32`` array per tree level — per-level
+segmentation is what lets :mod:`repro.npsim.allocator` distribute levels
+across SRAM channels (Table 4 / §5.3).
+
+Word formats
+------------
+Node header word::
+
+    bits 31..24   level (validation tag)
+    bits 23..20   u  (log2 sub-array length)
+    bits 19..16   v  (log2 HABS bit count)
+    bits 15..0    HABS (LSB = sub-array 0)
+
+Pointer word::
+
+    bit  31       leaf flag
+    bits 30..0    leaf:     rule_id + 1  (0 means "no match")
+                  internal: word offset of the child node header inside
+                            the *next* level's segment
+
+The uncompressed variant (``aggregated=False``) stores the full ``2**w``
+pointer array after a header word whose HABS field is zero — it exists so
+Figure 6's with/without-aggregation comparison measures real images, not
+estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .expcuts import ExpCutsTree, REF_NO_MATCH
+
+#: Pointer-word leaf flag.
+LEAF_FLAG = np.uint32(0x8000_0000)
+#: Leaf pointer meaning "no rule matches".
+PTR_NO_MATCH = int(LEAF_FLAG)
+
+WORD_BYTES = 4
+
+
+def encode_ref(ref: int, offsets: dict[int, int]) -> int:
+    """Builder reference -> pointer word (see module docstring)."""
+    if ref >= 0:
+        return offsets[ref]
+    if ref == REF_NO_MATCH:
+        return PTR_NO_MATCH
+    rule_id = -ref - 2
+    return int(LEAF_FLAG) | (rule_id + 1)
+
+
+def decode_leaf(ptr: int) -> int | None:
+    """Pointer word -> rule id (``None`` when no-match); must be a leaf."""
+    if not ptr & int(LEAF_FLAG):
+        raise ValueError("not a leaf pointer")
+    payload = ptr & 0x7FFF_FFFF
+    return None if payload == 0 else payload - 1
+
+
+@dataclass
+class TreeImage:
+    """The packed per-level word image of one ExpCuts tree."""
+
+    levels: list[np.ndarray]
+    root_ptr: int
+    stride: int
+    aggregated: bool
+    tree: ExpCutsTree
+
+    @property
+    def total_words(self) -> int:
+        return sum(len(seg) for seg in self.levels)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_words * WORD_BYTES
+
+    def level_words(self) -> list[int]:
+        """Words per level — the allocator's placement input."""
+        return [len(seg) for seg in self.levels]
+
+    def level_bytes(self) -> list[int]:
+        return [len(seg) * WORD_BYTES for seg in self.levels]
+
+
+def pack_tree(tree: ExpCutsTree, aggregated: bool = True) -> TreeImage:
+    """Pack ``tree`` into per-level word segments.
+
+    With ``aggregated=True`` each node is ``1 + len(CPA)`` words; without,
+    ``1 + 2**step.width`` words.  The logical content is identical — the
+    round-trip tests decompress both images and compare pointer by
+    pointer.
+    """
+    num_levels = len(tree.schedule)
+    by_level: list[list[int]] = [[] for _ in range(num_levels)]
+    for node_id, node in enumerate(tree.nodes):
+        by_level[node.level].append(node_id)
+
+    # First pass: assign each node its word offset inside its level.
+    offsets: dict[int, int] = {}
+    for level_nodes in by_level:
+        cursor = 0
+        for node_id in level_nodes:
+            offsets[node_id] = cursor
+            children = tree.nodes[node_id].children
+            if aggregated:
+                cursor += 1 + children.compressed_slots
+            else:
+                cursor += 1 + children.total_slots
+
+    # Second pass: emit words.
+    levels: list[np.ndarray] = []
+    for level, level_nodes in enumerate(by_level):
+        words: list[int] = []
+        for node_id in level_nodes:
+            node = tree.nodes[node_id]
+            ch = node.children
+            if aggregated:
+                header = (
+                    ((node.level & 0xFF) << 24)
+                    | ((ch.u & 0xF) << 20)
+                    | ((ch.v & 0xF) << 16)
+                    | (ch.habs & 0xFFFF)
+                )
+                words.append(header)
+                words.extend(encode_ref(ref, offsets) for ref in ch.cpa)
+            else:
+                header = ((node.level & 0xFF) << 24) | (((ch.u + ch.v) & 0xF) << 20)
+                words.append(header)
+                words.extend(encode_ref(ref, offsets) for ref in ch.decompress())
+        levels.append(np.array(words, dtype=np.uint32))
+
+    root_ptr = encode_ref(tree.root_ref, offsets)
+    return TreeImage(
+        levels=levels, root_ptr=root_ptr, stride=tree.stride,
+        aggregated=aggregated, tree=tree,
+    )
+
+
+def compression_summary(tree: ExpCutsTree) -> dict[str, float]:
+    """Aggregate with/without-aggregation sizes (Figure 6's two bars)."""
+    with_agg = pack_tree(tree, aggregated=True)
+    without = pack_tree(tree, aggregated=False)
+    return {
+        "bytes_with_aggregation": float(with_agg.total_bytes),
+        "bytes_without_aggregation": float(without.total_bytes),
+        "ratio": with_agg.total_bytes / max(without.total_bytes, 1),
+        "nodes": float(tree.node_count()),
+    }

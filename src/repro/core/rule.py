@@ -1,0 +1,196 @@
+"""Classification rules and ordered rule sets.
+
+A rule is a conjunction of one interval per 5-tuple field plus an action;
+a rule set is an ordered list where earlier rules have higher priority
+(first match wins), matching firewall/ACL semantics and the paper's
+evaluation rule sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Iterator, Sequence
+
+from .fields import FIELD_WIDTHS, Field, Header, NUM_FIELDS
+from .interval import Interval, full_interval, prefix_to_interval
+
+#: Conventional action names; any string is allowed.
+ACTION_PERMIT = "permit"
+ACTION_DENY = "deny"
+
+
+def _parse_ipv4(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_ipv4(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One 5-dimensional classification rule.
+
+    ``intervals`` holds one closed interval per field in :class:`Field`
+    order.  Priority is positional: a rule's priority is its index inside
+    the owning :class:`RuleSet`.
+    """
+
+    intervals: tuple[Interval, Interval, Interval, Interval, Interval]
+    action: str = ACTION_PERMIT
+
+    def __post_init__(self) -> None:
+        if len(self.intervals) != NUM_FIELDS:
+            raise ValueError(f"expected {NUM_FIELDS} intervals, got {len(self.intervals)}")
+        for fld, iv in zip(Field, self.intervals):
+            limit = (1 << FIELD_WIDTHS[fld]) - 1
+            if not 0 <= iv.lo <= iv.hi <= limit:
+                raise ValueError(f"{fld.name} interval {iv} out of range")
+
+    @classmethod
+    def any(cls, action: str = ACTION_PERMIT) -> "Rule":
+        """The fully wildcarded rule (matches every packet)."""
+        return cls(tuple(full_interval(w) for w in FIELD_WIDTHS), action)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_ranges(
+        cls,
+        sip: tuple[int, int] | Interval | None = None,
+        dip: tuple[int, int] | Interval | None = None,
+        sport: tuple[int, int] | Interval | None = None,
+        dport: tuple[int, int] | Interval | None = None,
+        proto: int | tuple[int, int] | Interval | None = None,
+        action: str = ACTION_PERMIT,
+    ) -> "Rule":
+        """Build a rule from per-field ranges; ``None`` means wildcard."""
+
+        def coerce(spec, width: int) -> Interval:
+            if spec is None:
+                return full_interval(width)
+            if isinstance(spec, int):
+                return Interval(spec, spec)
+            lo, hi = spec
+            return Interval(lo, hi)
+
+        specs = (sip, dip, sport, dport, proto)
+        return cls(
+            tuple(coerce(s, FIELD_WIDTHS[f]) for f, s in zip(Field, specs)),  # type: ignore[arg-type]
+            action,
+        )
+
+    @classmethod
+    def from_prefixes(
+        cls,
+        sip: str | None = None,
+        dip: str | None = None,
+        sport: tuple[int, int] | int | None = None,
+        dport: tuple[int, int] | int | None = None,
+        proto: int | None = None,
+        action: str = ACTION_PERMIT,
+    ) -> "Rule":
+        """Build a rule from dotted-quad CIDR strings and port specs.
+
+        Example::
+
+            Rule.from_prefixes(sip="10.0.0.0/8", dport=(0, 1023), proto=6)
+        """
+
+        def ip_interval(text: str | None) -> Interval:
+            if text is None:
+                return full_interval(32)
+            if "/" in text:
+                addr, plen = text.split("/")
+                return prefix_to_interval(_parse_ipv4(addr), int(plen), 32)
+            value = _parse_ipv4(text)
+            return Interval(value, value)
+
+        def port_interval(spec) -> Interval:
+            if spec is None:
+                return full_interval(16)
+            if isinstance(spec, int):
+                return Interval(spec, spec)
+            lo, hi = spec
+            return Interval(lo, hi)
+
+        proto_iv = full_interval(8) if proto is None else Interval(proto, proto)
+        return cls(
+            (ip_interval(sip), ip_interval(dip), port_interval(sport),
+             port_interval(dport), proto_iv),
+            action,
+        )
+
+    def matches(self, header: Sequence[int]) -> bool:
+        """Whether ``header`` (5 field values) satisfies every conjunct."""
+        return all(iv.lo <= v <= iv.hi for iv, v in zip(self.intervals, header))
+
+    def is_wildcard(self, fld: Field) -> bool:
+        """Whether this rule places no constraint on ``fld``."""
+        return self.intervals[fld] == full_interval(FIELD_WIDTHS[fld])
+
+    def sample_header(self, rng) -> Header:
+        """A uniformly random header matching this rule (``rng`` is a
+        :class:`numpy.random.Generator` or anything with ``integers``)."""
+        return Header(*(int(rng.integers(iv.lo, iv.hi + 1)) for iv in self.intervals))
+
+    def __str__(self) -> str:
+        sip, dip, sp, dp, pr = self.intervals
+        return (
+            f"{_format_ipv4(sip.lo)}-{_format_ipv4(sip.hi)} "
+            f"{_format_ipv4(dip.lo)}-{_format_ipv4(dip.hi)} "
+            f"{sp.lo}:{sp.hi} {dp.lo}:{dp.hi} {pr.lo}:{pr.hi} -> {self.action}"
+        )
+
+
+@dataclass
+class RuleSet:
+    """An ordered, first-match-wins list of rules."""
+
+    rules: list[Rule] = dc_field(default_factory=list)
+    name: str = "ruleset"
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __getitem__(self, index: int) -> Rule:
+        return self.rules[index]
+
+    def append(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        self.rules.extend(rules)
+
+    def first_match(self, header: Sequence[int]) -> int | None:
+        """Index of the highest-priority matching rule, or ``None``.
+
+        This linear scan is the semantic ground truth every classifier in
+        the library is tested against.
+        """
+        for idx, rule in enumerate(self.rules):
+            if rule.matches(header):
+                return idx
+        return None
+
+    def validate(self) -> None:
+        """Raise if the rule set is structurally unsound (empty is fine)."""
+        for rule in self.rules:
+            if len(rule.intervals) != NUM_FIELDS:
+                raise ValueError("rule with wrong arity")
+
+    def with_default(self, action: str = ACTION_DENY) -> "RuleSet":
+        """A copy with a catch-all rule appended (classic implicit deny)."""
+        copy = RuleSet(list(self.rules), self.name)
+        copy.append(Rule.any(action))
+        return copy

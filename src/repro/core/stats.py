@@ -1,0 +1,60 @@
+"""Tree and memory statistics backing Figure 6 and the §4.2.2 observations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expcuts import ExpCutsTree
+from .layout import compression_summary
+from .popcount import popcount
+
+
+@dataclass
+class TreeStats:
+    """Structural statistics of a built ExpCuts tree."""
+
+    num_rules: int
+    num_nodes: int
+    depth_bound: int
+    max_depth: int
+    nodes_per_level: dict[int, int]
+    mean_distinct_children: float
+    mean_habs_bits_set: float
+    bytes_with_aggregation: int
+    bytes_without_aggregation: int
+
+    @property
+    def aggregation_ratio(self) -> float:
+        """Compressed / uncompressed image size (paper reports ≈ 0.15)."""
+        return self.bytes_with_aggregation / max(self.bytes_without_aggregation, 1)
+
+
+def distinct_children(tree: ExpCutsTree) -> list[int]:
+    """Per node, the number of distinct child references.
+
+    The paper's empirical basis for HABS: "with 256 cuttings at each
+    internal-node, the average number of child nodes is less than 10".
+    """
+    counts = []
+    for node in tree.nodes:
+        counts.append(len(set(node.children.cpa)))
+    return counts
+
+
+def collect_stats(tree: ExpCutsTree) -> TreeStats:
+    """Compute the full statistics bundle for one tree."""
+    sizes = compression_summary(tree)
+    children = distinct_children(tree)
+    habs_bits = [popcount(node.children.habs) for node in tree.nodes]
+    n = max(len(tree.nodes), 1)
+    return TreeStats(
+        num_rules=tree.num_rules,
+        num_nodes=tree.node_count(),
+        depth_bound=tree.depth_bound,
+        max_depth=tree.max_depth(),
+        nodes_per_level=tree.level_histogram(),
+        mean_distinct_children=sum(children) / n if children else 0.0,
+        mean_habs_bits_set=sum(habs_bits) / n if habs_bits else 0.0,
+        bytes_with_aggregation=int(sizes["bytes_with_aggregation"]),
+        bytes_without_aggregation=int(sizes["bytes_without_aggregation"]),
+    )

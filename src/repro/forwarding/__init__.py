@@ -1,0 +1,15 @@
+"""IPv4 forwarding substrate: FIB, LPM tries, routing-table synthesis."""
+
+from .fib import CORE_PLEN_WEIGHTS, FIB, Route, generate_fib, route_interval
+from .multibit import MultibitTrie
+from .trie import BinaryTrie
+
+__all__ = [
+    "BinaryTrie",
+    "CORE_PLEN_WEIGHTS",
+    "FIB",
+    "MultibitTrie",
+    "Route",
+    "generate_fib",
+    "route_interval",
+]

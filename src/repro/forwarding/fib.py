@@ -1,0 +1,131 @@
+"""Forwarding information base: routes, the LPM oracle, table synthesis.
+
+The paper's application performs "packet classification and forwarding"
+(§5.2); forwarding is an IPv4 longest-prefix-match against a routing
+table — the companion lookup reference [16] implements on the same
+platform.  This module supplies the route container, the linear LPM
+oracle every trie is tested against, and a synthetic routing-table
+generator with the canonical core-table prefix-length mix (dominant /24
+and /16–/22 mass, sparse short prefixes, optional default route).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.interval import prefix_to_interval
+
+
+@dataclass(frozen=True)
+class Route:
+    """One route: ``prefix/plen -> next_hop`` (next hop is an opaque id)."""
+
+    prefix: int
+    plen: int
+    next_hop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.plen <= 32:
+            raise ValueError(f"prefix length {self.plen} out of range")
+        if not 0 <= self.prefix < (1 << 32):
+            raise ValueError("prefix out of range")
+        span = 32 - self.plen
+        if span and self.prefix & ((1 << span) - 1):
+            raise ValueError(
+                f"{self.prefix:#010x}/{self.plen} has host bits set"
+            )
+
+    def matches(self, address: int) -> bool:
+        span = 32 - self.plen
+        return (address >> span) == (self.prefix >> span) if span < 32 else True
+
+    def __str__(self) -> str:
+        octets = ".".join(str((self.prefix >> s) & 0xFF) for s in (24, 16, 8, 0))
+        return f"{octets}/{self.plen} -> {self.next_hop}"
+
+
+@dataclass
+class FIB:
+    """A routing table (unordered; LPM semantics, not priority)."""
+
+    routes: list[Route] = field(default_factory=list)
+    name: str = "fib"
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def __iter__(self):
+        return iter(self.routes)
+
+    def add(self, prefix: int, plen: int, next_hop: int) -> None:
+        self.routes.append(Route(prefix, plen, next_hop))
+
+    def longest_match(self, address: int) -> int | None:
+        """The oracle: scan all routes, keep the longest match."""
+        best_len = -1
+        best_hop: int | None = None
+        for route in self.routes:
+            if route.matches(address) and route.plen > best_len:
+                best_len = route.plen
+                best_hop = route.next_hop
+        return best_hop
+
+    def has_default(self) -> bool:
+        return any(route.plen == 0 for route in self.routes)
+
+
+#: Core-table prefix length mass (BGP-like): /24 dominates, /16 and the
+#: /19–/23 band carry most of the rest; host routes and short prefixes
+#: are rare.
+CORE_PLEN_WEIGHTS: dict[int, float] = {
+    8: 0.01, 12: 0.01, 14: 0.02, 15: 0.02, 16: 0.12, 17: 0.03, 18: 0.05,
+    19: 0.09, 20: 0.09, 21: 0.08, 22: 0.11, 23: 0.08, 24: 0.28, 32: 0.01,
+}
+
+
+def generate_fib(num_routes: int, seed: int = 7, num_next_hops: int = 16,
+                 with_default: bool = True,
+                 plen_weights: dict[int, float] | None = None) -> FIB:
+    """Synthesise a routing table with realistic prefix structure.
+
+    Prefixes are drawn around a bounded pool of base networks (so longer
+    prefixes nest inside shorter ones, giving LPM real work to do) with
+    the :data:`CORE_PLEN_WEIGHTS` length mix.
+    """
+    if num_routes < 1:
+        raise ValueError("need at least one route")
+    rng = np.random.default_rng(seed)
+    weights = plen_weights or CORE_PLEN_WEIGHTS
+    lens = sorted(weights)
+    probs = np.array([weights[p] for p in lens], dtype=float)
+    probs /= probs.sum()
+
+    pool = [int(rng.integers(0, 1 << 16)) << 16 for _ in range(max(8, num_routes // 24))]
+    fib = FIB(name=f"fib{num_routes}")
+    seen: set[tuple[int, int]] = set()
+    if with_default:
+        fib.add(0, 0, 0)
+        seen.add((0, 0))
+    attempts = 0
+    while len(fib) < num_routes:
+        attempts += 1
+        if attempts > num_routes * 60:
+            raise RuntimeError("cannot reach the requested route count")
+        plen = int(rng.choice(lens, p=probs))
+        base = pool[int(rng.integers(len(pool)))]
+        span = 32 - plen
+        addr = base | int(rng.integers(0, 1 << 16))
+        prefix = (addr >> span) << span if span else addr
+        key = (prefix, plen)
+        if key in seen:
+            continue
+        seen.add(key)
+        fib.routes.append(Route(prefix, plen, int(rng.integers(1, num_next_hops))))
+    return fib
+
+
+def route_interval(route: Route):
+    """The address interval a route covers (test convenience)."""
+    return prefix_to_interval(route.prefix, route.plen, 32)

@@ -1,0 +1,209 @@
+"""Fixed-stride multibit trie with leaf pushing — the NP-grade LPM.
+
+The forwarding counterpart of ExpCuts' fixed stride: consume ``k``
+address bits per level so a 32-bit lookup costs exactly ``32 / k``
+dependent memory reads (4 at the stride-8 default) — the structure the
+paper's reference [16] deploys on the same microengines, and the one our
+staged application's processing stage runs when given a FIB.
+
+Construction is the textbook controlled-prefix-expansion with leaf
+pushing: each route's prefix is expanded to the enclosing level
+boundary; longer prefixes overwrite shorter ones slot-by-slot, so every
+table slot carries either a final next hop or a child pointer whose
+subtree inherits the best-so-far hop.
+
+The packed image mirrors the classification layouts: one ``uint32``
+array per level, slot word = ``leaf_flag | payload`` (payload = next hop
++ 1, 0 meaning "no route", or the child's slot base at the next level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import LookupTrace, MemRead
+from .fib import FIB
+
+LEAF_FLAG = 0x8000_0000
+NO_ROUTE = LEAF_FLAG  # leaf with payload 0
+
+#: ME cycles to extract a stride's bits and form the slot index.
+INDEX_CYCLES = 3
+
+
+@dataclass
+class _BuildNode:
+    """Construction-time node: per slot either hop or child."""
+
+    hops: list[int | None]
+    children: list["_BuildNode | None"]
+
+    @classmethod
+    def empty(cls, fanout: int) -> "_BuildNode":
+        return cls([None] * fanout, [None] * fanout)
+
+
+class MultibitTrie:
+    """Fixed-stride, leaf-pushed LPM with a per-level word image."""
+
+    name = "multibit_trie"
+
+    def __init__(self, fib: FIB, stride: int = 8) -> None:
+        if 32 % stride:
+            raise ValueError("stride must divide 32")
+        self.fib = fib
+        self.stride = stride
+        self.levels = 32 // stride
+        fanout = 1 << stride
+        root = _BuildNode.empty(fanout)
+
+        # Insert routes shortest-first so longer prefixes overwrite.
+        for route in sorted(fib, key=lambda r: r.plen):
+            self._insert(root, route.prefix, route.plen, route.next_hop, 0)
+
+        self.images: list[np.ndarray] = []
+        self._pack(root)
+
+    # -- construction ---------------------------------------------------------
+
+    def _insert(self, node: _BuildNode, prefix: int, plen: int,
+                next_hop: int, level: int) -> None:
+        stride = self.stride
+        shift = 32 - (level + 1) * stride
+        consumed = level * stride
+        fanout = 1 << stride
+        if plen <= consumed + stride:
+            # The route ends inside this level: expand it over the slots
+            # it covers; push into existing children instead of clobbering
+            # their pointers (leaf pushing).
+            span = consumed + stride - plen
+            base = (prefix >> shift) & (fanout - 1)
+            for slot in range(base, base + (1 << span)):
+                child = node.children[slot]
+                if child is not None:
+                    self._push(child, next_hop)
+                else:
+                    node.hops[slot] = next_hop
+        else:
+            slot = (prefix >> shift) & (fanout - 1)
+            child = node.children[slot]
+            if child is None:
+                child = _BuildNode.empty(fanout)
+                node.children[slot] = child
+                inherited = node.hops[slot]
+                if inherited is not None:
+                    # The slot's previous hop becomes the child's floor.
+                    child.hops = [inherited] * fanout
+            self._insert(child, prefix, plen, next_hop, level + 1)
+
+    def _push(self, node: _BuildNode, next_hop: int) -> None:
+        """Fill a subtree's empty slots with an enclosing shorter route.
+
+        Only *empty* slots take the hop: occupied slots already carry a
+        longer (more specific) route.
+        """
+        for slot in range(len(node.hops)):
+            child = node.children[slot]
+            if child is not None:
+                self._push(child, next_hop)
+            elif node.hops[slot] is None:
+                node.hops[slot] = next_hop
+
+    def _pack(self, root: _BuildNode) -> None:
+        """Breadth-first packing into per-level ``uint32`` slot arrays."""
+        level_nodes: list[list[_BuildNode]] = [[root]]
+        for _ in range(self.levels - 1):
+            nxt = []
+            for node in level_nodes[-1]:
+                nxt.extend(c for c in node.children if c is not None)
+            level_nodes.append(nxt)
+
+        fanout = 1 << self.stride
+        offsets: dict[int, int] = {}
+        for level, nodes in enumerate(level_nodes):
+            for idx, node in enumerate(nodes):
+                offsets[id(node)] = idx * fanout
+
+        images = []
+        for level, nodes in enumerate(level_nodes):
+            words = np.empty(max(len(nodes), 1) * fanout, dtype=np.uint32)
+            words[:] = NO_ROUTE
+            for idx, node in enumerate(nodes):
+                base = idx * fanout
+                for slot in range(fanout):
+                    child = node.children[slot]
+                    if child is not None and level + 1 < self.levels:
+                        words[base + slot] = offsets[id(child)]
+                    elif node.hops[slot] is not None:
+                        words[base + slot] = LEAF_FLAG | (node.hops[slot] + 1)
+            images.append(words)
+        self.images = images
+
+    # -- lookup -----------------------------------------------------------------
+
+    def lookup(self, address: int) -> int | None:
+        base = 0
+        for level in range(self.levels):
+            shift = 32 - (level + 1) * self.stride
+            slot = (address >> shift) & ((1 << self.stride) - 1)
+            word = int(self.images[level][base + slot])
+            if word & LEAF_FLAG:
+                payload = word & 0x7FFF_FFFF
+                return None if payload == 0 else payload - 1
+            base = word
+        raise AssertionError("trie walk fell off the last level")
+
+    def access_trace(self, address: int) -> LookupTrace:
+        """At most ``32 / stride`` dependent single-word reads."""
+        reads: list[MemRead] = []
+        base = 0
+        result: int | None = None
+        for level in range(self.levels):
+            shift = 32 - (level + 1) * self.stride
+            slot = (address >> shift) & ((1 << self.stride) - 1)
+            reads.append(MemRead(f"fib:level{level}", base + slot, 1,
+                                 INDEX_CYCLES if level else 2))
+            word = int(self.images[level][base + slot])
+            if word & LEAF_FLAG:
+                payload = word & 0x7FFF_FFFF
+                result = None if payload == 0 else payload - 1
+                break
+            base = word
+        return LookupTrace(tuple(reads), compute_after=2, result=result)
+
+    def lookup_batch(self, addresses: Sequence[int]) -> np.ndarray:
+        """Vectorized level-synchronous LPM (-1 = no route)."""
+        addrs = np.asarray(addresses, dtype=np.uint32)
+        n = len(addrs)
+        out = np.full(n, -1, dtype=np.int64)
+        base = np.zeros(n, dtype=np.int64)
+        active = np.arange(n, dtype=np.int64)
+        for level in range(self.levels):
+            if active.size == 0:
+                break
+            shift = 32 - (level + 1) * self.stride
+            slot = (addrs[active] >> np.uint32(shift)) & np.uint32(
+                (1 << self.stride) - 1
+            )
+            words = self.images[level][base[active] + slot]
+            is_leaf = (words & np.uint32(LEAF_FLAG)).astype(bool)
+            done = active[is_leaf]
+            payload = (words[is_leaf] & np.uint32(0x7FFF_FFFF)).astype(np.int64)
+            out[done] = payload - 1  # payload 0 -> -1 (no route)
+            active = active[~is_leaf]
+            base[active] = words[~is_leaf].astype(np.int64)
+        return out
+
+    # -- accounting ---------------------------------------------------------------
+
+    def memory_words(self) -> int:
+        return sum(len(img) for img in self.images)
+
+    def worst_case_accesses(self) -> int:
+        return self.levels
+
+    def level_words(self) -> list[int]:
+        return [len(img) for img in self.images]

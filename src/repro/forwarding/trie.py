@@ -1,0 +1,104 @@
+"""Unibit (binary) trie LPM — the reference structure.
+
+One bit per level, next-hop inheritance on the path: correct, tiny to
+reason about, slow on real memory (up to 32 dependent reads).  Serves as
+the second oracle (against :class:`~repro.forwarding.fib.FIB`'s scan)
+and the baseline the multibit trie is compared to in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.engine import LookupTrace, MemRead
+from .fib import FIB
+
+#: ME cycles to test one address bit and pick a child.
+BIT_STEP_CYCLES = 3
+
+
+@dataclass
+class _Node:
+    next_hop: int | None = None
+    left: int = -1    # node ids; -1 = absent
+    right: int = -1
+
+
+class BinaryTrie:
+    """Bit-at-a-time longest-prefix match."""
+
+    name = "binary_trie"
+
+    def __init__(self, fib: FIB) -> None:
+        self.fib = fib
+        self.nodes: list[_Node] = [_Node()]
+        for route in fib:
+            self._insert(route.prefix, route.plen, route.next_hop)
+
+    def _insert(self, prefix: int, plen: int, next_hop: int) -> None:
+        node_id = 0
+        for depth in range(plen):
+            bit = (prefix >> (31 - depth)) & 1
+            node = self.nodes[node_id]
+            child = node.right if bit else node.left
+            if child < 0:
+                child = len(self.nodes)
+                self.nodes.append(_Node())
+                if bit:
+                    self.nodes[node_id].right = child
+                else:
+                    self.nodes[node_id].left = child
+            node_id = child
+        self.nodes[node_id].next_hop = next_hop
+
+    def lookup(self, address: int) -> int | None:
+        """Next hop of the longest matching prefix, or ``None``."""
+        node_id = 0
+        best: int | None = self.nodes[0].next_hop
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = self.nodes[node_id]
+            child = node.right if bit else node.left
+            if child < 0:
+                break
+            node_id = child
+            if self.nodes[node_id].next_hop is not None:
+                best = self.nodes[node_id].next_hop
+        return best
+
+    def access_trace(self, address: int) -> LookupTrace:
+        """One 2-word node read per traversed level (worst case 32)."""
+        reads: list[MemRead] = []
+        node_id = 0
+        best: int | None = self.nodes[0].next_hop
+        reads.append(MemRead("fib:trie", 0, 2, 2))
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = self.nodes[node_id]
+            child = node.right if bit else node.left
+            if child < 0:
+                break
+            node_id = child
+            reads.append(MemRead("fib:trie", node_id * 2, 2, BIT_STEP_CYCLES))
+            if self.nodes[node_id].next_hop is not None:
+                best = self.nodes[node_id].next_hop
+        return LookupTrace(tuple(reads), compute_after=2, result=best)
+
+    def memory_words(self) -> int:
+        return len(self.nodes) * 2
+
+    def depth(self) -> int:
+        def walk(node_id: int) -> int:
+            node = self.nodes[node_id]
+            depths = [0]
+            if node.left >= 0:
+                depths.append(1 + walk(node.left))
+            if node.right >= 0:
+                depths.append(1 + walk(node.right))
+            return max(depths)
+
+        return walk(0)
+
+    def lookup_batch(self, addresses: Sequence[int]) -> list[int | None]:
+        return [self.lookup(int(a)) for a in addresses]

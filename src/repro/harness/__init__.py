@@ -1,0 +1,18 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .cache import get_classifier, get_ruleset, get_trace
+from .experiments import ExperimentResult, REGISTRY, list_experiments, run_experiment
+from .report import render_grouped_series, render_series, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "get_classifier",
+    "get_ruleset",
+    "get_trace",
+    "list_experiments",
+    "render_grouped_series",
+    "render_series",
+    "render_table",
+    "run_experiment",
+]

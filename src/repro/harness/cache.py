@@ -1,0 +1,129 @@
+"""Build cache for classifiers and traces.
+
+Classifier construction dominates harness wall time (tens of seconds for
+ExpCuts/HSM on CR04), and every experiment wants the same seven builds.
+This module memoises builds in-process and, unless ``REPRO_CACHE=0``,
+pickles them under ``.repro_cache/`` next to the working directory so
+repeated harness/benchmark invocations start hot.
+
+Cache keys include a schema version — bump :data:`CACHE_VERSION` whenever
+a change alters built structures, or stale pickles would silently shadow
+new code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from ..classifiers import ALGORITHMS, PacketClassifier
+from ..core.rule import RuleSet
+from ..rulesets import paper_ruleset
+from ..traffic import Trace, matched_trace
+
+CACHE_VERSION = 3
+
+_memory_cache: dict[str, object] = {}
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _disk_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def _load(key: str):
+    if key in _memory_cache:
+        return _memory_cache[key]
+    if _disk_enabled():
+        path = cache_dir() / f"{key}.pkl"
+        if path.exists():
+            try:
+                with path.open("rb") as fh:
+                    value = pickle.load(fh)
+            except Exception:
+                path.unlink(missing_ok=True)
+                return None
+            _memory_cache[key] = value
+            return value
+    return None
+
+
+def _store(key: str, value) -> None:
+    _memory_cache[key] = value
+    if _disk_enabled():
+        path = cache_dir() / f"{key}.pkl"
+        tmp = path.with_suffix(".tmp")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except Exception:
+            tmp.unlink(missing_ok=True)
+
+
+def _key(*parts: object) -> str:
+    blob = repr((CACHE_VERSION,) + parts).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def get_ruleset(name: str) -> RuleSet:
+    """The synthetic twin of one of the paper's sets (memoised)."""
+    from ..rulesets import PROFILES
+
+    key = _key("ruleset", name, repr(PROFILES[name]))
+    cached = _load(key)
+    if cached is None:
+        cached = paper_ruleset(name)
+        _store(key, cached)
+    return cached
+
+
+def _ruleset_digest(name: str) -> str:
+    """Content digest so classifier/trace caches track profile changes."""
+    ruleset = get_ruleset(name)
+    blob = repr([(tuple(r.intervals), r.action) for r in ruleset]).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def get_trace(ruleset_name: str, count: int = 1500, seed: int = 42,
+              matched_fraction: float = 0.65) -> Trace:
+    """The evaluation trace for one rule set (memoised).
+
+    ``matched_fraction`` defaults to a mixed accept/miss blend: real
+    gateway traffic includes headers no non-default rule matches, which
+    is what exercises full leaf scans in linear-search algorithms.
+    """
+    key = _key("trace", ruleset_name, _ruleset_digest(ruleset_name),
+               count, seed, matched_fraction)
+    cached = _load(key)
+    if cached is None:
+        cached = matched_trace(get_ruleset(ruleset_name), count, seed=seed,
+                               matched_fraction=matched_fraction)
+        _store(key, cached)
+    return cached
+
+
+def get_classifier(ruleset_name: str, algorithm: str,
+                   **params) -> PacketClassifier:
+    """A built classifier for a paper rule set (memoised, incl. on disk)."""
+    key = _key("classifier", ruleset_name, _ruleset_digest(ruleset_name),
+               algorithm, tuple(sorted(params.items())))
+    cached = _load(key)
+    if cached is None:
+        ruleset = get_ruleset(ruleset_name)
+        cached = ALGORITHMS[algorithm].build(ruleset, **params)
+        _store(key, cached)
+    return cached
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process cache (tests use this to isolate state)."""
+    _memory_cache.clear()

@@ -1,0 +1,79 @@
+"""Command-line entry: ``python -m repro.harness <experiment> [--quick]``.
+
+``all`` regenerates every table and figure in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from .experiments import REGISTRY, list_experiments, run_experiment
+
+ORDER = ("table1", "table2", "table3", "table4", "table5",
+         "fig5", "fig6", "fig7", "fig8", "fig9")
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: normal exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="experiment id (e.g. fig9), or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced packet counts / sweep density")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write each experiment's data as "
+                             "DIR/<experiment>.json")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("Available experiments:")
+        for name, desc in list_experiments():
+            print(f"  {name:8s} {desc}")
+        return 0
+
+    names = ORDER if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        if name not in REGISTRY:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        start = time.time()
+        result = run_experiment(name, quick=args.quick)
+        print(result.text)
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]")
+        print()
+        if args.json:
+            out_dir = Path(args.json)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "experiment": result.experiment,
+                "title": result.title,
+                "quick": args.quick,
+                "data": result.data,
+            }
+            path = out_dir / f"{name}.json"
+            path.write_text(json.dumps(payload, indent=2, default=str))
+            print(f"[data written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Figure 5 — the application mapping, run as a staged simulation.
+
+The paper's Figure 5 is a block diagram of the application on the
+IXP2850 (receive -> processing -> scheduling -> transmit over scratch
+rings).  Here the mapping *runs*: every stage simulated with its own MEs,
+programs and ring back-pressure, reporting end-to-end throughput, the
+bottleneck stage, per-stage occupancy, and the processing-ME scaling that
+underlies Figure 7's thread sweep.
+"""
+
+from __future__ import annotations
+
+from ..npsim.application import build_application
+from ..npsim.pipeline import MicroengineAllocation
+from .cache import get_classifier, get_trace
+from .experiments import ExperimentResult
+from .report import render_table
+
+RULESET = "CR04"
+ME_SWEEP = (1, 3, 5, 7, 9)
+
+
+def run_fig5(quick: bool = False) -> ExperimentResult:
+    ruleset = "CR01" if quick else RULESET
+    clf = get_classifier(ruleset, "expcuts")
+    trace = get_trace(ruleset)
+    max_packets = 3_000 if quick else 8_000
+    sweep = ME_SWEEP[::2] if quick else ME_SWEEP
+
+    rows = []
+    data = {"ruleset": ruleset, "sweep": []}
+    for processing_mes in sweep:
+        allocation = MicroengineAllocation(processing=processing_mes)
+        sim = build_application(clf, trace, allocation=allocation,
+                                trace_limit=300 if quick else 600)
+        res = sim.run(max_packets)
+        rows.append((
+            processing_mes,
+            f"{res.gbps(1400.0, trace.packet_bytes) * 1000:.0f}",
+            res.bottleneck_stage,
+            " / ".join(f"{r.name[:4]}:{r.me_busy_fraction:.0%}"
+                       for r in res.stage_reports),
+        ))
+        data["sweep"].append({
+            "processing_mes": processing_mes,
+            "mbps": res.gbps(1400.0, trace.packet_bytes) * 1000,
+            "bottleneck": res.bottleneck_stage,
+            "stage_busy": {r.name: r.me_busy_fraction
+                           for r in res.stage_reports},
+        })
+    text = render_table(
+        f"Figure 5 (running): staged application on {ruleset} "
+        "(rx 2 ME / sched 3 / tx 2)",
+        ["Processing MEs", "Throughput (Mbps)", "Bottleneck",
+         "Stage ME busy"],
+        rows,
+    )
+    return ExperimentResult("fig5", "Application mapping simulation", text, data)

@@ -1,0 +1,51 @@
+"""Figure 6 — SRAM usage of ExpCuts with and without space aggregation.
+
+The paper's bars: per rule set, the packed-image size with the full
+``2**w`` pointer arrays versus with HABS+CPA compression; compression
+retains ≈15 % and is what lets CR04 fit the four 8 MB SRAM chips.
+"""
+
+from __future__ import annotations
+
+from ..core.layout import pack_tree
+from ..rulesets import PAPER_ORDER
+from .cache import get_classifier
+from .experiments import ExperimentResult
+from .report import render_table
+
+#: The hardware budget the paper checks against: four 8 MB SRAM chips.
+SRAM_BUDGET_BYTES = 4 * 8 * 1024 * 1024
+SINGLE_CHIP_BYTES = 8 * 1024 * 1024
+
+#: Quick mode shrinks the sweep to the sets that build in seconds.
+QUICK_SETS = ("FW01", "FW02", "CR01")
+
+
+def run_fig6(quick: bool = False) -> ExperimentResult:
+    names = QUICK_SETS if quick else PAPER_ORDER
+    rows = []
+    data = {}
+    for name in names:
+        clf = get_classifier(name, "expcuts")
+        with_agg = clf.image if clf.image.aggregated else pack_tree(clf.tree, True)
+        without = pack_tree(clf.tree, aggregated=False)
+        kb_with = with_agg.total_bytes / 1024
+        kb_without = without.total_bytes / 1024
+        ratio = kb_with / kb_without
+        fits = "yes" if with_agg.total_bytes <= SRAM_BUDGET_BYTES else "NO"
+        fits_without = "yes" if without.total_bytes <= SRAM_BUDGET_BYTES else "NO"
+        rows.append((name, len(clf.ruleset), f"{kb_without:.0f}",
+                     f"{kb_with:.0f}", f"{ratio:.3f}", fits_without, fits))
+        data[name] = {
+            "rules": len(clf.ruleset),
+            "bytes_without": without.total_bytes,
+            "bytes_with": with_agg.total_bytes,
+            "ratio": ratio,
+        }
+    text = render_table(
+        "Figure 6: Space aggregation effect (SRAM usage, KB)",
+        ["Rule set", "Rules", "w/o aggregation", "with aggregation",
+         "ratio", "fits 4x8MB w/o", "fits 4x8MB w/"],
+        rows,
+    )
+    return ExperimentResult("fig6", "Space aggregation effect", text, data)

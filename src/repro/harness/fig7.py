@@ -1,0 +1,55 @@
+"""Figure 7 — ExpCuts relative speedups on CR04, 64-byte TCP packets.
+
+The paper's sweep: 7, 15, …, 71 parallel threads (1–9 processing MEs,
+eight contexts each, one context of the last ME reserved for exception
+handling), all four SRAM channels holding the level-distributed tree.
+Speedup should be near-linear, reaching ≈7 Gbps at 71 threads.
+"""
+
+from __future__ import annotations
+
+from ..npsim import compile_programs, simulate_throughput
+from .cache import get_classifier, get_trace
+from .experiments import ExperimentResult
+from .report import render_series
+
+#: The paper's x axis: threads = 8 * MEs - 1.
+THREAD_SWEEP = (7, 15, 23, 31, 39, 47, 55, 63, 71)
+
+RULESET = "CR04"
+
+
+def run_fig7(quick: bool = False) -> ExperimentResult:
+    ruleset = "CR01" if quick else RULESET
+    clf = get_classifier(ruleset, "expcuts")
+    trace = get_trace(ruleset)
+    sweep = THREAD_SWEEP[::4] if quick else THREAD_SWEEP
+    max_packets = 3_000 if quick else 12_000
+    # Record programs once; reuse across all sweep points.
+    program_set = compile_programs(clf, trace, limit=500 if quick else 1500)
+    regions = clf.memory_regions()
+    points = []
+    data = {"ruleset": ruleset, "series": []}
+    from ..npsim import IXP2850, place
+
+    placement = place(regions, list(IXP2850.sram_channels))
+    for threads in sweep:
+        res = simulate_throughput(
+            program_set, num_threads=threads, max_packets=max_packets,
+            placement=placement,
+        )
+        points.append((threads, res.gbps * 1000))
+        data["series"].append({
+            "threads": threads,
+            "mbps": res.gbps * 1000,
+            "mpps": res.mpps,
+            "me_busy": res.me_busy_fraction,
+            "binding": res.bounds.binding,
+        })
+    base = points[0][1] / points[0][0]
+    data["linearity"] = points[-1][1] / (base * points[-1][0]) if base else 0.0
+    text = render_series(
+        f"Figure 7: ExpCuts relative speedups ({ruleset}, 64B packets)",
+        "threads", "throughput (Mbps)", points,
+    )
+    return ExperimentResult("fig7", "ExpCuts relative speedups", text, data)

@@ -1,0 +1,103 @@
+"""Figure 8 — the linear-search effect on throughput.
+
+Two complementary reproductions of the paper's figure (whose x axis is
+"number of rules" scanned linearly at a leaf):
+
+* **forced-scan microbenchmark** (the headline series): a HiCuts-shaped
+  tree walk followed by exactly N six-word rule reads with compares, the
+  whole structure on one SRAM channel — the configuration the paper's
+  statement "more than 8 rules → below 3 Gbps" describes;
+* **binth sweep**: real HiCuts builds on CR04 with binth ∈ {2..20},
+  simulated on recorded traces, reporting the mean rules actually
+  scanned.  (binth = 1 is excluded: without HABS-style aggregation the
+  tree suffers exactly the "memory burst" §4.2.2 predicts.)
+"""
+
+from __future__ import annotations
+
+from ..npsim import simulate_throughput, synthetic_program_set
+from .cache import get_classifier, get_trace
+from .experiments import ExperimentResult
+from .report import render_series, render_table
+
+#: Tree-walk prefix of the synthetic program: five internal levels, one
+#: header + one pointer word each (measured shape of CR04 HiCuts walks).
+TREE_LEVELS = 5
+RULE_WORDS = 6
+COMPARE_CYCLES = 12
+
+FORCED_N = tuple(range(1, 21))
+BINTH_SWEEP = (2, 4, 8, 12, 16, 20)
+RULESET = "CR04"
+
+
+def forced_scan_program(num_rules: int):
+    """Tree walk + exactly ``num_rules`` linear-search rule reads."""
+    reads = [("tree", level * 2, 1, 5) for level in range(TREE_LEVELS * 2)]
+    for idx in range(num_rules):
+        reads.append(("tree", 1000 + idx * RULE_WORDS, RULE_WORDS, COMPARE_CYCLES))
+    return synthetic_program_set(reads, tail_compute=COMPARE_CYCLES,
+                                 name=f"linear{num_rules}", copies=8)
+
+
+def run_fig8(quick: bool = False) -> ExperimentResult:
+    from ..npsim import IXP2850, place
+    from ..classifiers.base import MemoryRegion
+
+    forced = FORCED_N[1::4] if quick else FORCED_N
+    max_packets = 3_000 if quick else 10_000
+    points = []
+    data = {"forced": [], "binth": []}
+    for n in forced:
+        ps = forced_scan_program(n)
+        placement = place(
+            [MemoryRegion("tree", 4096, 1.0)], list(IXP2850.sram_channels),
+            "single_channel",
+        )
+        res = simulate_throughput(ps, num_threads=71, max_packets=max_packets,
+                                  placement=placement)
+        points.append((n, res.gbps * 1000))
+        data["forced"].append({"rules": n, "mbps": res.gbps * 1000})
+    text = render_series(
+        "Figure 8: Linear search effect (forced N-rule scan, one channel)",
+        "rules", "throughput (Mbps)", points,
+    )
+
+    if not quick:
+        trace = get_trace(RULESET)
+        rows = []
+        for binth in BINTH_SWEEP:
+            try:
+                clf = get_classifier(RULESET, "hicuts", binth=binth)
+            except MemoryError:
+                # Small binth without HABS-style aggregation is exactly
+                # the "memory burst" §4.2.2 predicts; report it as such.
+                rows.append((binth, "-", "memory burst", "> cap"))
+                data["binth"].append({"binth": binth, "mean_scanned": None,
+                                      "mbps": None, "memory_kb": None})
+                continue
+            res = simulate_throughput(clf, trace, num_threads=71,
+                                      max_packets=max_packets)
+            scanned = _mean_scanned(clf, trace, samples=200)
+            rows.append((binth, f"{scanned:.1f}", f"{res.gbps * 1000:.0f}",
+                         f"{clf.memory_bytes() / 1024:.0f}"))
+            data["binth"].append({
+                "binth": binth, "mean_scanned": scanned,
+                "mbps": res.gbps * 1000,
+                "memory_kb": clf.memory_bytes() / 1024,
+            })
+        text += "\n\n" + render_table(
+            f"Figure 8 (companion): real HiCuts binth sweep on {RULESET}",
+            ["binth", "mean rules scanned", "throughput (Mbps)", "memory (KB)"],
+            rows,
+        )
+    return ExperimentResult("fig8", "Linear search effect", text, data)
+
+
+def _mean_scanned(clf, trace, samples: int) -> float:
+    total = 0
+    count = min(samples, len(trace))
+    for idx in range(count):
+        lookup = clf.access_trace(trace.header(idx))
+        total += sum(1 for read in lookup.reads if read.nwords == RULE_WORDS)
+    return total / count

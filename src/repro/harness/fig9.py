@@ -1,0 +1,41 @@
+"""Figure 9 — ExpCuts vs HiCuts vs HSM across all seven rule sets.
+
+The paper's conclusions this figure carries: (1) ExpCuts has the best and
+*stable* throughput on every set; (2) HSM is fast on small sets but
+degrades as the rule count grows (Θ(log N) search); (3) HiCuts stays
+lowest, capped by leaf linear search.
+"""
+
+from __future__ import annotations
+
+from ..npsim import simulate_throughput
+from ..rulesets import PAPER_ORDER
+from .cache import get_classifier, get_trace
+from .experiments import ExperimentResult
+from .report import render_grouped_series
+
+ALGORITHMS = ("expcuts", "hicuts", "hsm")
+QUICK_SETS = ("FW01", "CR01")
+
+
+def run_fig9(quick: bool = False) -> ExperimentResult:
+    names = QUICK_SETS if quick else PAPER_ORDER
+    max_packets = 3_000 if quick else 10_000
+    trace_limit = 400 if quick else 1200
+    groups: dict[str, list[tuple[object, float]]] = {a: [] for a in ALGORITHMS}
+    data: dict[str, dict[str, float]] = {}
+    for name in names:
+        trace = get_trace(name)
+        data[name] = {}
+        for algo in ALGORITHMS:
+            clf = get_classifier(name, algo)
+            res = simulate_throughput(clf, trace, num_threads=71,
+                                      max_packets=max_packets,
+                                      trace_limit=trace_limit)
+            groups[algo].append((name, res.gbps * 1000))
+            data[name][algo] = res.gbps * 1000
+    text = render_grouped_series(
+        "Figure 9: Algorithm comparison (71 threads, 4 SRAM channels)",
+        "rule set", "throughput (Mbps)", groups,
+    )
+    return ExperimentResult("fig9", "Algorithm comparison", text, data)

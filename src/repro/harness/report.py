@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment tables and series.
+
+Every experiment renders through these helpers so the harness output
+reads like the paper's tables/figures: a caption, aligned columns, and
+for series an ASCII bar profile that makes the shape (linear speedup,
+knees, crossovers) visible in a terminal log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """A fixed-width table with a caption line."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, xlabel: str, ylabel: str,
+                  points: Sequence[tuple[object, float]],
+                  width: int = 46) -> str:
+    """One-series 'figure': x, y and a bar proportional to y."""
+    lines = [title, "=" * len(title)]
+    if not points:
+        return "\n".join(lines + ["(no data)"])
+    ymax = max(y for _, y in points) or 1.0
+    xw = max(len(_fmt(x)) for x, _ in points + [(xlabel, 0.0)])
+    yw = max(len(f"{y:.2f}") for _, y in points + [(0, 0.0)])
+    lines.append(f"{xlabel.ljust(xw)} | {ylabel}")
+    for x, y in points:
+        bar = "#" * max(1, round(y / ymax * width)) if y > 0 else ""
+        lines.append(f"{_fmt(x).ljust(xw)} | {f'{y:.2f}'.rjust(yw)} {bar}")
+    return "\n".join(lines)
+
+
+def render_grouped_series(
+    title: str, xlabel: str, ylabel: str,
+    groups: dict[str, Sequence[tuple[object, float]]],
+    width: int = 40,
+) -> str:
+    """Several named series over the same x values (Figure 9 style)."""
+    lines = [title, "=" * len(title)]
+    all_points = [p for series in groups.values() for p in series]
+    if not all_points:
+        return "\n".join(lines + ["(no data)"])
+    ymax = max(y for _, y in all_points) or 1.0
+    xs: list[object] = []
+    for series in groups.values():
+        for x, _ in series:
+            if x not in xs:
+                xs.append(x)
+    xw = max(len(_fmt(x)) for x in xs + [xlabel])
+    gw = max(len(g) for g in groups)
+    lines.append(f"({ylabel}; bar scale common across series)")
+    for x in xs:
+        lines.append(f"{_fmt(x).ljust(xw)}")
+        for gname, series in groups.items():
+            match = [y for sx, y in series if sx == x]
+            if not match:
+                continue
+            y = match[0]
+            bar = "#" * max(1, round(y / ymax * width)) if y > 0 else ""
+            lines.append(f"  {gname.ljust(gw)} | {y:8.2f} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,48 @@
+"""Table 2 — multiprocessing vs context-pipelining.
+
+The paper's Table 2 is qualitative; we reproduce the qualitative rows
+*and* quantify the trade-off the simulator exposes: the same packet work
+partitioned as context-pipelining pays a ring hand-off plus per-stage
+state reloads per packet, so at a fixed ME budget the multiprocessing
+mapping sustains higher throughput (which is why the paper's application
+uses it on the processing path).
+"""
+
+from __future__ import annotations
+
+from ..npsim import mapping_tradeoffs, simulate_throughput
+from .cache import get_classifier, get_trace
+from .experiments import ExperimentResult
+from .report import render_table
+
+RULESET = "CR04"
+
+
+def run_table2(quick: bool = False) -> ExperimentResult:
+    ruleset = "CR01" if quick else RULESET
+    clf = get_classifier(ruleset, "expcuts")
+    trace = get_trace(ruleset)
+    max_packets = 3_000 if quick else 10_000
+    rows = []
+    data = {}
+    for mapping in ("multiprocessing", "context_pipelining"):
+        res = simulate_throughput(clf, trace, num_threads=71,
+                                  max_packets=max_packets, mapping=mapping)
+        rows.append((mapping, f"{res.gbps * 1000:.0f}",
+                     f"{res.me_busy_fraction:.2f}", res.bounds.binding))
+        data[mapping] = res.gbps * 1000
+    text = render_table(
+        f"Table 2 (quantified): task partitioning on {ruleset}, 71 threads",
+        ["Mapping", "Throughput (Mbps)", "ME busy", "Binding resource"],
+        rows,
+    )
+    qualitative = mapping_tradeoffs()
+    lines = [text, "", "Qualitative trade-offs (paper Table 2):"]
+    for mapping, sides in qualitative.items():
+        lines.append(f"  {mapping}:")
+        for adv in sides["advantages"]:
+            lines.append(f"    + {adv}")
+        for dis in sides["disadvantages"]:
+            lines.append(f"    - {dis}")
+    return ExperimentResult("table2", "Task partitioning", "\n".join(lines),
+                            {"throughput": data, "qualitative": qualitative})

@@ -1,0 +1,60 @@
+"""Discrete-event simulation of the Intel IXP2850 network processor."""
+
+from .allocator import Placement, allocation_table, place
+from .application import build_application, run_application
+from .appsim import StageConfig, StagedResult, StagedSimulator
+from .analytic import Bounds, saturation_bounds
+from .chip import ChannelConfig, ChipConfig, IXP2850, default_sram_channels, hardware_overview
+from .flowcache import CacheOutcome, FlowCache, cached_program_set, simulate_hit_rate
+from .memory import ChannelReport, MemoryChannel
+from .microengine import SimResult, Simulator
+from .ordering import ReorderStats, analyze_completion_order, commit_latencies
+from .pipeline import (
+    DEFAULT_ALLOCATION,
+    MicroengineAllocation,
+    PROCESSING_OVERHEAD_CYCLES,
+    mapping_tradeoffs,
+    per_packet_overhead,
+)
+from .program import PacketProgram, ProgramSet, compile_programs, synthetic_program_set
+from .runner import ThroughputResult, simulate_throughput
+
+__all__ = [
+    "Bounds",
+    "CacheOutcome",
+    "ChannelConfig",
+    "ChannelReport",
+    "ChipConfig",
+    "DEFAULT_ALLOCATION",
+    "FlowCache",
+    "IXP2850",
+    "MemoryChannel",
+    "MicroengineAllocation",
+    "PROCESSING_OVERHEAD_CYCLES",
+    "PacketProgram",
+    "Placement",
+    "ProgramSet",
+    "ReorderStats",
+    "SimResult",
+    "Simulator",
+    "StageConfig",
+    "StagedResult",
+    "StagedSimulator",
+    "ThroughputResult",
+    "allocation_table",
+    "build_application",
+    "cached_program_set",
+    "analyze_completion_order",
+    "commit_latencies",
+    "compile_programs",
+    "default_sram_channels",
+    "hardware_overview",
+    "mapping_tradeoffs",
+    "per_packet_overhead",
+    "place",
+    "run_application",
+    "saturation_bounds",
+    "simulate_hit_rate",
+    "simulate_throughput",
+    "synthetic_program_set",
+]

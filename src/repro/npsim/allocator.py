@@ -1,0 +1,167 @@
+"""Region-to-channel placement policies (§5.3, Table 4).
+
+The paper's key memory-system optimisation: distribute the decision-tree
+levels over the SRAM channels *in proportion to each channel's bandwidth
+headroom*, so every channel saturates at the same offered packet rate.
+Regions are placed atomically (a data structure region lives on exactly
+one channel, as on the real part) — which is precisely why multi-region
+structures like the ExpCuts level segments can exploit all four channels
+while a monolithic linear-search rule table cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..classifiers.base import MemoryRegion
+from .chip import ChannelConfig
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A region -> channel assignment plus its rationale."""
+
+    mapping: dict[str, int]
+    policy: str
+
+    def channel_of(self, region: str) -> int:
+        return self.mapping[region]
+
+    def groups(self) -> dict[int, list[str]]:
+        out: dict[int, list[str]] = {}
+        for region, channel in self.mapping.items():
+            out.setdefault(channel, []).append(region)
+        return out
+
+
+def _is_level_region(name: str) -> bool:
+    return name.startswith("level:")
+
+
+def _level_of(name: str) -> int:
+    return int(name.split(":")[1])
+
+
+def headroom_proportional(
+    regions: list[MemoryRegion], channels: list[ChannelConfig]
+) -> Placement:
+    """The paper's policy (Table 4).
+
+    Tree-level regions are kept in level order and split into contiguous
+    groups sized by largest-remainder apportionment over channel headroom
+    — reproducing Table 4's "levels 0–1 / 2–6 / 7–9 / rest" pattern for
+    the measured 44 % / 100 % / 53 % / 69 % headrooms.  Non-level regions
+    (HSM/RFC tables, rule tables) are placed greedily: heaviest access
+    weight first onto the channel with the most *remaining* headroom per
+    already-assigned weight.
+    """
+    if not channels:
+        raise ValueError("need at least one channel")
+    mapping: dict[str, int] = {}
+
+    level_regions = sorted(
+        (r for r in regions if _is_level_region(r.name)), key=lambda r: _level_of(r.name)
+    )
+    other_regions = sorted(
+        (r for r in regions if not _is_level_region(r.name)),
+        key=lambda r: r.access_weight, reverse=True,
+    )
+
+    headrooms = [max(c.headroom, 1e-9) for c in channels]
+    total_headroom = sum(headrooms)
+
+    if level_regions:
+        # Largest-remainder apportionment of the level count.
+        n = len(level_regions)
+        quotas = [n * h / total_headroom for h in headrooms]
+        counts = [int(q) for q in quotas]
+        remainder = n - sum(counts)
+        by_frac = sorted(
+            range(len(channels)), key=lambda i: quotas[i] - counts[i], reverse=True
+        )
+        for i in by_frac[:remainder]:
+            counts[i] += 1
+        cursor = 0
+        for channel_idx, count in enumerate(counts):
+            for region in level_regions[cursor:cursor + count]:
+                mapping[region.name] = channel_idx
+            cursor += count
+        # Any residue (counts were clamped) lands on the last channel.
+        for region in level_regions[cursor:]:
+            mapping[region.name] = len(channels) - 1
+
+    # Greedy weight balancing for everything else.
+    assigned_weight = [0.0] * len(channels)
+    for region in other_regions:
+        best = max(
+            range(len(channels)),
+            key=lambda i: headrooms[i] - assigned_weight[i] * total_headroom,
+        )
+        mapping[region.name] = best
+        assigned_weight[best] += region.access_weight
+    return Placement(mapping, "headroom_proportional")
+
+
+def single_channel(regions: list[MemoryRegion], channels: list[ChannelConfig],
+                   channel_index: int | None = None) -> Placement:
+    """Everything on one channel (Table 5's 1-channel point; also the
+    natural placement for a monolithic structure)."""
+    if channel_index is None:
+        channel_index = max(
+            range(len(channels)), key=lambda i: channels[i].headroom
+        )
+    return Placement({r.name: channel_index for r in regions}, "single_channel")
+
+
+def round_robin(regions: list[MemoryRegion], channels: list[ChannelConfig]) -> Placement:
+    """Headroom-blind striping — the ablation foil for the paper's policy."""
+    ordered = sorted(regions, key=lambda r: r.name)
+    return Placement(
+        {r.name: i % len(channels) for i, r in enumerate(ordered)},
+        "round_robin",
+    )
+
+
+POLICIES = {
+    "headroom_proportional": headroom_proportional,
+    "single_channel": single_channel,
+    "round_robin": round_robin,
+}
+
+
+def place(regions: list[MemoryRegion], channels: list[ChannelConfig],
+          policy: str = "headroom_proportional") -> Placement:
+    """Dispatch by policy name."""
+    try:
+        fn = POLICIES[policy]
+    except KeyError:
+        raise ValueError(f"unknown placement policy {policy!r}") from None
+    return fn(regions, channels)
+
+
+def allocation_table(regions: list[MemoryRegion], channels: list[ChannelConfig],
+                     placement: Placement) -> list[dict]:
+    """Table 4 regenerated: per channel, utilisation, headroom and the
+    level/region groups assigned to it."""
+    groups = placement.groups()
+    rows = []
+    region_words = {r.name: r.words for r in regions}
+    for idx, channel in enumerate(channels):
+        names = sorted(groups.get(idx, []),
+                       key=lambda n: (_level_of(n) if _is_level_region(n) else 1 << 30, n))
+        levels = [_level_of(n) for n in names if _is_level_region(n)]
+        if levels and levels == list(range(levels[0], levels[-1] + 1)):
+            label = f"level {levels[0]}~{levels[-1]}"
+        elif levels:
+            label = "level " + ",".join(str(v) for v in levels)
+        else:
+            label = ", ".join(names) or "-"
+        rows.append({
+            "channel": channel.name,
+            "utilization": channel.background_utilization,
+            "headroom": channel.headroom,
+            "allocation": label,
+            "regions": names,
+            "words": sum(region_words[n] for n in names),
+        })
+    return rows

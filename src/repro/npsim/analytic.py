@@ -1,0 +1,110 @@
+"""Closed-form bottleneck model — the fast cross-check for the DES.
+
+Saturation throughput is the tightest of three bounds:
+
+* **ME pipeline**: aggregate compute+issue cycles per packet over the
+  available microengines;
+* **Channel bandwidth**: per channel, the words per packet placed on it
+  against its headroom-scaled service rate;
+* **Concurrency (Little's law)**: threads / per-packet residence time,
+  which binds at low thread counts before latency is fully masked.
+
+The DES should land within ~15 % of ``min(bounds)`` in every regime; the
+integration tests assert that, which guards both models against silent
+drift.  The harness also uses this model for quick parameter scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .allocator import Placement
+from .chip import ChannelConfig, ChipConfig
+from .program import ProgramSet
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Per-resource packet-rate bounds, in packets per ME-cycle."""
+
+    me_bound: float
+    channel_bound: float
+    concurrency_bound: float
+    binding: str
+
+    @property
+    def rate(self) -> float:
+        return min(self.me_bound, self.channel_bound, self.concurrency_bound)
+
+    def mpps(self, me_clock_mhz: float) -> float:
+        return self.rate * me_clock_mhz
+
+    def gbps(self, me_clock_mhz: float, packet_bytes: int) -> float:
+        return self.mpps(me_clock_mhz) * packet_bytes * 8 / 1000.0
+
+
+def saturation_bounds(
+    chip: ChipConfig,
+    channels: list[ChannelConfig],
+    program_set: ProgramSet,
+    placement: Placement,
+    num_threads: int,
+    per_packet_overhead: int = 0,
+    threads_per_me: int | None = None,
+) -> Bounds:
+    """Compute the three bounds for one configuration.
+
+    ``channels`` is the active channel list the placement indexes into
+    (it may be a Table-5 subset of the chip's four SRAM channels).
+    """
+    programs = program_set.programs
+    n = len(programs)
+    tpm = threads_per_me or chip.threads_per_me
+    num_mes = (num_threads + tpm - 1) // tpm
+
+    # Mean per-packet ME-pipeline occupancy and per-channel word demand.
+    me_cycles = 0.0
+    channel_words: dict[int, float] = {}
+    latency_cycles = 0.0
+    for program in programs:
+        me_cycles += program.tail_compute + per_packet_overhead
+        latency_cycles += program.tail_compute + per_packet_overhead
+        for rid, _addr, nwords, compute_before in program.reads:
+            channel_idx = placement.channel_of(program_set.regions[rid])
+            channel_words[channel_idx] = channel_words.get(channel_idx, 0.0) + nwords
+            me_cycles += compute_before + chip.issue_cycles + chip.context_switch_cycles
+            channel = channels[channel_idx]
+            latency_cycles += (
+                compute_before + chip.issue_cycles + channel.latency_cycles
+                + nwords * channel.cycles_per_word
+            )
+    me_cycles /= n
+    latency_cycles /= n
+
+    me_bound = num_mes / me_cycles if me_cycles > 0 else float("inf")
+
+    channel_bound = float("inf")
+    binding_channel = ""
+    for channel_idx, words in channel_words.items():
+        words_per_packet = words / n
+        channel = channels[channel_idx]
+        capacity = channel.headroom / channel.cycles_per_word  # words/cycle
+        bound = capacity / words_per_packet
+        if bound < channel_bound:
+            channel_bound = bound
+            binding_channel = channel.name
+
+    concurrency_bound = num_threads / latency_cycles if latency_cycles > 0 else float("inf")
+
+    bounds = {
+        "me_pipeline": me_bound,
+        f"channel:{binding_channel}": channel_bound,
+        "concurrency": concurrency_bound,
+    }
+    binding = min(bounds, key=lambda k: bounds[k])
+    return Bounds(
+        me_bound=me_bound,
+        channel_bound=channel_bound,
+        concurrency_bound=concurrency_bound,
+        binding=binding,
+    )

@@ -1,0 +1,365 @@
+"""Staged application simulation: the full §5.2 packet path.
+
+Where :mod:`repro.npsim.microengine` simulates the *processing* stage
+under saturation (what the paper's throughput figures measure), this
+module simulates the entire application of Figure 5 / Table 3 as
+communicating stages:
+
+    receive (2 MEs) ──ring──▶ processing (1–9 MEs) ──ring──▶
+        scheduling (3 MEs) ──ring──▶ transmit (2 MEs)
+
+Each stage's microengines run hardware threads that *get* a packet handle
+from their input scratch ring, execute the stage's per-packet program
+(memory references + compute, same op format as everywhere else), and
+*put* the handle to the next ring — blocking on empty input or full
+output, which is how back-pressure propagates and how a stage becomes
+the system bottleneck.
+
+This is what Table 2's context-pipelining row really is: the processing
+work split across further ring-connected stages.  ``compare_mappings``
+quantifies both options on equal ME budgets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from .chip import ChipConfig, IXP2850
+from .memory import MemoryChannel
+from .pipeline import RING_OP_CYCLES
+from .program import PacketProgram, ProgramSet
+
+
+@dataclass
+class StageConfig:
+    """One pipeline stage.
+
+    ``programs`` supplies the per-packet work (cycled round-robin); ops
+    use region names resolved through ``placement`` like everywhere else.
+    """
+
+    name: str
+    num_mes: int
+    programs: list[PacketProgram]
+    threads_per_me: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_mes < 1:
+            raise ValueError(f"stage {self.name} needs at least one ME")
+        if not self.programs:
+            raise ValueError(f"stage {self.name} has no programs")
+
+
+@dataclass
+class StageReport:
+    """Per-stage outcome of a staged run."""
+
+    name: str
+    packets: int
+    me_busy_fraction: float
+    input_wait_fraction: float   # thread-time share blocked on empty input
+    output_wait_fraction: float  # ... blocked on full output ring
+
+
+@dataclass
+class StagedResult:
+    packets: int
+    elapsed_cycles: float
+    stage_reports: list[StageReport]
+    ring_peaks: list[int]
+
+    def mpps(self, me_clock_mhz: float) -> float:
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return self.packets / self.elapsed_cycles * me_clock_mhz
+
+    def gbps(self, me_clock_mhz: float, packet_bytes: int) -> float:
+        return self.mpps(me_clock_mhz) * packet_bytes * 8 / 1000.0
+
+    @property
+    def bottleneck_stage(self) -> str:
+        """The stage whose MEs are busiest (the pipeline's limiter)."""
+        report = max(self.stage_reports, key=lambda r: r.me_busy_fraction)
+        return report.name
+
+
+class _Ring:
+    """A bounded scratch ring: deque + waiter bookkeeping."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.items = deque()
+        self.get_waiters: deque = deque()   # thread keys blocked on empty
+        self.put_waiters: deque = deque()   # thread keys blocked on full
+        self.peak = 0
+
+
+@dataclass
+class _Thread:
+    stage_index: int
+    me_key: tuple[int, int]       # (stage, me) key
+    op_index: int = 0
+    program: PacketProgram | None = None
+    state: str = "get"            # get | run | put
+    blocked_since: float = 0.0
+    input_wait: float = 0.0
+    output_wait: float = 0.0
+
+
+class StagedSimulator:
+    """Discrete-event simulation of ring-connected pipeline stages."""
+
+    def __init__(
+        self,
+        stages: list[StageConfig],
+        placement: dict[str, int],
+        channels: list[MemoryChannel],
+        chip: ChipConfig = IXP2850,
+        ring_capacity: int = 128,
+        source_rate: float | None = None,
+    ) -> None:
+        """``source_rate``: packets per ME cycle offered to stage 0's
+        input ring; ``None`` = infinite backlog (saturation)."""
+        if not stages:
+            raise ValueError("need at least one stage")
+        total_mes = sum(s.num_mes for s in stages)
+        if total_mes > chip.num_microengines:
+            raise ValueError(
+                f"stages need {total_mes} MEs; chip has {chip.num_microengines}"
+            )
+        self.stages = stages
+        self.chip = chip
+        self.channels = channels
+        self.placement = placement
+        self.source_rate = source_rate
+        # rings[i] feeds stage i; rings[len] is the drain (unbounded).
+        self.rings = [_Ring(ring_capacity) for _ in range(len(stages) + 1)]
+        self.rings[0].capacity = 1 << 30      # the wire: never back-pressures
+        self.rings[-1].capacity = 1 << 30     # the wire out
+        #: stage name -> region-name table (set by from_program_sets).
+        self._stage_regions: dict[str, list[str]] = {}
+
+    def _channel_for(self, stage: StageConfig, rid: int) -> MemoryChannel:
+        # Region ids are per-stage ProgramSet-local; stages carry their
+        # region table alongside (set by from_program_sets).
+        names = self._stage_regions[stage.name]
+        name = names[rid]
+        return self.channels[self.placement[name]]
+
+    @classmethod
+    def from_program_sets(cls, stage_sets: list[tuple[str, int, ProgramSet]],
+                          placement: dict[str, int],
+                          channels: list[MemoryChannel],
+                          chip: ChipConfig = IXP2850,
+                          ring_capacity: int = 128,
+                          source_rate: float | None = None) -> "StagedSimulator":
+        """Build from (stage name, num_mes, ProgramSet) triples."""
+        stages = [
+            StageConfig(name=name, num_mes=mes, programs=ps.programs)
+            for name, mes, ps in stage_sets
+        ]
+        sim = cls(stages, placement, channels, chip=chip,
+                  ring_capacity=ring_capacity, source_rate=source_rate)
+        sim._stage_regions = {
+            name: ps.regions for name, _mes, ps in stage_sets
+        }
+        return sim
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_packets: int) -> StagedResult:
+        chip = self.chip
+        switch = chip.context_switch_cycles
+        issue = chip.issue_cycles
+
+        # ME state per (stage, me): busy_until, ready deque.
+        me_busy: dict[tuple[int, int], float] = {}
+        me_ready: dict[tuple[int, int], deque] = {}
+        me_busy_cycles: dict[tuple[int, int], float] = {}
+        svc_scheduled: dict[tuple[int, int], bool] = {}
+        threads: list[_Thread] = []
+        for s_idx, stage in enumerate(self.stages):
+            for me in range(stage.num_mes):
+                key = (s_idx, me)
+                me_busy[key] = 0.0
+                me_ready[key] = deque()
+                me_busy_cycles[key] = 0.0
+                svc_scheduled[key] = False
+                for _t in range(stage.threads_per_me):
+                    threads.append(_Thread(stage_index=s_idx, me_key=key))
+
+        heap: list[tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(time: float, kind: int, payload) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, seq, kind, payload))
+            seq += 1
+
+        # Seed source packets.
+        source_ring = self.rings[0]
+        injected = 0
+
+        def inject(now: float) -> None:
+            nonlocal injected
+            if self.source_rate is None:
+                # Saturation: keep the source ring topped up.
+                while len(source_ring.items) < 256 and injected < max_packets * 2:
+                    source_ring.items.append(injected)
+                    injected += 1
+            else:
+                push(now + 1.0 / self.source_rate, 2, None)
+                if injected < max_packets * 2:
+                    source_ring.items.append(injected)
+                    injected += 1
+            if len(source_ring.items) > source_ring.peak:
+                source_ring.peak = len(source_ring.items)
+
+        inject(0.0)
+        for tid, _thread in enumerate(threads):
+            push(float(tid % 13), 0, tid)
+
+        done = 0
+        now = 0.0
+        stage_packets = [0] * len(self.stages)
+
+        def wake(tid: int, time: float, reason: str = "mem") -> None:
+            thread = threads[tid]
+            if reason == "input":
+                thread.input_wait += max(0.0, time - thread.blocked_since)
+            elif reason == "output":
+                thread.output_wait += max(0.0, time - thread.blocked_since)
+            key = thread.me_key
+            me_ready[key].append(tid)
+            if not svc_scheduled[key]:
+                svc_scheduled[key] = True
+                push(max(time, me_busy[key]), 1, key)
+
+        while done < max_packets and heap:
+            now, _, kind, payload = heapq.heappop(heap)
+            if kind == 2:                      # source injection tick
+                inject(now)
+                ring = self.rings[0]
+                while ring.items and ring.get_waiters:
+                    wake(ring.get_waiters.popleft(), now, "input")
+                continue
+            if kind == 0:                      # thread wake
+                wake(payload, now)
+                continue
+
+            key = payload                      # kind 1: ME service slot
+            svc_scheduled[key] = False
+            ready = me_ready[key]
+            if not ready:
+                continue
+            tid = ready.popleft()
+            thread = threads[tid]
+            stage = self.stages[thread.stage_index]
+            t = max(now, me_busy[key]) + switch
+            busy_start = t
+
+            progressed = True
+            while progressed:
+                progressed = False
+                if thread.state == "get":
+                    ring = self.rings[thread.stage_index]
+                    if ring.items:
+                        ring.items.popleft()
+                        # ring get cost + waking an upstream put-waiter
+                        t += RING_OP_CYCLES
+                        if ring.put_waiters:
+                            wake(ring.put_waiters.popleft(), t, "output")
+                        if thread.stage_index == 0 and self.source_rate is None:
+                            inject(t)  # saturation: keep the wire full
+                        programs = stage.programs
+                        thread.program = programs[
+                            stage_packets[thread.stage_index] % len(programs)
+                        ]
+                        stage_packets[thread.stage_index] += 1
+                        thread.op_index = 0
+                        thread.state = "run"
+                        progressed = True
+                    else:
+                        thread.blocked_since = t
+                        ring.get_waiters.append(tid)
+                        break
+                elif thread.state == "run":
+                    program = thread.program
+                    assert program is not None
+                    if thread.op_index < len(program.reads):
+                        rid, _addr, nwords, compute = program.reads[thread.op_index]
+                        t += compute
+                        channel = self._channel_for(stage, rid)
+                        issue_done, data_ready = channel.issue(t, nwords)
+                        t = max(t, issue_done) + issue
+                        thread.op_index += 1
+                        push(max(data_ready, t), 0, tid)
+                        break
+                    t += program.tail_compute
+                    thread.state = "put"
+                    progressed = True
+                elif thread.state == "put":
+                    ring = self.rings[thread.stage_index + 1]
+                    if len(ring.items) < ring.capacity:
+                        ring.items.append(0)
+                        if len(ring.items) > ring.peak:
+                            ring.peak = len(ring.items)
+                        t += RING_OP_CYCLES
+                        if ring.get_waiters:
+                            wake(ring.get_waiters.popleft(), t, "input")
+                        if thread.stage_index == len(self.stages) - 1:
+                            done += 1
+                            if done >= max_packets:
+                                me_busy_cycles[key] += t - busy_start
+                                me_busy[key] = t
+                                elapsed = t
+                                return self._report(
+                                    done, elapsed, threads, me_busy_cycles,
+                                    stage_packets,
+                                )
+                        thread.state = "get"
+                        progressed = True
+                    else:
+                        thread.blocked_since = t
+                        ring.put_waiters.append(tid)
+                        break
+
+            me_busy_cycles[key] += t - busy_start
+            me_busy[key] = t
+            if me_ready[key] and not svc_scheduled[key]:
+                svc_scheduled[key] = True
+                push(t, 1, key)
+
+        return self._report(done, now, threads, me_busy_cycles, stage_packets)
+
+    def _report(self, done, elapsed, threads, me_busy_cycles,
+                stage_packets) -> StagedResult:
+        reports = []
+        for s_idx, stage in enumerate(self.stages):
+            keys = [(s_idx, me) for me in range(stage.num_mes)]
+            busy = sum(me_busy_cycles[k] for k in keys)
+            total = stage.num_mes * max(elapsed, 1.0)
+            input_wait = sum(
+                th.input_wait for th in threads if th.stage_index == s_idx
+            )
+            output_wait = sum(
+                th.output_wait for th in threads if th.stage_index == s_idx
+            )
+            thread_total = (
+                stage.num_mes * stage.threads_per_me * max(elapsed, 1.0)
+            )
+            reports.append(StageReport(
+                name=stage.name,
+                packets=stage_packets[s_idx],
+                me_busy_fraction=busy / total,
+                input_wait_fraction=input_wait / thread_total,
+                output_wait_fraction=output_wait / thread_total,
+            ))
+        return StagedResult(
+            packets=done,
+            elapsed_cycles=elapsed,
+            stage_reports=reports,
+            ring_peaks=[ring.peak for ring in self.rings],
+        )

@@ -1,0 +1,165 @@
+"""IXP2850 hardware model parameters (Table 1 of the paper).
+
+The numbers here are the public data-sheet figures for the Intel IXP2850:
+sixteen microengines at 1.4 GHz with eight hardware thread contexts each,
+four QDR SRAM channels at 233 MHz (word-oriented: optimised for 4-byte
+access), three RDRAM channels at 127.3 MHz (burst-oriented: optimised for
+16-byte access), plus an XScale control core.  Everything downstream of
+this module consumes the :class:`ChipConfig` dataclass, so "what if the
+part were different" ablations are one constructor call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """One memory channel's timing model, in *microengine* clock cycles.
+
+    ``cycles_per_word``
+        Service time per 32-bit word once a command reaches the head of
+        the controller queue (ME-cycles; the QDR SRAM moves one word per
+        memory clock, and the ME clock is six times the memory clock).
+    ``latency_cycles``
+        Fixed pipeline latency from command acceptance to data return
+        (command bus, controller pipeline, push bus).
+    ``fifo_depth``
+        Command-FIFO entries; when full, the issuing microengine stalls —
+        the §6.7 "I/O instructions" bottleneck.
+    ``background_utilization``
+        Fraction of the channel's bandwidth consumed by the rest of the
+        application (packet buffers, descriptors, queues); Table 4 row
+        "Utilization".
+    """
+
+    name: str
+    kind: str  # "sram" | "dram"
+    cycles_per_word: float
+    latency_cycles: int
+    fifo_depth: int
+    background_utilization: float = 0.0
+
+    @property
+    def headroom(self) -> float:
+        """Bandwidth fraction available to packet classification."""
+        return 1.0 - self.background_utilization
+
+
+#: ME-cycles per SRAM word: 1.4 GHz / 233 MHz ≈ 6.0.
+SRAM_CYCLES_PER_WORD = 6.0
+#: End-to-end SRAM read latency in ME cycles (~100 ns on the part).
+SRAM_LATENCY_CYCLES = 150
+#: SRAM controller command-queue depth.  The IXP2850 controller accepts
+#: commands from both command buses into a deep inlet queue; 64 entries
+#: keeps transient convoys (many threads sweeping the same level order)
+#: from blocking ME pipelines, while a genuinely oversubscribed channel
+#: still back-pressures — the §6.7 I/O bottleneck.
+SRAM_FIFO_DEPTH = 64
+
+#: DRAM (RDRAM) figures: burst-oriented, roughly twice the SRAM latency
+#: (§5.3), modelled per-word for uniformity.
+DRAM_CYCLES_PER_WORD = 11.0
+DRAM_LATENCY_CYCLES = 300
+DRAM_FIFO_DEPTH = 24
+
+#: On-chip scratchpad / scratch-ring access (its own internal bus; short
+#: latency, effectively never the bandwidth bottleneck).  The application
+#: tail (descriptor handling, ring enqueue) interleaves these with its
+#: compute, which is what lets other thread contexts fill the pipeline.
+SCRATCH_CYCLES_PER_WORD = 2.0
+SCRATCH_LATENCY_CYCLES = 60
+SCRATCH_FIFO_DEPTH = 256
+
+SCRATCH_CHANNEL = None  # assigned below, after ChannelConfig is defined
+
+
+def default_sram_channels(
+    num: int = 4,
+    background: tuple[float, ...] = (0.56, 0.0, 0.47, 0.31),
+) -> tuple[ChannelConfig, ...]:
+    """The four QDR SRAM channels with Table 4's measured utilisation.
+
+    ``background`` defaults to the paper's per-channel utilisation by the
+    application *without* the classification code (56 % / 0 % / 47 % /
+    31 %); pass zeros for a classification-only study.
+    """
+    channels = []
+    for idx in range(num):
+        channels.append(ChannelConfig(
+            name=f"sram{idx}", kind="sram",
+            cycles_per_word=SRAM_CYCLES_PER_WORD,
+            latency_cycles=SRAM_LATENCY_CYCLES,
+            fifo_depth=SRAM_FIFO_DEPTH,
+            background_utilization=background[idx] if idx < len(background) else 0.0,
+        ))
+    return tuple(channels)
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """The whole network processor (Table 1)."""
+
+    me_clock_mhz: float = 1400.0
+    num_microengines: int = 16
+    threads_per_me: int = 8
+    sram_channels: tuple[ChannelConfig, ...] = field(
+        default_factory=default_sram_channels
+    )
+    dram_channels: tuple[ChannelConfig, ...] = field(default_factory=lambda: tuple(
+        ChannelConfig(
+            name=f"dram{idx}", kind="dram",
+            cycles_per_word=DRAM_CYCLES_PER_WORD,
+            latency_cycles=DRAM_LATENCY_CYCLES,
+            fifo_depth=DRAM_FIFO_DEPTH,
+        )
+        for idx in range(3)
+    ))
+    #: Cycles a context switch costs (IXP2xxx: zero-overhead in hardware,
+    #: one issue slot in practice).
+    context_switch_cycles: int = 1
+    #: Cycles to issue one memory command from the ME pipeline.
+    issue_cycles: int = 1
+
+    def with_sram_channels(self, num: int,
+                           background: tuple[float, ...] | None = None) -> "ChipConfig":
+        """A copy restricted to ``num`` SRAM channels (Table 5 sweep).
+
+        When fewer channels remain, the paper's single-channel experiment
+        used the idle channel — so by default channel backgrounds are
+        re-derived from the *least* utilised channels first.
+        """
+        if num == len(self.sram_channels) and background is None:
+            return self
+        if background is None:
+            sorted_bg = sorted(c.background_utilization for c in self.sram_channels)
+            background = tuple(sorted_bg[:num])
+        return replace(self, sram_channels=default_sram_channels(num, background))
+
+
+IXP2850 = ChipConfig()
+
+SCRATCH_CHANNEL = ChannelConfig(
+    name="scratch", kind="scratch",
+    cycles_per_word=SCRATCH_CYCLES_PER_WORD,
+    latency_cycles=SCRATCH_LATENCY_CYCLES,
+    fifo_depth=SCRATCH_FIFO_DEPTH,
+)
+
+
+def hardware_overview(chip: ChipConfig = IXP2850) -> list[tuple[str, str]]:
+    """Table 1, regenerated from the model (used by the harness)."""
+    return [
+        ("Intel XScale core",
+         "general purpose 32-bit RISC control processor"),
+        ("Multithreaded microengines",
+         f"{chip.num_microengines} MEs x {chip.threads_per_me} hardware threads "
+         f"at {chip.me_clock_mhz:.0f} MHz"),
+        ("Memory hierarchy",
+         f"{len(chip.sram_channels)} channels QDR SRAM "
+         f"({chip.me_clock_mhz / SRAM_CYCLES_PER_WORD:.0f} MHz word-oriented), "
+         f"{len(chip.dram_channels)} channels RDRAM (burst-oriented)"),
+        ("Built-in media interfaces",
+         "32-bit SPI-4 / CSIX-L1 (modelled as rate sources/sinks)"),
+    ]

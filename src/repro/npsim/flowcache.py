@@ -1,0 +1,133 @@
+"""Flow-cache modelling — the paper's §1 motivation, quantified.
+
+The paper motivates NP-based algorithmic classification by noting that
+software classifiers on general-purpose CPUs stall on memory because
+"due to the diversity of incoming packet headers, most memory accesses
+occur to different memory locations.  So the probability of CPU cache
+hit is not high".  The same argument bounds what an *exact-match flow
+cache* in front of a classifier can do: its value collapses exactly when
+traffic is diverse.
+
+This module models such a cache (LRU over exact 5-tuples, as an on-chip
+hash/scratch structure) and rewrites a recorded program set so cache
+hits classify with a single probe while misses pay the probe *plus* the
+full lookup plus the insert.  The extension benchmarks sweep traffic
+skew to show the crossover: heavy-tailed flows make the cache shine,
+uniform traffic makes it pure overhead — which is why the paper's answer
+is a better algorithm, not a cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..core.fields import stable_header_hash
+from ..traffic.trace import Trace
+from .program import PacketProgram, ProgramSet
+
+#: The cache probe: one 2-word read (tag + result) in on-chip memory.
+PROBE_WORDS = 2
+PROBE_COMPUTE = 8
+#: Extra cost of installing a missed flow (hash write path).
+INSERT_COMPUTE = 10
+
+
+class FlowCache:
+    """Exact-match LRU cache over 5-tuples."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, key: tuple, value: int = 0) -> bool:
+        """Touch ``key``; returns True on hit.  Misses install the key,
+        evicting the least recently used entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class CacheOutcome:
+    """The result of rewriting a program set through a flow cache."""
+
+    program_set: ProgramSet
+    hit_rate: float
+    hits: int
+    misses: int
+
+
+def simulate_hit_rate(trace: Trace, capacity: int) -> float:
+    """Hit rate of an LRU flow cache over ``trace`` (no simulator run)."""
+    cache = FlowCache(capacity)
+    for header in trace.headers():
+        cache.access(header)
+    return cache.hit_rate
+
+
+def cached_program_set(
+    program_set: ProgramSet,
+    trace: Trace,
+    capacity: int,
+    cache_region: str = "flowcache",
+) -> CacheOutcome:
+    """Rewrite ``program_set`` as seen behind a flow cache.
+
+    Packet ``i`` (aligned with ``trace``) becomes a bare probe on a hit,
+    or probe + original lookup + insert on a miss.  The cache region is
+    expected to be placed on on-chip memory (scratch) by the caller.
+    """
+    if len(program_set.programs) > len(trace):
+        raise ValueError("trace shorter than the program list")
+    regions = list(program_set.regions)
+    if cache_region in regions:
+        cache_rid = regions.index(cache_region)
+    else:
+        cache_rid = len(regions)
+        regions.append(cache_region)
+
+    cache = FlowCache(capacity)
+    programs: list[PacketProgram] = []
+    for idx, prog in enumerate(program_set.programs):
+        header = trace.header(idx)
+        probe = (cache_rid, stable_header_hash(header) & 0xFFFF,
+                 PROBE_WORDS, PROBE_COMPUTE)
+        if cache.access(header):
+            programs.append(PacketProgram(
+                reads=(probe,), tail_compute=2, result=prog.result,
+            ))
+        else:
+            programs.append(PacketProgram(
+                reads=(probe,) + prog.reads,
+                tail_compute=prog.tail_compute + INSERT_COMPUTE,
+                result=prog.result,
+            ))
+    return CacheOutcome(
+        program_set=ProgramSet(
+            regions=regions, programs=programs,
+            classifier_name=f"{program_set.classifier_name}+cache{capacity}",
+            packet_bytes=program_set.packet_bytes,
+        ),
+        hit_rate=cache.hit_rate,
+        hits=cache.hits,
+        misses=cache.misses,
+    )

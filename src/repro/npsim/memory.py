@@ -1,0 +1,118 @@
+"""Memory-channel queueing model.
+
+Each channel is a single server with a bounded command FIFO:
+
+* a command for ``n`` words occupies the server for
+  ``n * cycles_per_word / headroom`` ME-cycles — background traffic from
+  the rest of the application (Table 4 "Utilization") is modelled as a
+  proportional slowdown of the service rate;
+* data returns ``latency_cycles`` after service completes;
+* a command entering a full FIFO stalls the *issuing microengine* until a
+  slot frees — the §6.7 "I/O instructions" bottleneck, which binds before
+  raw bandwidth does when lookups issue many small reads.
+
+The model is work-conserving and deterministic; all statistics needed by
+the harness (served words, busy time, stall time, peak occupancy) are
+accumulated exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .chip import ChannelConfig
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate counters for one channel over a simulation run."""
+
+    commands: int = 0
+    words: int = 0
+    busy_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    stalled_commands: int = 0
+    peak_outstanding: int = 0
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of the run the server spent transferring words."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+
+class MemoryChannel:
+    """One SRAM/DRAM controller (single server + bounded command FIFO)."""
+
+    def __init__(self, config: ChannelConfig) -> None:
+        if config.headroom <= 0.0:
+            raise ValueError(f"channel {config.name} has no headroom")
+        self.config = config
+        self.effective_cycles_per_word = config.cycles_per_word / config.headroom
+        self.service_free = 0.0          # when the server frees up
+        self.completions: deque[float] = deque()  # in-FIFO commands' finish times
+        self.stats = ChannelStats()
+
+    def issue(self, now: float, nwords: int) -> tuple[float, float]:
+        """Issue a read command at ``now``.
+
+        Returns ``(issue_done, data_ready)``: the time the issuing ME's
+        pipeline is released (later than ``now`` when the FIFO was full)
+        and the time the data lands in the thread's transfer registers.
+        """
+        if nwords <= 0:
+            raise ValueError("read must cover at least one word")
+        completions = self.completions
+        while completions and completions[0] <= now:
+            completions.popleft()
+        stall_until = now
+        depth = self.config.fifo_depth
+        if len(completions) >= depth:
+            # Wait until occupancy drops below the FIFO depth: the
+            # (occupancy - depth + 1)-th oldest command must finish.
+            stall_until = completions[len(completions) - depth]
+            self.stats.stall_cycles += stall_until - now
+            self.stats.stalled_commands += 1
+        service_time = nwords * self.effective_cycles_per_word
+        start = max(stall_until, self.service_free)
+        self.service_free = start + service_time
+        data_ready = self.service_free + self.config.latency_cycles
+        completions.append(self.service_free)
+        stats = self.stats
+        stats.commands += 1
+        stats.words += nwords
+        stats.busy_cycles += service_time
+        if len(completions) > stats.peak_outstanding:
+            stats.peak_outstanding = len(completions)
+        return stall_until, data_ready
+
+    @property
+    def words_per_cycle_capacity(self) -> float:
+        """Classification-visible service capacity (headroom applied)."""
+        return 1.0 / self.effective_cycles_per_word
+
+
+@dataclass
+class ChannelReport:
+    """Per-channel summary emitted with every simulation result."""
+
+    name: str
+    commands: int
+    words: int
+    utilization: float
+    stall_cycles: float
+    peak_outstanding: int
+    background_utilization: float
+
+    @classmethod
+    def from_channel(cls, channel: MemoryChannel, elapsed: float) -> "ChannelReport":
+        return cls(
+            name=channel.config.name,
+            commands=channel.stats.commands,
+            words=channel.stats.words,
+            utilization=channel.stats.utilization(elapsed),
+            stall_cycles=channel.stats.stall_cycles,
+            peak_outstanding=channel.stats.peak_outstanding,
+            background_utilization=channel.config.background_utilization,
+        )

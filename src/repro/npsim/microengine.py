@@ -1,0 +1,308 @@
+"""The discrete-event core: microengines, hardware threads, simulation loop.
+
+Model (mirrors the IXP2xxx execution model, §3 of the paper):
+
+* A microengine (ME) is a single in-order pipeline shared by up to eight
+  hardware thread contexts.  Exactly one thread runs at a time; a thread
+  voluntarily yields when it issues a memory reference and swaps back in
+  (after an ~1-cycle context switch) once its data has returned *and* the
+  pipeline is free — this is the latency-masking the paper's programming
+  challenge #2 describes.
+* Issuing a command into a full channel FIFO stalls the whole ME pipeline
+  (programming challenge: the §6.7 I/O-instruction bottleneck).
+* Threads run an endless packet loop: fetch next header, execute its
+  lookup program (compute bursts separated by memory reads), then the
+  per-packet application tail (forwarding, queueing to the scheduler).
+
+The simulator is a deterministic event-driven loop over (time, event)
+pairs; microengines drain their ready queues run-to-memory-reference, so
+event count stays ~1.5 per memory read.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from .chip import ChipConfig
+from .memory import MemoryChannel
+from .program import ProgramSet
+
+
+@dataclass
+class ThreadState:
+    """One hardware context's progress through the packet stream."""
+
+    me_index: int
+    thread_index: int
+    packet_cursor: int = -1       # index into the program list
+    packet_seq: int = -1          # global arrival sequence number
+    packet_arrival: float = 0.0   # arrival time (0 in saturation mode)
+    op_index: int = 0             # next read within the current program
+    packets_done: int = 0
+
+
+@dataclass
+class MicroengineState:
+    """Scheduling state of one ME."""
+
+    index: int
+    busy_until: float = 0.0
+    ready: deque = field(default_factory=deque)
+    busy_cycles: float = 0.0       # pipeline-occupied time (compute+issue)
+    packets_done: int = 0
+
+
+@dataclass
+class SimResult:
+    """Raw outcome of one simulation run (cycles are ME cycles)."""
+
+    packets: int
+    elapsed_cycles: float
+    window_packets: int
+    window_cycles: float
+    me_busy_fraction: float
+    channel_reports: list
+    completion_samples: list[float]
+    #: Arrival sequence numbers in completion order (ordering analysis).
+    completion_order: list[int] = field(default_factory=list)
+    #: Completion times aligned with ``completion_order``.
+    completion_times: list[float] = field(default_factory=list)
+    #: Per-packet latency (completion - arrival), only for open-loop runs.
+    latencies: list[float] = field(default_factory=list)
+
+    def latency_percentiles(self, *quantiles: float) -> list[float]:
+        """Latency percentiles in ME cycles (open-loop runs only)."""
+        if not self.latencies:
+            raise ValueError("latencies are only recorded for open-loop runs")
+        ordered = sorted(self.latencies)
+        out = []
+        for q in quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile {q} out of range")
+            idx = min(len(ordered) - 1, int(q * len(ordered)))
+            out.append(ordered[idx])
+        return out
+
+    def mpps(self, me_clock_mhz: float) -> float:
+        """Steady-state throughput in million packets per second."""
+        if self.window_cycles <= 0:
+            return 0.0
+        return self.window_packets / self.window_cycles * me_clock_mhz
+
+    def gbps(self, me_clock_mhz: float, packet_bytes: int) -> float:
+        return self.mpps(me_clock_mhz) * packet_bytes * 8 / 1000.0
+
+
+class Simulator:
+    """Replay a :class:`ProgramSet` on simulated MEs and channels."""
+
+    def __init__(
+        self,
+        chip: ChipConfig,
+        channels: list[MemoryChannel],
+        placement: dict[str, int],
+        program_set: ProgramSet,
+        num_threads: int,
+        threads_per_me: int | None = None,
+        per_packet_overhead: int = 0,
+    ) -> None:
+        """``placement`` maps region name -> index into ``channels``.
+
+        ``num_threads`` are packed onto ``ceil(num_threads / threads_per_me)``
+        MEs (the paper reserves one context of the last ME for exception
+        handling, hence the 7/15/…/71 sweep points).
+        """
+        if num_threads <= 0:
+            raise ValueError("need at least one thread")
+        if not program_set.programs:
+            raise ValueError("program set is empty")
+        self.chip = chip
+        self.channels = channels
+        self.program_set = program_set
+        self.per_packet_overhead = per_packet_overhead
+        tpm = threads_per_me or chip.threads_per_me
+        num_mes = (num_threads + tpm - 1) // tpm
+        if num_mes > chip.num_microengines:
+            raise ValueError(
+                f"{num_threads} threads need {num_mes} MEs; chip has "
+                f"{chip.num_microengines}"
+            )
+        # region_id -> channel object, resolved once.
+        self.region_channels: list[MemoryChannel] = []
+        for region in program_set.regions:
+            if region not in placement:
+                raise KeyError(f"region {region!r} has no channel placement")
+            self.region_channels.append(channels[placement[region]])
+
+        self.mes = [MicroengineState(i) for i in range(num_mes)]
+        self.threads: list[ThreadState] = []
+        for t in range(num_threads):
+            self.threads.append(ThreadState(me_index=t // tpm, thread_index=t % tpm))
+        self._next_packet = 0
+        self.completions: list[float] = []
+
+    # -- packet feed -------------------------------------------------------
+
+    def _fetch_packet(self, thread: ThreadState) -> None:
+        """Assign the next packet (programs cycle round-robin forever)."""
+        thread.packet_seq = self._next_packet
+        thread.packet_cursor = self._next_packet % len(self.program_set.programs)
+        self._next_packet += 1
+        thread.op_index = 0
+
+    def _arrival_of(self, seq: int) -> float:
+        """Arrival time of packet ``seq`` under the configured process."""
+        if self._arrival_spacing is None:
+            return 0.0
+        burst = self._burst_size
+        return (seq // burst) * self._arrival_spacing * burst
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_packets: int, warmup_fraction: float = 0.2,
+            arrival_rate: float | None = None,
+            burst_size: int = 1) -> SimResult:
+        """Simulate until ``max_packets`` packets have completed.
+
+        Throughput is computed over the steady-state window that excludes
+        the first ``warmup_fraction`` of completions (pipeline fill).
+
+        ``arrival_rate`` switches from saturation (infinite backlog) to an
+        open-loop arrival process of that many packets per ME cycle;
+        ``burst_size`` packets arrive back to back (bursty traffic).
+        Open-loop runs record per-packet latency (completion − arrival).
+        """
+        if arrival_rate is not None and arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        self._arrival_spacing = (1.0 / arrival_rate) if arrival_rate else None
+        self._burst_size = burst_size
+        chip = self.chip
+        programs = self.program_set.programs
+        region_channels = self.region_channels
+        issue_cycles = chip.issue_cycles
+        switch_cycles = chip.context_switch_cycles
+        overhead = self.per_packet_overhead
+
+        # Event heap entries: (time, seq, kind, index) where kind 0 is a
+        # thread wake (index = thread id) and kind 1 an ME service slot
+        # (index = ME id).  Wakes append the thread to its ME's ready
+        # queue; service events run exactly one thread segment (up to the
+        # next memory reference), so threads interleave on the pipeline in
+        # true time order.  Initial wakes are staggered one cycle apart so
+        # the start-up burst is not artificially synchronised.
+        heap: list[tuple[float, int, int, int]] = []
+        seq = 0
+        svc_scheduled = [False] * len(self.mes)
+        for tid, thread in enumerate(self.threads):
+            self._fetch_packet(thread)
+            thread.packet_arrival = self._arrival_of(thread.packet_seq)
+            wake_at = max(float(tid), thread.packet_arrival)
+            heapq.heappush(heap, (wake_at, seq, 0, tid))
+            seq += 1
+
+        completions = self.completions
+        completion_order: list[int] = []
+        latencies: list[float] = []
+        open_loop = self._arrival_spacing is not None
+        total_done = 0
+        now = 0.0
+
+        while total_done < max_packets and heap:
+            now, _, kind, index = heapq.heappop(heap)
+            if kind == 0:
+                thread = self.threads[index]
+                me = self.mes[thread.me_index]
+                me.ready.append(index)
+                if not svc_scheduled[me.index]:
+                    svc_scheduled[me.index] = True
+                    heapq.heappush(
+                        heap, (max(now, me.busy_until), seq, 1, me.index)
+                    )
+                    seq += 1
+                continue
+
+            me = self.mes[index]
+            svc_scheduled[index] = False
+            if not me.ready:
+                continue
+            run_tid = me.ready.popleft()
+            run_thread = self.threads[run_tid]
+            t = max(now, me.busy_until) + switch_cycles
+            busy_start = t
+            # Execute one segment: through packet boundaries until the
+            # next memory reference blocks the thread.
+            while True:
+                program = programs[run_thread.packet_cursor]
+                if run_thread.op_index < len(program.reads):
+                    rid, _addr, nwords, compute_before = program.reads[
+                        run_thread.op_index
+                    ]
+                    t += compute_before
+                    channel = region_channels[rid]
+                    issue_done, data_ready = channel.issue(t, nwords)
+                    t = max(t, issue_done) + issue_cycles
+                    run_thread.op_index += 1
+                    heapq.heappush(heap, (max(data_ready, t), seq, 0, run_tid))
+                    seq += 1
+                    break
+                # Packet complete: application tail, then next packet.
+                t += program.tail_compute + overhead
+                run_thread.packets_done += 1
+                me.packets_done += 1
+                total_done += 1
+                completions.append(t)
+                completion_order.append(run_thread.packet_seq)
+                if open_loop:
+                    latencies.append(t - run_thread.packet_arrival)
+                self._fetch_packet(run_thread)
+                if total_done >= max_packets:
+                    break
+                if open_loop:
+                    arrival = self._arrival_of(run_thread.packet_seq)
+                    run_thread.packet_arrival = arrival
+                    if arrival > t:
+                        # Nothing to process yet: yield and wake when the
+                        # packet actually arrives.
+                        heapq.heappush(heap, (arrival, seq, 0, run_tid))
+                        seq += 1
+                        break
+            me.busy_cycles += t - busy_start
+            me.busy_until = t
+            if me.ready and not svc_scheduled[index]:
+                svc_scheduled[index] = True
+                heapq.heappush(heap, (t, seq, 1, index))
+                seq += 1
+
+        elapsed = max(completions) if completions else now
+        cut = int(len(completions) * warmup_fraction)
+        window = completions[cut:]
+        if len(window) >= 2:
+            window_cycles = window[-1] - window[0]
+            window_packets = len(window) - 1
+        else:
+            window_cycles = elapsed
+            window_packets = len(completions)
+        me_busy = (
+            sum(me.busy_cycles for me in self.mes) / (len(self.mes) * elapsed)
+            if elapsed > 0 else 0.0
+        )
+        from .memory import ChannelReport
+
+        return SimResult(
+            packets=total_done,
+            elapsed_cycles=elapsed,
+            window_packets=window_packets,
+            window_cycles=window_cycles,
+            me_busy_fraction=me_busy,
+            channel_reports=[
+                ChannelReport.from_channel(ch, elapsed) for ch in self.channels
+            ],
+            completion_samples=completions[:: max(1, len(completions) // 256)],
+            completion_order=completion_order,
+            completion_times=list(completions),
+            latencies=latencies,
+        )

@@ -1,0 +1,109 @@
+"""Packet-ordering analysis — the paper's third programming challenge.
+
+§3.2: "Maintaining packet ordering in spite of parallel processing …
+extremely critical for applications like media gateways and traffic
+management.  Packet ordering can be guaranteed using sequence numbers
+and/or strict thread ordering."
+
+The simulator processes packets on up to 71 concurrent contexts, so
+completions *do* reorder relative to arrival.  This module quantifies it
+from a run's completion order, and models the standard sequence-number
+fix: a reorder buffer that commits packets in order, whose required
+occupancy (and the commit latency it adds) we measure rather than guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ReorderStats:
+    """Reordering measured over one simulation run."""
+
+    packets: int
+    #: Fraction of packets completing before some earlier-arrived packet
+    #: had completed (RFC 4737-style reordered ratio).
+    reordered_fraction: float
+    #: Largest |completion position - arrival sequence| displacement.
+    max_displacement: int
+    #: Peak entries a sequence-number reorder buffer must hold to commit
+    #: strictly in order.
+    reorder_buffer_peak: int
+    #: Mean entries held in that buffer.
+    reorder_buffer_mean: float
+
+    @property
+    def in_order(self) -> bool:
+        return self.reordered_fraction == 0.0
+
+
+def analyze_completion_order(order: Sequence[int]) -> ReorderStats:
+    """Compute reorder statistics from completion order.
+
+    ``order[i]`` is the arrival sequence number of the i-th packet to
+    complete; a fully ordered system yields ``order == sorted(order)``.
+    """
+    n = len(order)
+    if n == 0:
+        return ReorderStats(0, 0.0, 0, 0, 0.0)
+
+    # A packet is "reordered" if some larger sequence completed before it.
+    reordered = 0
+    max_seen = -1
+    for seq in order:
+        if seq < max_seen:
+            reordered += 1
+        else:
+            max_seen = seq
+    max_disp = max(abs(seq - pos) for pos, seq in enumerate(order))
+
+    # Reorder-buffer simulation: commit pointer advances only when the
+    # next expected sequence number has completed.
+    pending: set[int] = set()
+    next_commit = min(order)
+    peak = 0
+    occupancy_sum = 0
+    for seq in order:
+        pending.add(seq)
+        # Peak is measured at insertion (a pass-through packet still
+        # occupies its slot momentarily); the mean reflects steady holding
+        # after the commit pointer advances.
+        if len(pending) > peak:
+            peak = len(pending)
+        while next_commit in pending:
+            pending.remove(next_commit)
+            next_commit += 1
+        occupancy_sum += len(pending)
+    return ReorderStats(
+        packets=n,
+        reordered_fraction=reordered / n,
+        max_displacement=max_disp,
+        reorder_buffer_peak=peak,
+        reorder_buffer_mean=occupancy_sum / n,
+    )
+
+
+def commit_latencies(order: Sequence[int],
+                     completion_times: Sequence[float]) -> list[float]:
+    """Extra latency each packet waits in the reorder buffer.
+
+    Packet with sequence ``s`` commits when every packet with a smaller
+    sequence has completed; the return value is ``commit_time -
+    completion_time`` per packet, in completion order.
+    """
+    if len(order) != len(completion_times):
+        raise ValueError("order and completion_times must align")
+    commit_time_of: dict[int, float] = {}
+    pending: dict[int, float] = {}
+    next_commit = min(order) if order else 0
+    extra: dict[int, float] = {}
+    for seq, when in zip(order, completion_times):
+        pending[seq] = when
+        while next_commit in pending:
+            done = pending.pop(next_commit)
+            commit_time_of[next_commit] = when
+            extra[next_commit] = when - done
+            next_commit += 1
+    return [extra[seq] for seq in sorted(extra)]

@@ -1,0 +1,116 @@
+"""The full packet-processing application around classification (§5.2).
+
+The paper measures classification inside a complete IXP2850 application:
+Ethernet frames are received and reassembled (2 MEs), processed
+(classification + IPv4 forwarding, 1–9 MEs), scheduled (3 MEs) and
+transmitted as CSIX c-frames (2 MEs) — Table 3.  Receive/schedule/
+transmit appear to the classification study as (a) a cap on offered load
+far above the classification rates measured and (b) the background SRAM
+traffic already captured per channel in Table 4's utilisation row; what
+lands *on the processing microengines* is the per-packet forwarding and
+queueing work modelled here.
+
+Two task-partitioning modes (Table 2):
+
+* ``multiprocessing`` — every processing ME runs the whole per-packet
+  program (the paper's choice for the throughput experiments);
+* ``context_pipelining`` — the packet work is split into stages on
+  disjoint MEs connected by scratch rings, adding a ring put+get per
+  hand-off and duplicating per-packet state loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Per-packet processing-ME cycles besides the classification lookup:
+#: IPv4 forwarding (route lookup result handling, TTL/checksum update),
+#: packet-descriptor handling, and the enqueue to the scheduler ring.
+#: Chosen so the full application sustains ≈7 Gbps of 64-byte packets on
+#: 9 processing MEs when the lookup itself is cheap — the paper's Figure
+#: 7 operating point (≈14 Mpps over 9 MEs -> ≈900 ME-cycles per packet
+#: end to end on the processing path).
+PROCESSING_OVERHEAD_CYCLES = 600
+
+#: The tail's compute is interleaved with this many segments (separated by
+#: scratchpad references) — see :func:`repro.npsim.program.append_app_tail`.
+APP_TAIL_SEGMENTS = 5
+
+#: One scratch-ring put or get (on-chip scratch ring, ~15 ME cycles).
+RING_OP_CYCLES = 15
+
+#: Re-loading packet headers/descriptors on the next pipeline stage
+#: (multiprocessing reads them once and keeps them in local memory —
+#: Table 2's "read in once, cached in local memory" advantage).
+STATE_RELOAD_CYCLES = 60
+
+
+@dataclass(frozen=True)
+class MicroengineAllocation:
+    """Table 3: how the application maps onto the 16 MEs."""
+
+    receive: int = 2
+    processing: int = 9
+    scheduling: int = 3
+    transmit: int = 2
+
+    @property
+    def total(self) -> int:
+        return self.receive + self.processing + self.scheduling + self.transmit
+
+    def rows(self) -> list[tuple[str, int]]:
+        return [
+            ("Receive", self.receive),
+            ("Processing", self.processing),
+            ("Scheduling", self.scheduling),
+            ("Transmit", self.transmit),
+        ]
+
+
+DEFAULT_ALLOCATION = MicroengineAllocation()
+
+
+def per_packet_overhead(mapping: str = "multiprocessing",
+                        num_stages: int = 2) -> int:
+    """Processing-path overhead cycles per packet for a mapping.
+
+    Context-pipelining splits the same work over ``num_stages`` stage MEs
+    but pays a ring hand-off and a state reload per extra stage; the
+    returned figure is the *total* extra cycles across stages, which is
+    what determines aggregate ME-bound throughput for a fixed ME budget.
+    """
+    if mapping == "multiprocessing":
+        return PROCESSING_OVERHEAD_CYCLES
+    if mapping == "context_pipelining":
+        extra_handoffs = max(0, num_stages - 1)
+        return (
+            PROCESSING_OVERHEAD_CYCLES
+            + extra_handoffs * (2 * RING_OP_CYCLES + STATE_RELOAD_CYCLES)
+        )
+    raise ValueError(f"unknown mapping {mapping!r}")
+
+
+def mapping_tradeoffs() -> dict[str, dict[str, list[str]]]:
+    """Table 2, as structured data for the harness report."""
+    return {
+        "multiprocessing": {
+            "advantages": [
+                "scaling = add MEs running the same code",
+                "headers/descriptors read once, cached in local memory",
+                "shared-structure sync only among threads of one ME",
+            ],
+            "disadvantages": [
+                "cross-packet shared state must synchronise across MEs",
+                "every ME carries the whole program (instruction store)",
+            ],
+        },
+        "context_pipelining": {
+            "advantages": [
+                "each ME holds only its stage's code",
+            ],
+            "disadvantages": [
+                "scaling a stage means restructuring code across MEs",
+                "per-packet state crosses MEs via scratch/NN rings",
+            ],
+        },
+    }

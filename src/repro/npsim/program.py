@@ -1,0 +1,209 @@
+"""Per-packet lookup programs: the interface between classifiers and npsim.
+
+A classifier characterises one lookup as an access trace (memory reads
+with compute gaps).  ``compile_trace_program`` lowers that trace into the
+flat integer form the simulator executes: per read a ``(region_id,
+address, nwords, compute_before)`` tuple, plus a trailing compute block.
+Region names are interned once per program set so the hot simulation loop
+never touches strings.
+
+Programs are *recorded from the real built data structure* (DESIGN.md §5):
+the simulator replays exactly the reads the algorithm performs on exactly
+the words it stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..classifiers.base import PacketClassifier
+from ..core.engine import LookupTrace
+from ..traffic.trace import Trace
+
+
+@dataclass(frozen=True)
+class PacketProgram:
+    """One packet's lowered lookup: reads + trailing compute (cycles)."""
+
+    reads: tuple[tuple[int, int, int, int], ...]  # (region_id, addr, nwords, compute_before)
+    tail_compute: int
+    result: int | None
+
+
+@dataclass
+class ProgramSet:
+    """A batch of packet programs sharing one region table."""
+
+    regions: list[str]                 # region_id -> name
+    programs: list[PacketProgram]
+    classifier_name: str
+    packet_bytes: int
+
+    def region_id(self, name: str) -> int:
+        return self.regions.index(name)
+
+    def words_per_packet(self) -> float:
+        """Mean SRAM words read per packet (a first-order cost signal)."""
+        if not self.programs:
+            return 0.0
+        return sum(
+            sum(read[2] for read in prog.reads) for prog in self.programs
+        ) / len(self.programs)
+
+    def accesses_per_packet(self) -> float:
+        if not self.programs:
+            return 0.0
+        return sum(len(prog.reads) for prog in self.programs) / len(self.programs)
+
+    def compute_per_packet(self) -> float:
+        """Mean explicit compute cycles per packet (excl. issue/switch)."""
+        if not self.programs:
+            return 0.0
+        total = 0
+        for prog in self.programs:
+            total += prog.tail_compute + sum(r[3] for r in prog.reads)
+        return total / len(self.programs)
+
+
+def lower_trace(trace: LookupTrace, region_ids: dict[str, int]) -> PacketProgram:
+    """Lower one :class:`LookupTrace` to a :class:`PacketProgram`."""
+    reads = []
+    for read in trace.reads:
+        rid = region_ids.get(read.region)
+        if rid is None:
+            rid = len(region_ids)
+            region_ids[read.region] = rid
+        reads.append((rid, read.addr, read.nwords, read.compute_before))
+    return PacketProgram(tuple(reads), trace.compute_after, trace.result)
+
+
+def compile_programs(classifier: PacketClassifier, trace: Trace,
+                     limit: int | None = None) -> ProgramSet:
+    """Record and lower the access traces of (a prefix of) ``trace``.
+
+    ``limit`` caps how many headers are traced; the simulator cycles
+    through the program list, so a few thousand distinct packets suffice
+    to exercise the structure while keeping recording time bounded.
+    """
+    region_ids: dict[str, int] = {}
+    count = len(trace) if limit is None else min(limit, len(trace))
+    programs = []
+    for idx in range(count):
+        lookup = classifier.access_trace(trace.header(idx))
+        programs.append(lower_trace(lookup, region_ids))
+    regions = [name for name, _ in sorted(region_ids.items(), key=lambda kv: kv[1])]
+    return ProgramSet(
+        regions=regions, programs=programs,
+        classifier_name=classifier.name, packet_bytes=trace.packet_bytes,
+    )
+
+
+def append_app_tail(
+    program_set: ProgramSet,
+    overhead_cycles: int,
+    num_segments: int = 5,
+    region: str = "scratch",
+) -> ProgramSet:
+    """Attach the per-packet application tail to every program.
+
+    The processing-path work around classification (descriptor handling,
+    IPv4 forwarding fix-ups, scheduler-ring enqueue) is ``overhead_cycles``
+    of compute *interleaved* with ``num_segments - 1`` scratchpad
+    references — microcode never runs hundreds of cycles without touching
+    memory, and that interleaving is exactly what lets the other hardware
+    contexts keep the pipeline full.
+    """
+    if overhead_cycles < 0:
+        raise ValueError("overhead must be non-negative")
+    if num_segments < 1:
+        raise ValueError("need at least one tail segment")
+    if overhead_cycles == 0:
+        return program_set
+    regions = list(program_set.regions)
+    if region in regions:
+        rid = regions.index(region)
+    else:
+        rid = len(regions)
+        regions.append(region)
+    seg = overhead_cycles // num_segments
+    last = overhead_cycles - seg * (num_segments - 1)
+    tail_reads = tuple((rid, 0, 1, seg) for _ in range(num_segments - 1))
+    programs = [
+        PacketProgram(
+            reads=prog.reads + tail_reads,
+            tail_compute=prog.tail_compute + last,
+            result=prog.result,
+        )
+        for prog in program_set.programs
+    ]
+    return ProgramSet(
+        regions=regions, programs=programs,
+        classifier_name=program_set.classifier_name,
+        packet_bytes=program_set.packet_bytes,
+    )
+
+
+def merge_program_sets(first: ProgramSet, second: ProgramSet) -> ProgramSet:
+    """Concatenate two per-packet program sets packet-by-packet.
+
+    Packet ``i`` runs ``first.programs[i]`` then ``second.programs[i %
+    len(second)]`` (the second set cycles if shorter) — how the processing
+    stage chains classification with the route lookup recorded for the
+    same packet.  Region tables are merged by name.
+    """
+    if not first.programs or not second.programs:
+        raise ValueError("cannot merge an empty program set")
+    regions = list(first.regions)
+    remap: dict[int, int] = {}
+    for rid, name in enumerate(second.regions):
+        if name in regions:
+            remap[rid] = regions.index(name)
+        else:
+            remap[rid] = len(regions)
+            regions.append(name)
+    programs = []
+    for idx, prog in enumerate(first.programs):
+        other = second.programs[idx % len(second.programs)]
+        tail_reads = tuple(
+            (remap[rid], addr, nwords, compute)
+            for rid, addr, nwords, compute in other.reads
+        )
+        # The first program's trailing compute runs before the second's
+        # first read issues.
+        if tail_reads:
+            rid0, addr0, nwords0, compute0 = tail_reads[0]
+            tail_reads = ((rid0, addr0, nwords0,
+                           compute0 + prog.tail_compute),) + tail_reads[1:]
+            tail_compute = other.tail_compute
+        else:
+            tail_compute = prog.tail_compute + other.tail_compute
+        programs.append(PacketProgram(
+            reads=prog.reads + tail_reads,
+            tail_compute=tail_compute,
+            result=prog.result,
+        ))
+    return ProgramSet(
+        regions=regions, programs=programs,
+        classifier_name=f"{first.classifier_name}+{second.classifier_name}",
+        packet_bytes=first.packet_bytes,
+    )
+
+
+def synthetic_program_set(
+    reads_per_packet: Sequence[tuple[str, int, int, int]],
+    tail_compute: int,
+    packet_bytes: int = 64,
+    name: str = "synthetic",
+    copies: int = 1,
+) -> ProgramSet:
+    """Hand-build a program set (used by microbenchmarks and npsim tests)."""
+    region_ids: dict[str, int] = {}
+    reads = []
+    for region, addr, nwords, compute in reads_per_packet:
+        rid = region_ids.setdefault(region, len(region_ids))
+        reads.append((rid, addr, nwords, compute))
+    prog = PacketProgram(tuple(reads), tail_compute, None)
+    regions = [n for n, _ in sorted(region_ids.items(), key=lambda kv: kv[1])]
+    return ProgramSet(regions=regions, programs=[prog] * copies,
+                      classifier_name=name, packet_bytes=packet_bytes)

@@ -1,0 +1,158 @@
+"""Glue: classifier + trace + chip -> simulated classification throughput.
+
+This is the API the benchmark harness calls for every figure and table:
+record programs from the built classifier, place its memory regions on the
+active SRAM channels, run the DES, and report throughput with the full
+per-resource breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..classifiers.base import PacketClassifier
+from ..traffic.trace import Trace
+from .allocator import Placement, place
+from .analytic import Bounds, saturation_bounds
+from .chip import ChipConfig, IXP2850, SCRATCH_CHANNEL
+from .memory import ChannelReport, MemoryChannel
+from .microengine import SimResult, Simulator
+from .pipeline import APP_TAIL_SEGMENTS, per_packet_overhead
+from .program import ProgramSet, append_app_tail, compile_programs
+
+
+@dataclass
+class ThroughputResult:
+    """One simulated operating point."""
+
+    classifier_name: str
+    num_threads: int
+    num_channels: int
+    packets: int
+    mpps: float
+    gbps: float
+    me_busy_fraction: float
+    words_per_packet: float
+    accesses_per_packet: float
+    channel_reports: list[ChannelReport]
+    placement: Placement
+    bounds: Bounds
+    analytic_gbps: float
+    #: The raw DES outcome (latencies, completion order, samples).
+    sim: SimResult | None = None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.classifier_name}: {self.gbps:.2f} Gbps ({self.mpps:.2f} Mpps) "
+            f"with {self.num_threads} threads on {self.num_channels} channel(s); "
+            f"binding resource {self.bounds.binding}"
+        )
+
+
+def simulate_throughput(
+    classifier: PacketClassifier | ProgramSet,
+    trace: Trace | None = None,
+    chip: ChipConfig = IXP2850,
+    num_threads: int = 71,
+    num_channels: int | None = None,
+    placement_policy: str = "headroom_proportional",
+    mapping: str = "multiprocessing",
+    max_packets: int = 12_000,
+    trace_limit: int = 1_500,
+    warmup_fraction: float = 0.2,
+    placement: Placement | None = None,
+    memory_kind: str = "sram",
+    arrival_rate_gbps: float | None = None,
+    burst_size: int = 1,
+) -> ThroughputResult:
+    """Simulate classification throughput.
+
+    ``classifier`` may be a built classifier (its programs are recorded
+    from ``trace``) or an already-compiled :class:`ProgramSet` (reused
+    across sweep points — recording is the expensive step).
+
+    ``memory_kind="dram"`` places every region on the RDRAM channels
+    instead of SRAM (the §5.3 ablation: ~2x the latency, burst-oriented).
+    ``arrival_rate_gbps`` switches to an open-loop run at that offered
+    load (64-byte packets), recording per-packet latency; the default is
+    saturation (infinite backlog).
+    """
+    if isinstance(classifier, ProgramSet):
+        program_set = classifier
+        regions = None
+    else:
+        if trace is None:
+            raise ValueError("a trace is required to record programs")
+        program_set = compile_programs(classifier, trace, limit=trace_limit)
+        regions = classifier.memory_regions()
+
+    if memory_kind == "sram":
+        if num_channels is not None:
+            chip = chip.with_sram_channels(num_channels)
+        channel_configs = list(chip.sram_channels)
+    elif memory_kind == "dram":
+        channel_configs = list(chip.dram_channels)
+        if num_channels is not None:
+            channel_configs = channel_configs[:num_channels]
+    else:
+        raise ValueError(f"unknown memory kind {memory_kind!r}")
+
+    if placement is None:
+        if regions is None:
+            raise ValueError(
+                "placement must be given explicitly for a bare ProgramSet"
+            )
+        placement = place(regions, channel_configs, placement_policy)
+
+    # Structure-only cost signals, before the application tail is added.
+    words_per_packet = program_set.words_per_packet()
+    accesses_per_packet = program_set.accesses_per_packet()
+
+    # Attach the application tail (compute interleaved with scratchpad
+    # references) and give the scratch pseudo-channel the last slot.
+    overhead = per_packet_overhead(mapping)
+    program_set = append_app_tail(program_set, overhead,
+                                  num_segments=APP_TAIL_SEGMENTS)
+    channel_configs = channel_configs + [SCRATCH_CHANNEL]
+    full_placement = Placement(
+        {**placement.mapping, "scratch": len(channel_configs) - 1},
+        placement.policy,
+    )
+
+    channels = [MemoryChannel(cfg) for cfg in channel_configs]
+    simulator = Simulator(
+        chip=chip,
+        channels=channels,
+        placement=full_placement.mapping,
+        program_set=program_set,
+        num_threads=num_threads,
+    )
+    packet_bytes = program_set.packet_bytes
+    arrival_rate = None
+    if arrival_rate_gbps is not None:
+        # Gbps -> packets per ME cycle.
+        arrival_rate = (
+            arrival_rate_gbps * 1000.0 / (packet_bytes * 8) / chip.me_clock_mhz
+        )
+    result = simulator.run(max_packets=max_packets,
+                           warmup_fraction=warmup_fraction,
+                           arrival_rate=arrival_rate, burst_size=burst_size)
+    bounds = saturation_bounds(
+        chip, channel_configs, program_set, full_placement, num_threads,
+    )
+    return ThroughputResult(
+        classifier_name=program_set.classifier_name,
+        num_threads=num_threads,
+        num_channels=len(channel_configs) - 1,
+        packets=result.packets,
+        mpps=result.mpps(chip.me_clock_mhz),
+        gbps=result.gbps(chip.me_clock_mhz, packet_bytes),
+        me_busy_fraction=result.me_busy_fraction,
+        words_per_packet=words_per_packet,
+        accesses_per_packet=accesses_per_packet,
+        channel_reports=result.channel_reports,
+        placement=placement,
+        bounds=bounds,
+        analytic_gbps=bounds.gbps(chip.me_clock_mhz, packet_bytes),
+        sim=result,
+    )

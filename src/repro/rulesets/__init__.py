@@ -1,0 +1,21 @@
+"""Synthetic rule-set generation, analysis, and the textual rule format."""
+
+from .analysis import RuleSetStats, analyze
+from .generator import generate, paper_ruleset
+from .model import RuleSetProfile
+from .parser import format_rules, load_rules, parse_rules, save_rules
+from .profiles import PAPER_ORDER, PROFILES
+
+__all__ = [
+    "PAPER_ORDER",
+    "PROFILES",
+    "RuleSetProfile",
+    "RuleSetStats",
+    "analyze",
+    "format_rules",
+    "generate",
+    "load_rules",
+    "paper_ruleset",
+    "parse_rules",
+    "save_rules",
+]

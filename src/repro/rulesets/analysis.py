@@ -1,0 +1,158 @@
+"""Statistical analysis of rule sets — the generator's mirror.
+
+DESIGN.md's substitution argument rests on the synthetic sets matching
+the *statistical structure* real classifiers exploit.  This module
+measures that structure from any rule set (generated, parsed from a
+ClassBench file, or hand-written): per-field wildcard fractions, prefix
+length histograms, port idioms, protocol mix, address reuse, tuple-space
+size and overlap pressure.  The tests assert each generated twin
+exhibits the structure its profile requests, and the harness can print
+the comparison for any external rule file.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.fields import FIELD_WIDTHS, Field
+from ..core.interval import Interval, full_interval
+from ..core.rule import RuleSet
+
+
+@dataclass
+class RuleSetStats:
+    """Measured structure of one rule set."""
+
+    size: int
+    wildcard_fraction: dict[str, float] = field(default_factory=dict)
+    prefix_length_histogram: dict[str, dict[int, int]] = field(default_factory=dict)
+    port_idioms: dict[str, dict[str, int]] = field(default_factory=dict)
+    protocol_mix: dict[str, int] = field(default_factory=dict)
+    distinct_values: dict[str, int] = field(default_factory=dict)
+    address_reuse: dict[str, float] = field(default_factory=dict)
+    tuple_count: int = 0
+    overlap_fraction: float = 0.0
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"rules: {self.size}"]
+        lines.append("wildcards: " + ", ".join(
+            f"{f}={v:.0%}" for f, v in self.wildcard_fraction.items()))
+        for fld, hist in self.prefix_length_histogram.items():
+            top = sorted(hist.items(), key=lambda kv: -kv[1])[:4]
+            lines.append(f"{fld} prefix lengths (top): " + ", ".join(
+                f"/{p}x{c}" for p, c in top))
+        for fld, idioms in self.port_idioms.items():
+            lines.append(f"{fld} idioms: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(idioms.items())))
+        lines.append("protocols: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(self.protocol_mix.items())))
+        lines.append("distinct: " + ", ".join(
+            f"{f}={v}" for f, v in self.distinct_values.items()))
+        lines.append("address reuse: " + ", ".join(
+            f"{f}={v:.2f}" for f, v in self.address_reuse.items()))
+        lines.append(f"tuple-space size: {self.tuple_count}; "
+                     f"overlap fraction: {self.overlap_fraction:.2f}")
+        return lines
+
+
+PROTO_NAMES = {1: "icmp", 6: "tcp", 17: "udp", 47: "gre"}
+
+
+def classify_port(iv: Interval) -> str:
+    """Name the idiom a port interval uses (the ClassBench five)."""
+    if iv == full_interval(16):
+        return "any"
+    if iv.lo == iv.hi:
+        return "exact"
+    if iv == Interval(1024, 65535):
+        return "high"
+    if iv == Interval(0, 1023):
+        return "low"
+    return "range"
+
+
+def _prefix_len(iv: Interval, width: int) -> int | None:
+    """Prefix length of an aligned block, or ``None`` for a free range."""
+    size = iv.size
+    if size & (size - 1) or iv.lo % size:
+        return None
+    return width - (size.bit_length() - 1)
+
+
+def analyze(ruleset: RuleSet, overlap_sample: int = 2000) -> RuleSetStats:
+    """Measure the structure of ``ruleset``."""
+    stats = RuleSetStats(size=len(ruleset))
+    if not len(ruleset):
+        return stats
+
+    for fld in Field:
+        name = fld.name.lower()
+        width = FIELD_WIDTHS[fld]
+        wild = sum(1 for r in ruleset if r.intervals[fld] == full_interval(width))
+        stats.wildcard_fraction[name] = wild / len(ruleset)
+        stats.distinct_values[name] = len({r.intervals[fld] for r in ruleset})
+
+    for fld in (Field.SIP, Field.DIP):
+        name = fld.name.lower()
+        hist: Counter = Counter()
+        for rule in ruleset:
+            plen = _prefix_len(rule.intervals[fld], 32)
+            if plen is not None:
+                hist[plen] += 1
+        stats.prefix_length_histogram[name] = dict(hist)
+        distinct = len({r.intervals[fld] for r in ruleset
+                        if r.intervals[fld] != full_interval(32)})
+        specific = sum(1 for r in ruleset
+                       if r.intervals[fld] != full_interval(32))
+        stats.address_reuse[name] = (
+            1.0 - distinct / specific if specific else 0.0
+        )
+
+    for fld in (Field.SPORT, Field.DPORT):
+        name = fld.name.lower()
+        stats.port_idioms[name] = dict(Counter(
+            classify_port(r.intervals[fld]) for r in ruleset
+        ))
+
+    proto_counter: Counter = Counter()
+    for rule in ruleset:
+        iv = rule.intervals[Field.PROTO]
+        if iv == full_interval(8):
+            proto_counter["any"] += 1
+        elif iv.lo == iv.hi:
+            proto_counter[PROTO_NAMES.get(iv.lo, str(iv.lo))] += 1
+        else:
+            proto_counter["range"] += 1
+    stats.protocol_mix = dict(proto_counter)
+
+    # Tuple-space size: distinct per-field "shape" vectors.
+    shapes = set()
+    for rule in ruleset:
+        shape = []
+        for fld in Field:
+            width = FIELD_WIDTHS[fld]
+            plen = _prefix_len(rule.intervals[fld], width)
+            shape.append(plen if plen is not None else -1)
+        shapes.add(tuple(shape))
+    stats.tuple_count = len(shapes)
+
+    # Overlap pressure: fraction of sampled rule pairs whose boxes
+    # intersect (what drives decision-tree rule duplication).
+    rules = ruleset.rules
+    n = len(rules)
+    pairs = 0
+    overlapping = 0
+    stride = max(1, (n * (n - 1) // 2) // max(overlap_sample, 1))
+    index = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            index += 1
+            if index % stride:
+                continue
+            pairs += 1
+            if all(rules[i].intervals[f].overlaps(rules[j].intervals[f])
+                   for f in range(5)):
+                overlapping += 1
+    stats.overlap_fraction = overlapping / pairs if pairs else 0.0
+    return stats

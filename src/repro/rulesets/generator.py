@@ -1,0 +1,207 @@
+"""Seeded synthetic rule-set generation from statistical profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.interval import Interval, full_interval, prefix_to_interval
+from ..core.rule import ACTION_DENY, ACTION_PERMIT, Rule, RuleSet
+from .model import PortIdiom, RuleSetProfile, WELL_KNOWN_PORTS
+from .profiles import PROFILES
+
+
+class _AddressModel:
+    """Draws nested prefixes from a bounded pool of base networks."""
+
+    def __init__(self, profile: RuleSetProfile, rng: np.random.Generator) -> None:
+        self.profile = profile
+        self.rng = rng
+        # Base networks: random /8..../16 roots the set "talks about".
+        self.bases: list[tuple[int, int]] = []
+        for _ in range(profile.address_pool):
+            root_len = int(rng.choice([8, 12, 16], p=[0.25, 0.25, 0.5]))
+            addr = int(rng.integers(0, 1 << 32))
+            self.bases.append(((addr >> (32 - root_len)) << (32 - root_len), root_len))
+        self.history: list[tuple[int, int]] = []
+
+    def draw(self, wildcard_prob: float) -> Interval:
+        rng = self.rng
+        if rng.random() < wildcard_prob:
+            return full_interval(32)
+        if self.history and rng.random() < self.profile.reuse:
+            # Repeat an address already used by an earlier rule verbatim —
+            # real sets name the same hosts/networks in many rules (only
+            # the ports/protocol differ), which keeps the number of
+            # distinct address prefixes well below the rule count.
+            addr, plen = self.history[int(rng.integers(len(self.history)))]
+            return prefix_to_interval(addr, plen, 32)
+        lens, weights = zip(*self.profile.normalized_prefix_weights())
+        plen = int(rng.choice(lens, p=weights))
+        if plen == 0:
+            return full_interval(32)
+        if self.history and rng.random() < self.profile.nesting:
+            # Extend a previously used prefix (shared-subnet nesting).
+            base_addr, base_len = self.history[int(rng.integers(len(self.history)))]
+        else:
+            base_addr, base_len = self.bases[int(rng.integers(len(self.bases)))]
+        if plen < base_len:
+            plen_eff = base_len if rng.random() < 0.5 else plen
+        else:
+            plen_eff = plen
+        span = 32 - plen_eff
+        suffix = int(rng.integers(0, 1 << span)) if span else 0
+        addr = ((base_addr >> span) << span) | suffix if span else base_addr
+        # Keep the base's own prefix bits; randomise only below base_len.
+        keep = 32 - base_len
+        if plen_eff > base_len and keep:
+            mask_high = ((1 << base_len) - 1) << keep if base_len else 0
+            rand_low = int(rng.integers(0, 1 << keep))
+            addr = (base_addr & mask_high) | rand_low
+            addr = (addr >> span) << span
+        self.history.append((addr, plen_eff))
+        if len(self.history) > 512:
+            del self.history[:256]
+        return prefix_to_interval(addr, plen_eff, 32)
+
+
+class _PortModel:
+    """Draws port constraints, reusing a small pool of service ranges.
+
+    Real filter sets name the same handful of ranges over and over
+    (ephemeral ports, RPC blocks, media port windows); drawing each range
+    fresh would give every rule a unique pair of segment boundaries, a
+    structure no published set exhibits (and one that blows up every
+    decomposition- and cutting-based classifier alike).
+    """
+
+    def __init__(self, rng: np.random.Generator, pool_size: int = 8) -> None:
+        self.rng = rng
+        self.range_pool: list[Interval] = []
+        for _ in range(pool_size):
+            base = int(rng.integers(1, 60000))
+            span = int(rng.choice([63, 255, 1023, 4095]))
+            lo = base & ~span
+            self.range_pool.append(Interval(lo, min(lo + span, 65535)))
+
+    def draw(self, idioms: tuple[PortIdiom, ...]) -> Interval:
+        rng = self.rng
+        kinds = [i.kind for i in idioms]
+        weights = np.array([i.weight for i in idioms], dtype=float)
+        weights /= weights.sum()
+        return self.draw_kind(str(rng.choice(kinds, p=weights)))
+
+    def draw_kind(self, kind: str) -> Interval:
+        rng = self.rng
+        if kind == "any":
+            return full_interval(16)
+        if kind == "exact":
+            if rng.random() < 0.8:
+                port = int(rng.choice(WELL_KNOWN_PORTS))
+            else:
+                port = int(rng.integers(1, 65536))
+            return Interval(port, port)
+        if kind == "high":
+            return Interval(1024, 65535)
+        if kind == "low":
+            return Interval(0, 1023)
+        return self.range_pool[int(rng.integers(len(self.range_pool)))]
+
+
+#: Firewall rule templates: (weight, sip_wild, dip_wild, sport_kind,
+#: dport_kinds).  Real firewall policies are dominated by a few structural
+#: shapes — inbound service permits (any source -> specific host/port),
+#: outbound client permits (specific net -> anywhere, service port) and
+#: host-pair rules.  Sampling *template-first* keeps the fields correlated
+#: the way published sets are; drawing each field independently produces
+#: wildcard/range cross-products that no real set exhibits and that blow
+#: up every classification structure.
+_FIREWALL_TEMPLATES: tuple[tuple[float, bool, bool, str, tuple[str, ...]], ...] = (
+    (0.50, True, False, "any", ("exact", "exact", "exact", "low", "high", "range")),
+    (0.25, False, True, "any", ("exact", "exact", "exact", "high")),
+    (0.15, False, False, "any", ("exact", "exact", "any", "range")),
+    (0.10, False, False, "exact", ("any", "exact")),
+)
+
+
+def _firewall_fields(profile: RuleSetProfile, rng: np.random.Generator,
+                     sources: "_AddressModel", dests: "_AddressModel",
+                     ports: "_PortModel"):
+    weights = np.array([t[0] for t in _FIREWALL_TEMPLATES])
+    _, sip_wild, dip_wild, sport_kind, dport_kinds = _FIREWALL_TEMPLATES[
+        int(rng.choice(len(_FIREWALL_TEMPLATES), p=weights / weights.sum()))
+    ]
+    sip = full_interval(32) if sip_wild else sources.draw(0.0)
+    dip = full_interval(32) if dip_wild else dests.draw(0.0)
+    sport = ports.draw_kind(sport_kind)
+    dport = ports.draw_kind(dport_kinds[int(rng.integers(len(dport_kinds)))])
+    return sip, dip, sport, dport
+
+
+def _draw_proto(profile: RuleSetProfile, rng: np.random.Generator) -> Interval:
+    protos, weights = zip(*profile.proto_mix)
+    weights_arr = np.array(weights, dtype=float)
+    weights_arr /= weights_arr.sum()
+    choice = rng.choice(len(protos), p=weights_arr)
+    proto = protos[int(choice)]
+    if proto is None:
+        return full_interval(8)
+    return Interval(proto, proto)
+
+
+def generate(profile: RuleSetProfile | str, size: int | None = None,
+             seed: int | None = None) -> RuleSet:
+    """Generate a rule set from a profile (or registered profile name).
+
+    ``size`` and ``seed`` override the profile's defaults, which is how
+    tests shrink the paper sets and how scaling sweeps grow them.
+    Duplicate rules are suppressed so the nominal size is also the
+    effective size.
+    """
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    size = profile.size if size is None else size
+    seed = profile.seed if seed is None else seed
+    rng = np.random.default_rng(seed)
+    sources = _AddressModel(profile, rng)
+    dests = _AddressModel(profile, rng)
+    ports = _PortModel(rng)
+    rules: list[Rule] = []
+    seen: set[tuple] = set()
+    attempts = 0
+    while len(rules) < size:
+        attempts += 1
+        if attempts > size * 50:
+            raise RuntimeError(
+                f"generator for {profile.name} cannot reach {size} distinct rules"
+            )
+        if profile.kind == "firewall":
+            sip, dip, sport, dport = _firewall_fields(profile, rng, sources,
+                                                      dests, ports)
+        else:
+            sip = sources.draw(profile.wildcard_sip)
+            dip = dests.draw(profile.wildcard_dip)
+            sport = ports.draw(profile.sport_idioms)
+            dport = ports.draw(profile.dport_idioms)
+        proto = _draw_proto(profile, rng)
+        if proto == full_interval(8) and (sport.size < 65536 or dport.size < 65536):
+            # Port constraints imply a transport protocol in real sets.
+            proto = Interval(6, 6) if rng.random() < 0.75 else Interval(17, 17)
+        key = (sip, dip, sport, dport, proto)
+        if key in seen:
+            continue
+        if (sip.size == 1 << 32 and dip.size == 1 << 32 and sport.size == 1 << 16
+                and dport.size == 1 << 16 and proto.size == 1 << 8):
+            # A fully wildcarded rule would shadow every later rule; real
+            # sets only carry one as the final default (added separately).
+            continue
+        seen.add(key)
+        action = ACTION_DENY if rng.random() < 0.35 else ACTION_PERMIT
+        rules.append(Rule((sip, dip, sport, dport, proto), action))
+    ruleset = RuleSet(rules, name=profile.name)
+    return ruleset
+
+
+def paper_ruleset(name: str) -> RuleSet:
+    """The synthetic twin of one of the paper's seven sets, with the
+    conventional trailing catch-all deny."""
+    return generate(PROFILES[name]).with_default(ACTION_DENY)

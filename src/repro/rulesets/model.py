@@ -1,0 +1,118 @@
+"""Statistical rule-set model — the knobs ClassBench-style generation turns.
+
+The paper evaluates on seven private real-life rule sets (three firewall,
+four core-router).  Since those are unavailable, we generate synthetic
+twins from statistical profiles: prefix-length mixtures with shared
+prefix nesting, the classic port-range idioms, and protocol mixes.  The
+algorithms under study exploit only this statistical structure (paper §1:
+"leveraging the statistical structure of classification rule sets"), so a
+generator that matches it preserves the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PortIdiom:
+    """One way rules constrain a port field, with its sampling weight."""
+
+    kind: str  # "any" | "exact" | "range" | "high" | "low"
+    weight: float
+
+
+#: The port usage idioms observed in real filter sets (ClassBench's
+#: canonical five): wildcard, single well-known port, arbitrary range,
+#: ephemeral ports (>= 1024), privileged ports (< 1024).
+DEFAULT_PORT_IDIOMS: tuple[PortIdiom, ...] = (
+    PortIdiom("any", 0.45),
+    PortIdiom("exact", 0.35),
+    PortIdiom("range", 0.08),
+    PortIdiom("high", 0.09),
+    PortIdiom("low", 0.03),
+)
+
+#: Source-port idioms for core-router ACLs: overwhelmingly wildcard (ACLs
+#: filter on the service, i.e. destination, port; constraining the
+#: ephemeral source port is rare).
+CORE_SPORT_IDIOMS: tuple[PortIdiom, ...] = (
+    PortIdiom("any", 0.85),
+    PortIdiom("exact", 0.05),
+    PortIdiom("range", 0.01),
+    PortIdiom("high", 0.07),
+    PortIdiom("low", 0.02),
+)
+
+#: Well-known destination ports to draw "exact" from (weighted toward the
+#: services that dominate real rule sets).
+WELL_KNOWN_PORTS: tuple[int, ...] = (
+    80, 443, 22, 25, 53, 110, 143, 21, 23, 123, 161, 389, 445, 993, 995,
+    1433, 1521, 3306, 3389, 5060, 8080,
+)
+
+#: Protocol mix: (proto number or None for wildcard, weight).
+DEFAULT_PROTO_MIX: tuple[tuple[int | None, float], ...] = (
+    (6, 0.62),     # TCP
+    (17, 0.22),    # UDP
+    (None, 0.10),  # any
+    (1, 0.05),     # ICMP
+    (47, 0.01),    # GRE
+)
+
+
+@dataclass(frozen=True)
+class RuleSetProfile:
+    """Everything the generator needs to synthesise one rule-set family.
+
+    ``prefix_len_weights``
+        Mapping prefix length -> weight, sampled independently for source
+        and destination addresses (0 = wildcard).
+    ``nesting``
+        Probability that a new address prefix extends a previously used
+        one instead of starting fresh — produces the shared-subnet
+        structure (and hence the rule overlap) real sets exhibit.
+    ``address_pool``
+        Number of distinct base addresses to draw from; small pools make
+        core-router-style sets where many rules talk about few networks.
+    ``wildcard_sip`` / ``wildcard_dip``
+        Extra probability mass for fully wildcarded addresses (firewall
+        sets are source-wildcard heavy).
+    ``reuse``
+        Probability that an address is repeated verbatim from an earlier
+        rule (same host, different service) — the dominant redundancy in
+        real policies.
+    """
+
+    name: str
+    kind: str  # "firewall" | "core_router"
+    size: int
+    seed: int
+    prefix_len_weights: dict[int, float] = field(default_factory=dict)
+    nesting: float = 0.3
+    address_pool: int = 64
+    wildcard_sip: float = 0.0
+    wildcard_dip: float = 0.0
+    reuse: float = 0.0
+    sport_idioms: tuple[PortIdiom, ...] = DEFAULT_PORT_IDIOMS
+    dport_idioms: tuple[PortIdiom, ...] = DEFAULT_PORT_IDIOMS
+    proto_mix: tuple[tuple[int | None, float], ...] = DEFAULT_PROTO_MIX
+
+    def normalized_prefix_weights(self) -> list[tuple[int, float]]:
+        total = sum(self.prefix_len_weights.values())
+        if total <= 0:
+            raise ValueError(f"profile {self.name} has no prefix weights")
+        return [(k, v / total) for k, v in sorted(self.prefix_len_weights.items())]
+
+
+#: Prefix-length mixture typical of firewall sets: many /0 and short
+#: internal prefixes, a spike at /24 and /32 hosts.
+FIREWALL_PREFIX_WEIGHTS: dict[int, float] = {
+    0: 0.20, 8: 0.05, 16: 0.15, 24: 0.35, 28: 0.05, 32: 0.20,
+}
+
+#: Core-router ACLs: almost everything is a routable prefix, /16-/24
+#: heavy, fewer host routes, almost no wildcards.
+CORE_ROUTER_PREFIX_WEIGHTS: dict[int, float] = {
+    0: 0.02, 8: 0.04, 12: 0.04, 16: 0.22, 20: 0.14, 24: 0.38, 28: 0.06, 32: 0.10,
+}

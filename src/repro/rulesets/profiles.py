@@ -1,0 +1,73 @@
+"""Synthetic twins of the paper's seven evaluation rule sets.
+
+The paper names FW01–FW03 (firewall) and CR01–CR04 (core router) and
+states only that the largest, CR04, holds 1945 rules; the others' sizes
+are not published.  We scale the remaining sets geometrically below CR04
+and keep the firewall sets an order of magnitude smaller, which matches
+how the figures behave (memory and HSM lookup cost growing with set
+size).  Every profile is deterministic (fixed seed) so all tables and
+figures regenerate bit-identically.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    CORE_ROUTER_PREFIX_WEIGHTS,
+    CORE_SPORT_IDIOMS,
+    FIREWALL_PREFIX_WEIGHTS,
+    RuleSetProfile,
+)
+
+PROFILES: dict[str, RuleSetProfile] = {}
+
+
+def _register(profile: RuleSetProfile) -> RuleSetProfile:
+    PROFILES[profile.name] = profile
+    return profile
+
+
+FW01 = _register(RuleSetProfile(
+    name="FW01", kind="firewall", size=68, seed=0xF001,
+    prefix_len_weights=FIREWALL_PREFIX_WEIGHTS,
+    nesting=0.45, address_pool=12, wildcard_sip=0.35, wildcard_dip=0.05, reuse=0.60,
+))
+
+FW02 = _register(RuleSetProfile(
+    name="FW02", kind="firewall", size=136, seed=0xF002,
+    prefix_len_weights=FIREWALL_PREFIX_WEIGHTS,
+    nesting=0.45, address_pool=20, wildcard_sip=0.30, wildcard_dip=0.05, reuse=0.60,
+))
+
+FW03 = _register(RuleSetProfile(
+    name="FW03", kind="firewall", size=340, seed=0xF003,
+    prefix_len_weights=FIREWALL_PREFIX_WEIGHTS,
+    nesting=0.40, address_pool=40, wildcard_sip=0.30, wildcard_dip=0.08, reuse=0.70,
+))
+
+CR01 = _register(RuleSetProfile(
+    name="CR01", kind="core_router", size=486, seed=0xC001,
+    prefix_len_weights=CORE_ROUTER_PREFIX_WEIGHTS, sport_idioms=CORE_SPORT_IDIOMS,
+    nesting=0.30, address_pool=96, wildcard_sip=0.04, wildcard_dip=0.04, reuse=0.35,
+))
+
+CR02 = _register(RuleSetProfile(
+    name="CR02", kind="core_router", size=972, seed=0xC002,
+    prefix_len_weights=CORE_ROUTER_PREFIX_WEIGHTS, sport_idioms=CORE_SPORT_IDIOMS,
+    nesting=0.30, address_pool=160, wildcard_sip=0.04, wildcard_dip=0.04, reuse=0.35,
+))
+
+CR03 = _register(RuleSetProfile(
+    name="CR03", kind="core_router", size=1458, seed=0xC003,
+    prefix_len_weights=CORE_ROUTER_PREFIX_WEIGHTS, sport_idioms=CORE_SPORT_IDIOMS,
+    nesting=0.28, address_pool=224, wildcard_sip=0.03, wildcard_dip=0.03, reuse=0.35,
+))
+
+#: The paper's largest set: 1945 rules (§6.1).
+CR04 = _register(RuleSetProfile(
+    name="CR04", kind="core_router", size=1945, seed=0xC004,
+    prefix_len_weights=CORE_ROUTER_PREFIX_WEIGHTS, sport_idioms=CORE_SPORT_IDIOMS,
+    nesting=0.28, address_pool=352, wildcard_sip=0.03, wildcard_dip=0.03, reuse=0.30,
+))
+
+#: The paper's evaluation order (Figures 6 and 9, left to right).
+PAPER_ORDER: tuple[str, ...] = ("FW01", "FW02", "FW03", "CR01", "CR02", "CR03", "CR04")

@@ -1,0 +1,1 @@
+"""Command-line tools: repro-classify, repro-generate, repro-harness."""

@@ -1,0 +1,128 @@
+"""``repro-classify`` — classify a packet trace against a rule file.
+
+Examples::
+
+    repro-classify rules.txt --generate 10000 --algorithm expcuts
+    repro-classify rules.txt trace.npz --summary
+    repro-classify rules.txt trace.npz --output decisions.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+from ..classifiers import ALGORITHMS
+from ..rulesets import load_rules
+from ..traffic import Trace, matched_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-classify",
+        description="Classify packet headers against a ClassBench-format "
+                    "rule file.",
+    )
+    parser.add_argument("rules", help="rule file (ClassBench format)")
+    parser.add_argument("trace", nargs="?",
+                        help="trace file (.npz from repro-generate)")
+    parser.add_argument("--generate", type=int, metavar="N",
+                        help="generate N matched headers instead of a file")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--algorithm", default="expcuts",
+                        choices=sorted(ALGORITHMS))
+    parser.add_argument("--summary", action="store_true",
+                        help="print per-action totals only")
+    parser.add_argument("--output", metavar="CSV",
+                        help="write per-packet decisions to a CSV file")
+    parser.add_argument("--default-action", default=None,
+                        help="append a catch-all rule with this action")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: normal exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        rules = load_rules(args.rules)
+    except FileNotFoundError:
+        print(f"rule file not found: {args.rules}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot parse {args.rules}: {exc}", file=sys.stderr)
+        return 2
+    if args.default_action:
+        rules = rules.with_default(args.default_action)
+    if not len(rules):
+        print("rule file holds no rules", file=sys.stderr)
+        return 2
+
+    if args.generate is not None:
+        trace = matched_trace(rules, args.generate, seed=args.seed)
+    elif args.trace:
+        trace = Trace.load(args.trace)
+    else:
+        print("give a trace file or --generate N", file=sys.stderr)
+        return 2
+
+    start = time.time()
+    clf = ALGORITHMS[args.algorithm].build(rules)
+    build_s = time.time() - start
+
+    start = time.time()
+    results = clf.classify_batch(trace.field_arrays())
+    lookup_s = time.time() - start
+
+    actions = Counter()
+    for rule_id in results:
+        if rule_id < 0:
+            actions["<no match>"] += 1
+        else:
+            actions[rules[int(rule_id)].action] += 1
+
+    rate = len(trace) / lookup_s / 1e6 if lookup_s > 0 else float("inf")
+    print(f"{args.algorithm}: {len(rules)} rules built in {build_s:.2f}s "
+          f"({clf.memory_bytes() / 1024:.0f} KB); classified {len(trace)} "
+          f"packets in {lookup_s:.3f}s ({rate:.2f} M lookups/s)")
+    for action, count in sorted(actions.items(), key=lambda kv: -kv[1]):
+        print(f"  {action:12s} {count:8d}  ({count / len(trace):.1%})")
+
+    if args.output:
+        path = Path(args.output)
+        with path.open("w") as fh:
+            fh.write("sip,dip,sport,dport,proto,rule,action\n")
+            for idx in range(len(trace)):
+                header = trace.header(idx)
+                rule_id = int(results[idx])
+                action = rules[rule_id].action if rule_id >= 0 else "<no match>"
+                fh.write(",".join(str(v) for v in header)
+                         + f",{rule_id},{action}\n")
+        print(f"decisions written to {path}")
+
+    if not args.summary and not args.output:
+        shown = min(10, len(trace))
+        print(f"\nfirst {shown} decisions:")
+        for idx in range(shown):
+            header = trace.header(idx)
+            rule_id = int(results[idx])
+            action = rules[rule_id].action if rule_id >= 0 else "<no match>"
+            print(f"  {header} -> rule {rule_id} ({action})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""``repro-generate`` — emit synthetic rule sets and packet traces.
+
+Examples::
+
+    repro-generate ruleset --profile CR04 -o cr04.txt
+    repro-generate ruleset --profile FW01 --size 200 --seed 9 -o fw.txt
+    repro-generate trace cr04.txt --count 100000 -o cr04_trace.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..rulesets import generate, load_rules, save_rules
+from ..rulesets.profiles import PROFILES
+from ..traffic import matched_trace, uniform_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-generate",
+        description="Generate synthetic rule sets and packet traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rs = sub.add_parser("ruleset", help="emit a ClassBench-format rule file")
+    rs.add_argument("--profile", default="CR01", choices=sorted(PROFILES),
+                    help="statistical profile (synthetic twin of a paper set)")
+    rs.add_argument("--size", type=int, default=None,
+                    help="rule count (default: the profile's)")
+    rs.add_argument("--seed", type=int, default=None)
+    rs.add_argument("--default-action", default=None,
+                    help="append a catch-all rule with this action")
+    rs.add_argument("-o", "--output", required=True)
+
+    tr = sub.add_parser("trace", help="emit a .npz header trace")
+    tr.add_argument("rules", nargs="?",
+                    help="rule file to match against (omit for uniform)")
+    tr.add_argument("--count", type=int, default=10_000)
+    tr.add_argument("--seed", type=int, default=1)
+    tr.add_argument("--matched-fraction", type=float, default=0.9)
+    tr.add_argument("--zipf-skew", type=float, default=1.0)
+    tr.add_argument("-o", "--output", required=True)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: normal exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "ruleset":
+        ruleset = generate(PROFILES[args.profile], size=args.size,
+                           seed=args.seed)
+        if args.default_action:
+            ruleset = ruleset.with_default(args.default_action)
+        save_rules(ruleset, args.output)
+        print(f"{len(ruleset)} rules ({args.profile}) -> {args.output}")
+        return 0
+
+    if args.command == "trace":
+        if args.rules:
+            try:
+                ruleset = load_rules(args.rules)
+            except FileNotFoundError:
+                print(f"rule file not found: {args.rules}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"cannot parse {args.rules}: {exc}", file=sys.stderr)
+                return 2
+            if not len(ruleset):
+                print("rule file holds no rules", file=sys.stderr)
+                return 2
+            trace = matched_trace(ruleset, args.count, seed=args.seed,
+                                  matched_fraction=args.matched_fraction,
+                                  zipf_skew=args.zipf_skew)
+        else:
+            trace = uniform_trace(args.count, seed=args.seed)
+        trace.save(args.output)
+        print(f"{len(trace)} headers -> {args.output}")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

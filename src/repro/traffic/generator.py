@@ -1,0 +1,130 @@
+"""Header-trace generation matched to a rule set.
+
+Mirrors how ClassBench's trace generator drives its filter sets: most
+headers are sampled *inside* some rule's region (rule popularity follows
+a Zipf law, reflecting flow concentration on popular services), and a
+configurable remainder is uniform noise that typically falls through to
+the catch-all.  64-byte TCP packets are the paper's measurement unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fields import FIELD_WIDTHS
+from ..core.rule import RuleSet
+from .trace import PACKET_BYTES, Trace
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalised Zipf(skew) weights over ``n`` ranks (skew 0 = uniform)."""
+    if n <= 0:
+        raise ValueError("need at least one rank")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** -skew
+    return weights / weights.sum()
+
+
+def matched_trace(
+    ruleset: RuleSet,
+    count: int,
+    seed: int = 1,
+    matched_fraction: float = 0.9,
+    zipf_skew: float = 1.0,
+    packet_bytes: int = PACKET_BYTES,
+) -> Trace:
+    """Generate ``count`` headers, ``matched_fraction`` of them sampled
+    uniformly inside a Zipf-chosen rule's region, the rest uniform."""
+    if not 0.0 <= matched_fraction <= 1.0:
+        raise ValueError("matched_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_rules = len(ruleset)
+    arrays = [np.empty(count, dtype=np.uint32) for _ in range(5)]
+
+    if n_rules and matched_fraction > 0:
+        weights = zipf_weights(n_rules, zipf_skew)
+        # Shuffle rank->rule so popularity is not correlated with priority.
+        perm = rng.permutation(n_rules)
+        rule_choice = perm[rng.choice(n_rules, size=count, p=weights)]
+    else:
+        rule_choice = np.zeros(count, dtype=np.int64)
+    matched = rng.random(count) < matched_fraction
+
+    for idx in range(count):
+        if n_rules and matched[idx]:
+            rule = ruleset[int(rule_choice[idx])]
+            for fld, iv in enumerate(rule.intervals):
+                arrays[fld][idx] = rng.integers(iv.lo, iv.hi + 1)
+        else:
+            for fld, width in enumerate(FIELD_WIDTHS):
+                arrays[fld][idx] = rng.integers(0, 1 << width)
+    return Trace(*arrays, packet_bytes=packet_bytes)
+
+
+def flow_trace(
+    ruleset: RuleSet,
+    count: int,
+    num_flows: int = 1024,
+    seed: int = 1,
+    zipf_skew: float = 1.0,
+    matched_fraction: float = 0.9,
+    packet_bytes: int = PACKET_BYTES,
+) -> Trace:
+    """Packet trace with *flow-level* structure.
+
+    Real links carry repeated packets of a bounded set of concurrent
+    flows, with heavy-tailed per-flow packet counts; ``matched_trace``
+    by contrast draws a fresh header for every packet.  Flow structure
+    is what exact-match mechanisms (flow caches, TSS fast paths) live
+    on, so their experiments use this generator: ``num_flows`` distinct
+    headers are synthesised first, then ``count`` packets sample flows
+    with Zipf(``zipf_skew``) popularity.
+    """
+    flows = matched_trace(ruleset, num_flows, seed=seed,
+                          matched_fraction=matched_fraction,
+                          zipf_skew=0.0, packet_bytes=packet_bytes)
+    rng = np.random.default_rng(seed + 0x5EED)
+    weights = zipf_weights(num_flows, zipf_skew)
+    choice = rng.choice(num_flows, size=count, p=weights)
+    return Trace(
+        sip=flows.sip[choice], dip=flows.dip[choice],
+        sport=flows.sport[choice], dport=flows.dport[choice],
+        proto=flows.proto[choice], packet_bytes=packet_bytes,
+    )
+
+
+def uniform_trace(count: int, seed: int = 1,
+                  packet_bytes: int = PACKET_BYTES) -> Trace:
+    """Uniformly random headers (worst case for any caching effect)."""
+    rng = np.random.default_rng(seed)
+    arrays = [
+        rng.integers(0, 1 << width, size=count, dtype=np.uint32 if width > 16 else np.uint32)
+        for width in FIELD_WIDTHS
+    ]
+    return Trace(*arrays, packet_bytes=packet_bytes)
+
+
+def corner_case_trace(ruleset: RuleSet, packet_bytes: int = PACKET_BYTES) -> Trace:
+    """Deterministic boundary probes: every rule's corners, edges ±1.
+
+    Exercises exactly the off-by-one surfaces of every classifier —
+    the integration tests run this against the linear oracle.
+    """
+    headers = []
+    for rule in ruleset:
+        corners_lo = tuple(iv.lo for iv in rule.intervals)
+        corners_hi = tuple(iv.hi for iv in rule.intervals)
+        headers.append(corners_lo)
+        headers.append(corners_hi)
+        for fld, iv in enumerate(rule.intervals):
+            if iv.lo > 0:
+                probe = list(corners_lo)
+                probe[fld] = iv.lo - 1
+                headers.append(tuple(probe))
+            if iv.hi < (1 << FIELD_WIDTHS[fld]) - 1:
+                probe = list(corners_hi)
+                probe[fld] = iv.hi + 1
+                headers.append(tuple(probe))
+    if not headers:
+        headers.append((0, 0, 0, 0, 0))
+    return Trace.from_headers(headers, packet_bytes=packet_bytes)

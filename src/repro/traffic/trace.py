@@ -1,0 +1,87 @@
+"""Packet traces as NumPy-backed structure-of-arrays.
+
+A trace is five parallel integer arrays (one per 5-tuple field) — the
+flat, contiguous layout both the vectorized classifiers and the NP
+simulator consume directly (HPC-guide idiom: columnar arrays, no
+per-packet Python objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.fields import FIELD_WIDTHS, Header
+
+#: The paper's traffic unit: minimum-size 64-byte TCP packets (§6.4).
+PACKET_BYTES = 64
+
+
+@dataclass
+class Trace:
+    """A packet-header trace (structure of arrays)."""
+
+    sip: np.ndarray
+    dip: np.ndarray
+    sport: np.ndarray
+    dport: np.ndarray
+    proto: np.ndarray
+    packet_bytes: int = PACKET_BYTES
+
+    def __post_init__(self) -> None:
+        arrays = self.field_arrays()
+        n = len(arrays[0])
+        for arr, width in zip(arrays, FIELD_WIDTHS):
+            if len(arr) != n:
+                raise ValueError("field arrays must have equal length")
+            if len(arr) and (int(arr.min()) < 0 or int(arr.max()) >= (1 << width)):
+                raise ValueError(f"field values out of range for {width}-bit field")
+
+    def field_arrays(self) -> list[np.ndarray]:
+        """The five arrays in :class:`~repro.core.fields.Field` order."""
+        return [self.sip, self.dip, self.sport, self.dport, self.proto]
+
+    def __len__(self) -> int:
+        return len(self.sip)
+
+    def header(self, index: int) -> Header:
+        return Header(
+            int(self.sip[index]), int(self.dip[index]), int(self.sport[index]),
+            int(self.dport[index]), int(self.proto[index]),
+        )
+
+    def headers(self):
+        """Iterate headers as tuples (test/oracle convenience)."""
+        for i in range(len(self)):
+            yield self.header(i)
+
+    @classmethod
+    def from_headers(cls, headers, packet_bytes: int = PACKET_BYTES) -> "Trace":
+        rows = list(headers)
+        cols = list(zip(*rows)) if rows else [[], [], [], [], []]
+        return cls(
+            sip=np.array(cols[0], dtype=np.uint32),
+            dip=np.array(cols[1], dtype=np.uint32),
+            sport=np.array(cols[2], dtype=np.uint32),
+            dport=np.array(cols[3], dtype=np.uint32),
+            proto=np.array(cols[4], dtype=np.uint32),
+            packet_bytes=packet_bytes,
+        )
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path, sip=self.sip, dip=self.dip, sport=self.sport,
+            dport=self.dport, proto=self.proto,
+            packet_bytes=np.array([self.packet_bytes]),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        data = np.load(path)
+        return cls(
+            sip=data["sip"], dip=data["dip"], sport=data["sport"],
+            dport=data["dport"], proto=data["proto"],
+            packet_bytes=int(data["packet_bytes"][0]),
+        )

@@ -1,0 +1,122 @@
+"""Tests for packed masks, segment builders and cross-producting."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.classifiers._bitmask import (
+    cross_product,
+    dedupe_masks,
+    first_set_bit,
+    masks_to_rule_ids,
+    segment_masks,
+    words_for,
+)
+from repro.core.interval import Interval
+
+
+class TestWordsFor:
+    def test_sizes(self):
+        assert words_for(0) == 1
+        assert words_for(1) == 1
+        assert words_for(64) == 1
+        assert words_for(65) == 2
+        assert words_for(1945) == 31
+
+
+class TestSegmentMasks:
+    def test_simple(self):
+        intervals = [Interval(0, 99), Interval(50, 255)]
+        edges, masks = segment_masks(intervals, 8, 2)
+        assert edges.tolist() == [0, 50, 100]
+        assert masks[0].tolist() == [0b01]
+        assert masks[1].tolist() == [0b11]
+        assert masks[2].tolist() == [0b10]
+
+    def test_point_interval(self):
+        edges, masks = segment_masks([Interval(7, 7)], 8, 1)
+        assert edges.tolist() == [0, 7, 8]
+        assert [int(m[0]) for m in masks] == [0, 1, 0]
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                    min_size=1, max_size=8))
+    def test_mask_equals_direct_check(self, pairs):
+        intervals = [Interval(min(a, b), max(a, b)) for a, b in pairs]
+        edges, masks = segment_masks(intervals, 8, len(intervals))
+        for value in range(0, 256, 7):
+            seg = int(np.searchsorted(edges, value, side="right")) - 1
+            mask = int(masks[seg][0])
+            expected = sum(
+                1 << i for i, iv in enumerate(intervals) if iv.contains(value)
+            )
+            assert mask == expected
+
+
+class TestDedupe:
+    def test_first_appearance_order(self):
+        masks = np.array([[3], [5], [3], [7], [5]], dtype=np.uint64)
+        ids, classes = dedupe_masks(masks)
+        assert ids.tolist() == [0, 1, 0, 2, 1]
+        assert classes[:, 0].tolist() == [3, 5, 7]
+
+    def test_empty(self):
+        ids, classes = dedupe_masks(np.zeros((0, 2), dtype=np.uint64))
+        assert len(ids) == 0 and len(classes) == 0
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=32))
+    def test_reconstruction(self, values):
+        masks = np.array([[v] for v in values], dtype=np.uint64)
+        ids, classes = dedupe_masks(masks)
+        assert [int(classes[i][0]) for i in ids] == values
+
+
+class TestCrossProduct:
+    def test_small(self):
+        a = np.array([[0b01], [0b11]], dtype=np.uint64)
+        b = np.array([[0b10], [0b11]], dtype=np.uint64)
+        table, classes = cross_product(a, b)
+        assert table.shape == (2, 2)
+        # AND results: (01&10)=00, (01&11)=01, (11&10)=10, (11&11)=11
+        got = {int(classes[table[i, j]][0]) for i in range(2) for j in range(2)}
+        assert got == {0b00, 0b01, 0b10, 0b11}
+
+    def test_chunking_consistent(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 1 << 60, size=(70, 2)).astype(np.uint64)
+        b = rng.integers(0, 1 << 60, size=(5, 2)).astype(np.uint64)
+        t1, c1 = cross_product(a, b, chunk_rows=64)
+        t2, c2 = cross_product(a, b, chunk_rows=7)
+        # Class numbering must be identical (first-appearance order).
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_table_entries_decode_to_and(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 255, size=(6, 1)).astype(np.uint64)
+        b = rng.integers(0, 255, size=(4, 1)).astype(np.uint64)
+        table, classes = cross_product(a, b)
+        for i in range(6):
+            for j in range(4):
+                assert int(classes[table[i, j]][0]) == int(a[i][0]) & int(b[j][0])
+
+
+class TestFirstSetBit:
+    def test_empty_mask(self):
+        assert first_set_bit(np.zeros(2, dtype=np.uint64)) is None
+
+    def test_low_bit(self):
+        mask = np.array([0b100, 0], dtype=np.uint64)
+        assert first_set_bit(mask) == 2
+
+    def test_high_word(self):
+        mask = np.array([0, 1 << 5], dtype=np.uint64)
+        assert first_set_bit(mask) == 69
+
+    @given(st.integers(0, 127))
+    def test_single_bit(self, bit):
+        mask = np.zeros(2, dtype=np.uint64)
+        mask[bit // 64] = np.uint64(1 << (bit % 64))
+        assert first_set_bit(mask) == bit
+
+    def test_masks_to_rule_ids(self):
+        masks = np.array([[0, 0], [0b1000, 0], [0, 1]], dtype=np.uint64)
+        assert masks_to_rule_ids(masks).tolist() == [-1, 3, 64]

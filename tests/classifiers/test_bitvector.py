@@ -1,0 +1,59 @@
+"""Bit-vector classifier tests: vector fetch costs and correctness."""
+
+import numpy as np
+
+from repro.classifiers.bitvector import BitVectorClassifier
+from repro.core.rule import Rule, RuleSet
+from repro.rulesets import generate
+from repro.rulesets.profiles import PROFILES
+
+
+class TestLookup:
+    def test_vector_reads_scale_with_rules(self):
+        small = BitVectorClassifier.build(
+            generate(PROFILES["CR01"], size=20, seed=5).with_default()
+        )
+        large = BitVectorClassifier.build(
+            generate(PROFILES["CR01"], size=150, seed=5).with_default()
+        )
+        header = (1, 2, 3, 4, 5)
+        small_words = small.access_trace(header).total_words
+        large_words = large.access_trace(header).total_words
+        # 5 * ceil(N/32) vector words dominate: the bandwidth signature.
+        assert large_words > small_words
+
+    def test_vector_read_sizes(self, small_fw_ruleset):
+        clf = BitVectorClassifier.build(small_fw_ruleset)
+        vw = max(1, (len(small_fw_ruleset) + 31) // 32)
+        trace = clf.access_trace((1, 2, 3, 4, 5))
+        vector_reads = [r for r in trace.reads if r.region.startswith("bvvec")]
+        assert len(vector_reads) == 5
+        assert all(r.nwords == vw for r in vector_reads)
+
+    def test_batch_matches_scalar(self, small_cr_ruleset, rng):
+        clf = BitVectorClassifier.build(small_cr_ruleset)
+        fields = [
+            rng.integers(0, 1 << 32, size=50, dtype=np.uint32),
+            rng.integers(0, 1 << 32, size=50, dtype=np.uint32),
+            rng.integers(0, 1 << 16, size=50, dtype=np.uint32),
+            rng.integers(0, 1 << 16, size=50, dtype=np.uint32),
+            rng.integers(0, 1 << 8, size=50, dtype=np.uint32),
+        ]
+        batch = clf.classify_batch(fields)
+        for idx in range(50):
+            header = tuple(int(f[idx]) for f in fields)
+            expected = clf.classify(header)
+            assert batch[idx] == (-1 if expected is None else expected)
+
+    def test_empty_ruleset(self):
+        clf = BitVectorClassifier.build(RuleSet([]))
+        assert clf.classify((0, 0, 0, 0, 0)) is None
+
+    def test_priority_via_lowest_bit(self):
+        rules = RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8"),
+            Rule.any(),
+        ])
+        clf = BitVectorClassifier.build(rules)
+        assert clf.classify((0x0A000001, 0, 0, 0, 0)) == 0
+        assert clf.classify((0x0B000001, 0, 0, 0, 0)) == 1

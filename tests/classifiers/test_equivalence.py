@@ -1,0 +1,132 @@
+"""The library's central property: every classifier equals linear search.
+
+Cross-checks all six algorithms against the priority-scan oracle on
+hypothesis-generated rule sets and on the deterministic corner-case
+traces (rule boundaries ±1).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.classifiers import (
+    ABVClassifier,
+    ALGORITHMS,
+    BitVectorClassifier,
+    ExpCutsClassifier,
+    HSMClassifier,
+    HiCutsClassifier,
+    HyperCutsClassifier,
+    LinearSearchClassifier,
+    RFCClassifier,
+    TupleSpaceClassifier,
+)
+from repro.traffic import corner_case_trace, matched_trace
+
+from ..conftest import header_strategy, ruleset_strategy
+
+ALL_CLASSES = [
+    ExpCutsClassifier,
+    HiCutsClassifier,
+    HyperCutsClassifier,
+    HSMClassifier,
+    RFCClassifier,
+    BitVectorClassifier,
+    ABVClassifier,
+    TupleSpaceClassifier,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.name)
+class TestAgainstOracleDeterministic:
+    def test_matched_traffic(self, cls, small_fw_ruleset):
+        clf = cls.build(small_fw_ruleset)
+        oracle = LinearSearchClassifier.build(small_fw_ruleset)
+        trace = matched_trace(small_fw_ruleset, 400, seed=21)
+        got = clf.classify_batch(trace.field_arrays())
+        want = oracle.classify_batch(trace.field_arrays())
+        np.testing.assert_array_equal(got, want)
+
+    def test_corner_cases(self, cls, small_cr_ruleset):
+        clf = cls.build(small_cr_ruleset)
+        oracle = LinearSearchClassifier.build(small_cr_ruleset)
+        trace = corner_case_trace(small_cr_ruleset)
+        got = clf.classify_batch(trace.field_arrays())
+        want = oracle.classify_batch(trace.field_arrays())
+        np.testing.assert_array_equal(got, want)
+
+    def test_trace_result_equals_classify(self, cls, small_fw_ruleset):
+        clf = cls.build(small_fw_ruleset)
+        trace = matched_trace(small_fw_ruleset, 50, seed=3)
+        for idx in range(len(trace)):
+            header = trace.header(idx)
+            assert clf.access_trace(header).result == clf.classify(header)
+
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS), ids=str)
+def test_registry_builds_and_agrees(algo, tiny_ruleset):
+    clf = ALGORITHMS[algo].build(tiny_ruleset)
+    for header in ((0x0A000001, 0xC0A80105, 12345, 80, 6),
+                   (0, 0, 0, 0, 0),
+                   (0xDEADBEEF, 0xC0A80142, 4242, 4242, 17)):
+        assert clf.classify(header) == tiny_ruleset.first_match(header)
+
+
+class TestHypothesisEquivalence:
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_expcuts(self, ruleset, header):
+        clf = ExpCutsClassifier.build(ruleset)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_hicuts(self, ruleset, header):
+        clf = HiCutsClassifier.build(ruleset, binth=2)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_hsm(self, ruleset, header):
+        clf = HSMClassifier.build(ruleset)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_rfc(self, ruleset, header):
+        clf = RFCClassifier.build(ruleset)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_bitvector(self, ruleset, header):
+        clf = BitVectorClassifier.build(ruleset)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_hypercuts(self, ruleset, header):
+        clf = HyperCutsClassifier.build(ruleset, binth=2)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_tuplespace(self, ruleset, header):
+        clf = TupleSpaceClassifier.build(ruleset)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_abv(self, ruleset, header):
+        clf = ABVClassifier.build(ruleset)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=5, prefix_ips=False), header_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_ip_ranges(self, ruleset, header):
+        """Non-prefix IP ranges: decomposition algorithms must stay exact
+        (RFC does so via its prefix-cover expansion)."""
+        expected = ruleset.first_match(header)
+        for cls in (ExpCutsClassifier, HiCutsClassifier, HSMClassifier,
+                    RFCClassifier, BitVectorClassifier):
+            assert cls.build(ruleset).classify(header) == expected

@@ -1,0 +1,79 @@
+"""HSM-specific behaviour: segment search, table hierarchy, Θ(log N)."""
+
+import numpy as np
+
+from repro.classifiers.hsm import HSMClassifier, _packed_words
+from repro.core.rule import Rule, RuleSet
+from repro.rulesets import generate
+from repro.rulesets.profiles import PROFILES
+
+
+class TestFieldSearch:
+    def test_locate_boundaries(self, tiny_ruleset):
+        clf = HSMClassifier.build(tiny_ruleset)
+        sip_search = clf.fields[0]
+        # Must resolve every value to the segment whose edge <= value.
+        for value in (0, 1, 0x0A000000 - 1, 0x0A000000, 0x0AFFFFFF,
+                      0x0B000000, 0xFFFFFFFF):
+            seg = int(np.searchsorted(sip_search.edges, value, side="right")) - 1
+            assert sip_search.edges[seg] <= value
+            if seg + 1 < len(sip_search.edges):
+                assert value < sip_search.edges[seg + 1]
+
+    def test_depth_grows_with_rules(self):
+        small = HSMClassifier.build(
+            generate(PROFILES["CR01"], size=20, seed=5).with_default()
+        )
+        large = HSMClassifier.build(
+            generate(PROFILES["CR01"], size=200, seed=5).with_default()
+        )
+        assert large.worst_case_accesses() > small.worst_case_accesses()
+
+
+class TestTables:
+    def test_final_table_resolves_rules(self, tiny_ruleset):
+        clf = HSMClassifier.build(tiny_ruleset)
+        assert clf.x6_rule.min() >= -1
+        assert clf.x6_rule.max() < len(tiny_ruleset)
+
+    def test_trace_has_four_table_reads(self, tiny_ruleset):
+        clf = HSMClassifier.build(tiny_ruleset)
+        trace = clf.access_trace((0x0A000001, 0xC0A80105, 1, 80, 6))
+        tables = [r.region for r in trace.reads if r.region.startswith("x")]
+        assert tables == ["x12", "x34", "x5", "x6"]
+        assert all(r.nwords == 1 for r in trace.reads)
+
+    def test_worst_case_matches_trace(self, small_fw_ruleset):
+        clf = HSMClassifier.build(small_fw_ruleset)
+        bound = clf.worst_case_accesses()
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            header = tuple(int(rng.integers(0, 1 << w)) for w in (32, 32, 16, 16, 8))
+            assert clf.access_trace(header).total_accesses <= bound
+
+    def test_packed_words(self):
+        small = np.zeros((10, 10), dtype=np.int64)
+        assert _packed_words(small) == 50
+        big = np.full((10, 10), 0x10000, dtype=np.int64)
+        assert _packed_words(big) == 100
+        assert _packed_words(np.zeros((0,), dtype=np.int64)) == 0
+
+
+class TestEdgeCases:
+    def test_single_rule(self):
+        clf = HSMClassifier.build(RuleSet([Rule.from_prefixes(dip="1.2.3.0/24")]))
+        assert clf.classify((0, 0x01020304, 0, 0, 0)) == 0
+        assert clf.classify((0, 0x01020404, 0, 0, 0)) is None
+
+    def test_all_wildcards(self):
+        clf = HSMClassifier.build(RuleSet([Rule.any()]))
+        assert clf.classify((1, 2, 3, 4, 5)) == 0
+
+    def test_memory_grows_with_rules(self):
+        small = HSMClassifier.build(
+            generate(PROFILES["CR01"], size=20, seed=6).with_default()
+        )
+        large = HSMClassifier.build(
+            generate(PROFILES["CR01"], size=200, seed=6).with_default()
+        )
+        assert large.memory_bytes() > small.memory_bytes()

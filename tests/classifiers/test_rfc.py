@@ -1,0 +1,88 @@
+"""RFC-specific behaviour: chunk tables, sub-rule expansion, fixed cost."""
+
+import numpy as np
+
+from repro.classifiers.rfc import (
+    CHUNKS,
+    RFCClassifier,
+    _expand_subrules,
+    _split_block,
+)
+from repro.core.interval import Interval
+from repro.core.rule import Rule, RuleSet
+
+
+class TestChunks:
+    def test_seven_chunks(self):
+        labels = [c.label for c in CHUNKS]
+        assert labels == ["sip_hi", "sip_lo", "dip_hi", "dip_lo",
+                          "sport", "dport", "proto"]
+
+    def test_split_block_short_prefix(self):
+        # /8 block: high chunk constrained, low chunk free.
+        block = Interval(0x0A000000, 0x0AFFFFFF)
+        assert _split_block(block, want_high=True) == (0x0A00, 0x0AFF)
+        assert _split_block(block, want_high=False) == (0, 0xFFFF)
+
+    def test_split_block_long_prefix(self):
+        # /24 block: high chunk exact, low chunk a 256-wide range.
+        block = Interval(0x0A0B0C00, 0x0A0B0CFF)
+        assert _split_block(block, want_high=True) == (0x0A0B, 0x0A0B)
+        assert _split_block(block, want_high=False) == (0x0C00, 0x0CFF)
+
+
+class TestSubruleExpansion:
+    def test_prefix_rules_expand_to_one(self, tiny_ruleset):
+        subrules, owners = _expand_subrules(tiny_ruleset)
+        assert len(subrules) == len(tiny_ruleset)
+        assert owners.tolist() == list(range(len(tiny_ruleset)))
+
+    def test_range_rule_expands(self):
+        rs = RuleSet([Rule.from_ranges(sip=(1, 6))])
+        subrules, owners = _expand_subrules(rs)
+        assert len(subrules) > 1
+        assert set(owners.tolist()) == {0}
+
+    def test_bits_in_priority_order(self):
+        rs = RuleSet([Rule.from_ranges(sip=(1, 6)),
+                      Rule.from_prefixes(sip="0.0.0.0/0")])
+        _, owners = _expand_subrules(rs)
+        assert owners.tolist() == sorted(owners.tolist())
+
+
+class TestLookup:
+    def test_fixed_access_count(self, small_fw_ruleset):
+        clf = RFCClassifier.build(small_fw_ruleset)
+        bound = clf.worst_case_accesses()
+        assert bound == len(CHUNKS) + 6
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            header = tuple(int(rng.integers(0, 1 << w)) for w in (32, 32, 16, 16, 8))
+            trace = clf.access_trace(header)
+            assert trace.total_accesses == bound  # direct indexing: exact
+            assert all(r.nwords == 1 for r in trace.reads)
+
+    def test_cross_chunk_range_soundness(self):
+        """The regression the sub-rule expansion exists for: a range
+        spanning a 16-bit boundary must not match headers that combine
+        one prefix's high half with another's low half."""
+        rs = RuleSet([Rule.from_ranges(dip=(1, 65536))])
+        clf = RFCClassifier.build(rs)
+        assert clf.classify((0, 0, 0, 0, 0)) is None
+        assert clf.classify((0, 1, 0, 0, 0)) == 0
+        assert clf.classify((0, 65536, 0, 0, 0)) == 0
+        assert clf.classify((0, 65537, 0, 0, 0)) is None
+        # 0x0001_0001 matches hi chunk of [65536] and lo chunk of [1]
+        assert clf.classify((0, 0x00010001, 0, 0, 0)) is None
+
+    def test_memory_is_largest_of_all(self, small_fw_ruleset):
+        from repro.classifiers import ExpCutsClassifier, HiCutsClassifier
+
+        rfc = RFCClassifier.build(small_fw_ruleset)
+        hicuts = HiCutsClassifier.build(small_fw_ruleset)
+        # The classic RFC trade: memory for fixed direct-index speed.
+        assert rfc.memory_bytes() > hicuts.memory_bytes()
+
+    def test_empty_ruleset(self):
+        clf = RFCClassifier.build(RuleSet([]))
+        assert clf.classify((1, 2, 3, 4, 5)) is None

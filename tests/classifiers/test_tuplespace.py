@@ -1,0 +1,72 @@
+"""Tuple Space Search specifics."""
+
+import pytest
+
+from repro.classifiers.tuplespace import Tuple5, TupleSpaceClassifier
+from repro.core.rule import Rule, RuleSet
+
+
+class TestTupleGrouping:
+    def test_same_shape_rules_share_tuple(self):
+        rules = RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8", dport=80, proto=6),
+            Rule.from_prefixes(sip="11.0.0.0/8", dport=443, proto=6),
+        ])
+        clf = TupleSpaceClassifier.build(rules)
+        assert clf.num_tuples == 1
+        assert clf.num_entries == 2
+
+    def test_distinct_shapes_distinct_tuples(self):
+        rules = RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8"),
+            Rule.from_prefixes(sip="10.0.0.0/16"),
+        ])
+        clf = TupleSpaceClassifier.build(rules)
+        assert clf.num_tuples == 2
+
+    def test_range_rule_expands(self):
+        rules = RuleSet([Rule.from_ranges(dport=(0, 1023))])
+        clf = TupleSpaceClassifier.build(rules)
+        # [0,1023] is one aligned block -> a single /6-style port prefix.
+        assert clf.num_entries == 1
+        rules2 = RuleSet([Rule.from_ranges(dport=(1, 1023))])
+        clf2 = TupleSpaceClassifier.build(rules2)
+        assert clf2.num_entries > 1  # unaligned range -> several prefixes
+
+    def test_mask_header(self):
+        tup = Tuple5((8, 0, 16, 0, 8))
+        masked = tup.mask_header((0x0A123456, 0xFFFFFFFF, 80, 99, 6))
+        assert masked == (0x0A000000, 0, 80, 0, 6)
+
+
+class TestLookup:
+    def test_priority_across_tuples(self):
+        rules = RuleSet([
+            Rule.from_prefixes(sip="10.1.0.0/16"),   # more specific
+            Rule.from_prefixes(sip="10.0.0.0/8"),
+        ])
+        clf = TupleSpaceClassifier.build(rules)
+        # Header matches both; rule 0 (higher priority) must win.
+        assert clf.classify((0x0A010001, 0, 0, 0, 0)) == 0
+        # Header matching only the /8.
+        assert clf.classify((0x0A020001, 0, 0, 0, 0)) == 1
+
+    def test_one_probe_per_tuple(self, small_fw_ruleset):
+        clf = TupleSpaceClassifier.build(small_fw_ruleset)
+        trace = clf.access_trace((1, 2, 3, 4, 5))
+        assert trace.total_accesses == clf.num_tuples
+        assert clf.worst_case_accesses() == clf.num_tuples
+
+    def test_empty_ruleset(self):
+        clf = TupleSpaceClassifier.build(RuleSet([]))
+        assert clf.classify((0, 0, 0, 0, 0)) is None
+        assert clf.num_tuples == 0
+
+    def test_duplicate_key_keeps_priority(self):
+        rule = Rule.from_prefixes(sip="10.0.0.0/8", dport=80)
+        clf = TupleSpaceClassifier.build(RuleSet([rule, rule]))
+        assert clf.classify((0x0A000001, 0, 0, 80, 0)) == 0
+
+    def test_rejects_params(self, tiny_ruleset):
+        with pytest.raises(TypeError):
+            TupleSpaceClassifier.build(tiny_ruleset, binth=2)

@@ -1,0 +1,145 @@
+"""Incremental-update layer tests, including a hypothesis state machine."""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.classifiers import ExpCutsClassifier, HiCutsClassifier
+from repro.classifiers.updates import UpdatableClassifier
+from repro.core.interval import Interval
+from repro.core.rule import Rule, RuleSet
+
+
+def make(ruleset=None, threshold=32, base=ExpCutsClassifier):
+    return UpdatableClassifier(ruleset or RuleSet([]), base,
+                               rebuild_threshold=threshold)
+
+
+HEADERS = [
+    (0x0A000001, 0xC0A80105, 12345, 80, 6),
+    (0x0B000001, 0x01020304, 2000, 53, 17),
+    (0, 0, 0, 0, 0),
+    (0xFFFFFFFF, 0xFFFFFFFF, 65535, 65535, 255),
+]
+
+
+def check_oracle(clf):
+    oracle = clf.current_ruleset()
+    for header in HEADERS:
+        assert clf.classify(header) == oracle.first_match(header)
+
+
+class TestBasicUpdates:
+    def test_insert_append(self):
+        clf = make()
+        pos = clf.insert(Rule.from_prefixes(sip="10.0.0.0/8"))
+        assert pos == 0
+        assert clf.classify((0x0A000001, 0, 0, 0, 0)) == 0
+        check_oracle(clf)
+
+    def test_insert_at_head_takes_priority(self, tiny_ruleset):
+        clf = make(tiny_ruleset)
+        clf.insert(Rule.any("deny"), position=0)
+        assert clf.classify((0x0A000001, 0xC0A80105, 12345, 80, 6)) == 0
+        assert clf.rules[0].action == "deny"
+        check_oracle(clf)
+
+    def test_remove_shifts_priorities(self, tiny_ruleset):
+        clf = make(tiny_ruleset)
+        removed = clf.remove(0)
+        assert removed.intervals[4] == Interval(6, 6)
+        # The old rule 1 is now rule 0.
+        assert clf.classify((0, 0xC0A80105, 0, 0, 0)) == 0
+        check_oracle(clf)
+
+    def test_remove_overlay_rule(self):
+        clf = make()
+        clf.insert(Rule.from_prefixes(sip="10.0.0.0/8"))
+        clf.remove(0)
+        assert clf.classify((0x0A000001, 0, 0, 0, 0)) is None
+        assert len(clf) == 0
+
+    def test_tombstone_slow_path(self, tiny_ruleset):
+        clf = make(tiny_ruleset, threshold=100)
+        header = (0x0A000001, 0xC0A80105, 12345, 80, 6)
+        assert clf.classify(header) == 0
+        clf.remove(0)  # tombstones the base's winner for this header
+        result = clf.classify(header)
+        assert result == clf.current_ruleset().first_match(header)
+        assert clf.stats.slow_path_lookups >= 1
+
+    def test_bad_positions(self, tiny_ruleset):
+        clf = make(tiny_ruleset)
+        with pytest.raises(IndexError):
+            clf.insert(Rule.any(), position=99)
+        with pytest.raises(IndexError):
+            clf.remove(99)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            make(threshold=0)
+
+
+class TestRebuild:
+    def test_threshold_triggers_rebuild(self, tiny_ruleset):
+        clf = make(tiny_ruleset, threshold=3)
+        start = clf.stats.rebuilds
+        for i in range(3):
+            clf.insert(Rule.from_prefixes(sip=f"{20 + i}.0.0.0/8"))
+        assert clf.stats.rebuilds > start
+        assert clf.pending_updates == 0
+        check_oracle(clf)
+
+    def test_manual_rebuild(self, tiny_ruleset):
+        clf = make(tiny_ruleset, threshold=100)
+        clf.insert(Rule.any("deny"), position=0)
+        assert clf.pending_updates == 1
+        clf.rebuild()
+        assert clf.pending_updates == 0
+        check_oracle(clf)
+
+    def test_works_with_hicuts_base(self, tiny_ruleset):
+        clf = make(tiny_ruleset, base=HiCutsClassifier)
+        clf.insert(Rule.from_prefixes(dport=9999), position=1)
+        check_oracle(clf)
+
+
+def _small_rule(sip_octet: int, dport: int) -> Rule:
+    return Rule.from_prefixes(sip=f"{sip_octet}.0.0.0/8", dport=dport)
+
+
+class UpdateMachine(RuleBasedStateMachine):
+    """Random insert/remove/lookup sequences vs the linear oracle."""
+
+    @initialize()
+    def setup(self):
+        self.clf = UpdatableClassifier(
+            RuleSet([Rule.any("deny")]), ExpCutsClassifier,
+            rebuild_threshold=4,
+        )
+
+    @rule(octet=st.integers(1, 6), dport=st.integers(0, 3),
+          head=st.booleans())
+    def insert(self, octet, dport, head):
+        self.clf.insert(_small_rule(octet, dport),
+                        position=0 if head else None)
+
+    @rule(frac=st.floats(0, 0.999))
+    def remove(self, frac):
+        if len(self.clf) > 1:
+            self.clf.remove(int(frac * len(self.clf)))
+
+    @invariant()
+    def agrees_with_oracle(self):
+        oracle = self.clf.current_ruleset()
+        for octet in (1, 3, 7):
+            for dport in (0, 2, 9):
+                header = (octet << 24, 0, 0, dport, 0)
+                assert self.clf.classify(header) == oracle.first_match(header)
+
+
+UpdateMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None,
+)
+TestUpdateMachine = UpdateMachine.TestCase

@@ -1,0 +1,117 @@
+"""Lookup-engine tests: scalar, batch and trace paths must all agree."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.engine import ExpCutsEngine
+from repro.core.expcuts import ExpCutsConfig, build_expcuts
+from repro.core.layout import pack_tree
+
+from ..conftest import header_strategy, ruleset_strategy
+
+
+def _engine(ruleset, **kwargs):
+    tree = build_expcuts(ruleset, ExpCutsConfig(**{
+        k: v for k, v in kwargs.items() if k in ("stride", "habs_bits_log2")
+    }))
+    image = pack_tree(tree, aggregated=kwargs.get("aggregated", True))
+    return ExpCutsEngine(image, use_pop_count=kwargs.get("use_pop_count", True)), tree
+
+
+class TestScalarLookup:
+    def test_matches_tree_walk(self, tiny_ruleset):
+        engine, tree = _engine(tiny_ruleset)
+        headers = [
+            (0x0A000001, 0xC0A80105, 12345, 80, 6),
+            (0, 0, 0, 0, 0),
+            (0xFFFFFFFF, 0xFFFFFFFF, 65535, 65535, 255),
+        ]
+        for header in headers:
+            assert engine.classify(header) == tree.classify(header)
+
+    def test_unaggregated_image(self, tiny_ruleset):
+        engine, tree = _engine(tiny_ruleset, aggregated=False)
+        header = (0x0A000001, 0xC0A80105, 12345, 80, 6)
+        assert engine.classify(header) == tree.classify(header) == 0
+
+    def test_risc_popcount_same_result(self, tiny_ruleset):
+        fast, _ = _engine(tiny_ruleset, use_pop_count=True)
+        slow, _ = _engine(tiny_ruleset, use_pop_count=False)
+        header = (0x0A000001, 0xC0A80105, 12345, 80, 6)
+        assert fast.classify(header) == slow.classify(header)
+
+
+class TestTrace:
+    def test_explicit_access_bound(self, tiny_ruleset):
+        """The paper's headline: 2 single-word reads per level, max 13
+        levels — an explicit worst case, unlike HiCuts."""
+        engine, tree = _engine(tiny_ruleset)
+        for header in ((0, 0, 0, 0, 0), (0x0A000001, 1, 2, 80, 6)):
+            trace = engine.access_trace(header)
+            assert trace.total_accesses <= 2 * tree.depth_bound
+            assert all(read.nwords == 1 for read in trace.reads)
+            assert trace.result == engine.classify(header)
+
+    def test_trace_regions_are_levels(self, tiny_ruleset):
+        engine, _ = _engine(tiny_ruleset)
+        trace = engine.access_trace((0x0A000001, 1, 2, 80, 6))
+        regions = [read.region for read in trace.reads]
+        # header+pointer pairs per level, levels ascending
+        assert regions == sorted(regions, key=lambda r: int(r.split(":")[1]))
+        assert regions[0] == "level:0"
+
+    def test_risc_trace_costs_more_compute(self, tiny_ruleset):
+        fast, _ = _engine(tiny_ruleset, use_pop_count=True)
+        slow, _ = _engine(tiny_ruleset, use_pop_count=False)
+        header = (0x0A000001, 0xC0A80105, 12345, 80, 6)
+        assert (
+            slow.access_trace(header).total_compute
+            > fast.access_trace(header).total_compute
+        )
+
+
+class TestBatch:
+    def test_batch_matches_scalar(self, small_fw_ruleset):
+        engine, _ = _engine(small_fw_ruleset)
+        rng = np.random.default_rng(5)
+        fields = [
+            rng.integers(0, 1 << 32, size=256, dtype=np.uint32),
+            rng.integers(0, 1 << 32, size=256, dtype=np.uint32),
+            rng.integers(0, 1 << 16, size=256, dtype=np.uint32),
+            rng.integers(0, 1 << 16, size=256, dtype=np.uint32),
+            rng.integers(0, 1 << 8, size=256, dtype=np.uint32),
+        ]
+        batch = engine.classify_batch(fields)
+        for idx in range(256):
+            header = tuple(int(f[idx]) for f in fields)
+            expected = engine.classify(header)
+            assert batch[idx] == (-1 if expected is None else expected)
+
+    def test_empty_batch(self, tiny_ruleset):
+        engine, _ = _engine(tiny_ruleset)
+        out = engine.classify_batch([np.array([], dtype=np.uint32)] * 5)
+        assert out.shape == (0,)
+
+    def test_batch_unaggregated(self, tiny_ruleset):
+        engine, _ = _engine(tiny_ruleset, aggregated=False)
+        fields = [np.array([0x0A000001], dtype=np.uint32),
+                  np.array([0xC0A80105], dtype=np.uint32),
+                  np.array([12345], dtype=np.uint32),
+                  np.array([80], dtype=np.uint32),
+                  np.array([6], dtype=np.uint32)]
+        assert engine.classify_batch(fields).tolist() == [0]
+
+
+@given(ruleset_strategy(max_rules=7), header_strategy())
+@settings(max_examples=40, deadline=None)
+def test_all_paths_agree_property(ruleset, header):
+    """Scalar, batch, trace and tree walk: one answer."""
+    tree = build_expcuts(ruleset)
+    engine = ExpCutsEngine(pack_tree(tree))
+    scalar = engine.classify(header)
+    assert scalar == tree.classify(header)
+    assert scalar == engine.access_trace(header).result
+    batch = engine.classify_batch(
+        [np.array([v], dtype=np.uint32) for v in header]
+    )
+    assert batch[0] == (-1 if scalar is None else scalar)

@@ -1,0 +1,138 @@
+"""ExpCuts tree construction tests: invariants, leaves, sharing soundness."""
+
+from hypothesis import given, settings
+
+from repro.core.expcuts import (
+    ExpCutsConfig,
+    REF_NO_MATCH,
+    build_expcuts,
+    leaf_ref,
+    ref_rule_id,
+)
+from repro.core.rule import Rule, RuleSet
+
+from ..conftest import header_near_rules_strategy, header_strategy, ruleset_strategy
+
+
+class TestRefEncoding:
+    def test_roundtrip(self):
+        for rid in (0, 1, 7, 123456):
+            assert ref_rule_id(leaf_ref(rid)) == rid
+
+    def test_no_match(self):
+        assert ref_rule_id(REF_NO_MATCH) is None
+
+    def test_internal_refs_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ref_rule_id(0)
+
+
+class TestTreeShape:
+    def test_empty_ruleset(self):
+        tree = build_expcuts(RuleSet([]))
+        assert tree.root_ref == REF_NO_MATCH
+        assert tree.node_count() == 0
+        assert tree.classify((0, 0, 0, 0, 0)) is None
+
+    def test_single_wildcard_rule_is_root_leaf(self):
+        tree = build_expcuts(RuleSet([Rule.any()]))
+        assert tree.node_count() == 0
+        assert tree.classify((1, 2, 3, 4, 5)) == 0
+
+    def test_depth_bound_is_explicit(self, tiny_ruleset):
+        tree = build_expcuts(tiny_ruleset)
+        assert tree.depth_bound == 13  # ceil(104 / 8)
+        assert tree.max_depth() <= tree.depth_bound
+
+    def test_stride_4_depth(self, tiny_ruleset):
+        tree = build_expcuts(tiny_ruleset, ExpCutsConfig(stride=4))
+        assert tree.depth_bound == 26
+        assert tree.max_depth() <= 26
+
+    def test_levels_monotone_links(self, small_fw_ruleset):
+        """Every internal child reference points one level deeper."""
+        tree = build_expcuts(small_fw_ruleset)
+        for node in tree.nodes:
+            for ref in node.children.cpa:
+                if ref >= 0:
+                    assert tree.nodes[ref].level == node.level + 1
+
+    def test_shadowed_rules_never_win(self):
+        rules = RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8"),
+            Rule.from_prefixes(sip="10.1.0.0/16"),  # shadowed by rule 0
+        ])
+        tree = build_expcuts(rules)
+        assert tree.classify((0x0A010001, 0, 0, 0, 0)) == 0
+
+    def test_memo_sharing_happens(self, small_cr_ruleset):
+        tree = build_expcuts(small_cr_ruleset)
+        # Hash-consing must fire on realistic sets (wildcard-heavy
+        # dimensions give many identical children).
+        assert tree.build_stats["memo_hits"] > 0
+
+    def test_max_nodes_guard(self, small_cr_ruleset):
+        import pytest
+
+        with pytest.raises(MemoryError):
+            build_expcuts(small_cr_ruleset, ExpCutsConfig(max_nodes=3))
+
+
+class TestSharingSoundness:
+    def test_partial_range_not_shared_with_full_cover(self):
+        """The counterexample to rule-id-set node sharing.
+
+        One rule, sport in [0, 0xC800].  Sub-spaces 0x00xx and 0xC8xx of
+        the top sport byte both intersect {rule 0}, but the first is fully
+        covered while the second is only partly covered — a classifier
+        sharing them by id-set would misclassify (0xC8FF).  Projection-
+        keyed sharing must keep them distinct.
+        """
+        rule = Rule.from_ranges(sport=(0, 0xC800))
+        tree = build_expcuts(RuleSet([rule]))
+        assert tree.classify((0, 0, 0x00FF, 0, 0)) == 0
+        assert tree.classify((0, 0, 0xC800, 0, 0)) == 0
+        assert tree.classify((0, 0, 0xC8FF, 0, 0)) is None
+        assert tree.classify((0, 0, 0xC801, 0, 0)) is None
+
+
+class TestOracleEquivalence:
+    @given(ruleset_strategy(max_rules=8), header_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_linear_scan(self, ruleset, header):
+        tree = build_expcuts(ruleset)
+        assert tree.classify(header) == ruleset.first_match(header)
+
+    @given(ruleset_strategy(max_rules=6, prefix_ips=False), header_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_linear_scan_arbitrary_ranges(self, ruleset, header):
+        """IP fields as arbitrary ranges (harder than real rule sets)."""
+        tree = build_expcuts(ruleset)
+        assert tree.classify(header) == ruleset.first_match(header)
+
+    @given(st_data=header_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_boundary_headers_small_stride(self, st_data):
+        rules = RuleSet([
+            Rule.from_ranges(sport=(100, 1000), proto=6),
+            Rule.from_ranges(dport=(53, 53)),
+            Rule.from_prefixes(sip="10.0.0.0/8", dip="10.0.0.0/8"),
+        ])
+        tree = build_expcuts(rules, ExpCutsConfig(stride=4))
+        assert tree.classify(st_data) == rules.first_match(st_data)
+
+
+@given(ruleset_strategy(max_rules=6), header_strategy())
+@settings(max_examples=30, deadline=None)
+def test_boundary_probe_equivalence(ruleset, header):
+    """Boundary-biased headers agree with the oracle too."""
+    tree = build_expcuts(ruleset)
+    # Derive probes from the rules' own corners.
+    for rule in list(ruleset)[:3]:
+        corners = tuple(iv.lo for iv in rule.intervals)
+        assert tree.classify(corners) == ruleset.first_match(corners)
+        corners_hi = tuple(iv.hi for iv in rule.intervals)
+        assert tree.classify(corners_hi) == ruleset.first_match(corners_hi)
+    assert tree.classify(header) == ruleset.first_match(header)

@@ -1,0 +1,99 @@
+"""Tests for the 5-tuple layout and the cutting schedule."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.fields import (
+    FIELD_BIT_OFFSETS,
+    FIELD_WIDTHS,
+    Field,
+    Header,
+    TOTAL_HEADER_BITS,
+    cut_schedule,
+    header_key,
+    pack_header,
+    unpack_header,
+)
+
+from ..conftest import header_strategy
+
+
+class TestLayoutConstants:
+    def test_total_bits(self):
+        assert TOTAL_HEADER_BITS == 104  # the paper's W
+
+    def test_offsets(self):
+        assert FIELD_BIT_OFFSETS == (0, 32, 64, 80, 96)
+
+    def test_field_order(self):
+        assert [f.name for f in Field] == ["SIP", "DIP", "SPORT", "DPORT", "PROTO"]
+
+
+class TestCutSchedule:
+    def test_depth_for_stride8(self):
+        # The paper: 104 / 8 = 13 levels.
+        schedule = cut_schedule(8)
+        assert len(schedule) == 13
+
+    def test_depth_for_stride4(self):
+        assert len(cut_schedule(4)) == 26
+
+    def test_fields_cut_in_order(self):
+        schedule = cut_schedule(8)
+        fields = [step.field for step in schedule]
+        assert fields == sorted(fields)
+        assert fields.count(Field.SIP) == 4
+        assert fields.count(Field.PROTO) == 1
+
+    def test_shifts_descend_within_field(self):
+        schedule = cut_schedule(8)
+        sip_shifts = [s.shift for s in schedule if s.field == Field.SIP]
+        assert sip_shifts == [24, 16, 8, 0]
+
+    def test_narrow_final_step(self):
+        # stride 16 over the 8-bit proto field narrows to 8.
+        schedule = cut_schedule(16)
+        proto_steps = [s for s in schedule if s.field == Field.PROTO]
+        assert len(proto_steps) == 1 and proto_steps[0].width == 8
+
+    @pytest.mark.parametrize("stride", [1, 2, 4, 8, 16])
+    def test_schedule_consumes_every_bit(self, stride):
+        schedule = cut_schedule(stride)
+        consumed = {f: 0 for f in Field}
+        for step in schedule:
+            consumed[step.field] += step.width
+        assert all(consumed[f] == FIELD_WIDTHS[f] for f in Field)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            cut_schedule(0)
+        with pytest.raises(ValueError):
+            cut_schedule(17)
+
+    @given(header_strategy())
+    def test_keys_reconstruct_header(self, header):
+        """The concatenation of all level keys is the whole header."""
+        schedule = cut_schedule(8)
+        values = {f: 0 for f in Field}
+        for step in schedule:
+            values[step.field] = (values[step.field] << step.width) | header_key(
+                header, step
+            )
+        assert tuple(values[f] for f in Field) == tuple(header)
+
+
+class TestHeaderPacking:
+    def test_roundtrip_simple(self):
+        header = Header(0x0A000001, 0xC0A80101, 1234, 80, 6)
+        assert unpack_header(pack_header(header)) == header
+
+    @given(header_strategy())
+    def test_roundtrip(self, header):
+        assert tuple(unpack_header(pack_header(header))) == tuple(header)
+
+    def test_validate(self):
+        Header(0, 0, 0, 0, 0).validate()
+        with pytest.raises(ValueError):
+            Header(1 << 32, 0, 0, 0, 0).validate()
+        with pytest.raises(ValueError):
+            Header(0, 0, 0, 0, 256).validate()

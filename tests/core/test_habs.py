@@ -1,0 +1,116 @@
+"""HABS + CPA compression tests, including the paper's worked example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.habs import HabsArray, compress, compression_ratio
+
+
+class TestPaperExample:
+    """Figure 3: 16 pointers, 4-bit HABS, sub-space 9 resolves to P5."""
+
+    def setup_method(self):
+        # Sub-array 0 = pointers P0..P3 (unique); sub-arrays 1..3 all equal
+        # the second distinct sub-array P4..P7.
+        self.pointers = [0, 1, 2, 3, 4, 5, 6, 7, 4, 5, 6, 7, 4, 5, 6, 7]
+        self.arr = compress(self.pointers, v=2)
+
+    def test_habs_bits(self):
+        # Bits (LSB first) 1,1,0,0 — the paper writes it "1100" MSB-first.
+        assert self.arr.habs == 0b0011
+
+    def test_cpa_contents(self):
+        assert self.arr.cpa == (0, 1, 2, 3, 4, 5, 6, 7)
+
+    def test_lookup_subspace_9_is_p5(self):
+        # The paper's arithmetic: packet in sub-space 9 -> CPA entry 5.
+        assert self.arr.lookup(9) == self.pointers[9] == 5
+        m = 9 >> self.arr.u
+        i = bin(self.arr.habs & ((1 << (m + 1)) - 1)).count("1") - 1
+        j = 9 & ((1 << self.arr.u) - 1)
+        assert (i << self.arr.u) + j == 5
+
+    def test_full_decompress(self):
+        assert self.arr.decompress() == self.pointers
+
+
+class TestCompress:
+    def test_bit0_always_set(self):
+        arr = compress([7] * 16, v=4)
+        assert arr.habs & 1
+        assert arr.cpa == (7,)
+
+    def test_all_distinct(self):
+        pointers = list(range(16))
+        arr = compress(pointers, v=4)
+        assert arr.habs == 0xFFFF
+        assert arr.cpa == tuple(pointers)
+        assert compression_ratio(arr) == 1.0
+
+    def test_constant_array_max_compression(self):
+        arr = compress([3] * 256, v=4)
+        assert arr.compressed_slots == 16  # one sub-array of 16
+        assert compression_ratio(arr) == 16 / 256
+
+    def test_v_zero(self):
+        arr = compress([1, 2, 3, 4], v=0)
+        assert arr.habs == 1
+        assert arr.decompress() == [1, 2, 3, 4]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            compress([1, 2, 3], v=1)
+
+    def test_rejects_bad_v(self):
+        with pytest.raises(ValueError):
+            compress([1, 2], v=2)
+
+    def test_lookup_out_of_range(self):
+        arr = compress([1, 2], v=1)
+        with pytest.raises(IndexError):
+            arr.lookup(2)
+
+
+@given(
+    st.integers(0, 4),
+    st.integers(0, 4),
+    st.data(),
+)
+def test_roundtrip_property(log_len_extra, v, data):
+    """compress then decompress is the identity for any pointer array."""
+    total_log = v + log_len_extra
+    if total_log > 8:
+        total_log = 8
+        v = min(v, total_log)
+    size = 1 << total_log
+    pointers = data.draw(
+        st.lists(st.integers(0, 7), min_size=size, max_size=size)
+    )
+    arr = compress(pointers, v=v)
+    assert arr.decompress() == pointers
+
+
+@given(st.data())
+def test_repetitive_arrays_compress(data):
+    """Arrays made of few distinct aligned sub-arrays shrink accordingly."""
+    v, u = 4, 4
+    sub_arrays = data.draw(
+        st.lists(
+            st.lists(st.integers(0, 3), min_size=1 << u, max_size=1 << u),
+            min_size=1, max_size=3,
+        )
+    )
+    choices = data.draw(
+        st.lists(st.integers(0, len(sub_arrays) - 1), min_size=1 << v,
+                 max_size=1 << v)
+    )
+    pointers = [p for c in choices for p in sub_arrays[c]]
+    arr = compress(pointers, v=v)
+    # CPA holds at most one copy per *run* of distinct consecutive
+    # sub-arrays; never more than the number of transitions + 1.
+    transitions = 1 + sum(
+        1 for a, b in zip(choices, choices[1:])
+        if sub_arrays[a] != sub_arrays[b]
+    )
+    assert arr.compressed_slots <= transitions * (1 << u)
+    assert arr.decompress() == pointers

@@ -1,0 +1,103 @@
+"""Tests for rules and rule sets."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.fields import Field
+from repro.core.interval import Interval, full_interval
+from repro.core.rule import ACTION_DENY, Rule, RuleSet
+
+from ..conftest import header_strategy, rule_strategy
+
+
+class TestRuleConstruction:
+    def test_any_matches_everything(self):
+        rule = Rule.any()
+        assert rule.matches((0, 0, 0, 0, 0))
+        assert rule.matches((0xFFFFFFFF, 0xFFFFFFFF, 65535, 65535, 255))
+
+    def test_from_prefixes(self):
+        rule = Rule.from_prefixes(sip="10.0.0.0/8", dport=(0, 1023), proto=6)
+        assert rule.intervals[Field.SIP] == Interval(0x0A000000, 0x0AFFFFFF)
+        assert rule.intervals[Field.DPORT] == Interval(0, 1023)
+        assert rule.intervals[Field.PROTO] == Interval(6, 6)
+        assert rule.is_wildcard(Field.DIP)
+        assert rule.is_wildcard(Field.SPORT)
+
+    def test_from_prefixes_host(self):
+        rule = Rule.from_prefixes(dip="192.168.1.5")
+        assert rule.intervals[Field.DIP] == Interval(0xC0A80105, 0xC0A80105)
+
+    def test_from_ranges_exact_port(self):
+        rule = Rule.from_ranges(sport=80)
+        assert rule.intervals[Field.SPORT] == Interval(80, 80)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Rule((Interval(0, 1 << 32), full_interval(32), full_interval(16),
+                  full_interval(16), full_interval(8)))
+
+    def test_bad_ip_string(self):
+        with pytest.raises(ValueError):
+            Rule.from_prefixes(sip="10.0.0/8")
+        with pytest.raises(ValueError):
+            Rule.from_prefixes(sip="10.0.0.300/8")
+
+    def test_str_is_readable(self):
+        text = str(Rule.from_prefixes(sip="10.0.0.0/8", action="deny"))
+        assert "10.0.0.0" in text and "deny" in text
+
+
+class TestRuleMatching:
+    def test_boundaries(self):
+        rule = Rule.from_ranges(sport=(100, 200))
+        base = (0, 0, 0, 0, 0)
+        assert rule.matches((0, 0, 100, 0, 0))
+        assert rule.matches((0, 0, 200, 0, 0))
+        assert not rule.matches((0, 0, 99, 0, 0))
+        assert not rule.matches((0, 0, 201, 0, 0))
+        del base
+
+    @given(rule_strategy())
+    def test_sample_header_matches(self, rule):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        header = rule.sample_header(rng)
+        assert rule.matches(header)
+
+
+class TestRuleSet:
+    def test_first_match_priority(self, tiny_ruleset):
+        # Header matching both rule 0 and rule 3 must return 0.
+        header = (0x0A000001, 0, 0, 80, 6)
+        assert tiny_ruleset.first_match(header) == 0
+
+    def test_first_match_none(self):
+        rs = RuleSet([Rule.from_prefixes(sip="10.0.0.0/8")])
+        assert rs.first_match((0x0B000000, 0, 0, 0, 0)) is None
+
+    def test_with_default(self):
+        rs = RuleSet([Rule.from_prefixes(sip="10.0.0.0/8")])
+        rs2 = rs.with_default(ACTION_DENY)
+        assert len(rs2) == len(rs) + 1
+        assert rs2.first_match((0x0B000000, 0, 0, 0, 0)) == 1
+        assert rs2[1].action == ACTION_DENY
+        # original unchanged
+        assert len(rs) == 1
+
+    def test_iteration_and_indexing(self, tiny_ruleset):
+        assert len(list(tiny_ruleset)) == len(tiny_ruleset) == 4
+        assert tiny_ruleset[0].intervals[Field.PROTO] == Interval(6, 6)
+
+    @given(header_strategy())
+    def test_first_match_agrees_with_scan(self, header):
+        rules = RuleSet([
+            Rule.from_prefixes(sip="128.0.0.0/1"),
+            Rule.from_ranges(dport=(0, 32767)),
+            Rule.any(),
+        ])
+        expected = next(
+            (i for i, r in enumerate(rules) if r.matches(header)), None
+        )
+        assert rules.first_match(header) == expected

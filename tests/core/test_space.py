@@ -1,0 +1,65 @@
+"""Box geometry and projection tests."""
+
+from repro.core.fields import Field
+from repro.core.interval import Interval
+from repro.core.rule import Rule
+from repro.core.space import (
+    Box,
+    ProjectedRule,
+    covers_box_widths,
+    initial_projection,
+)
+
+
+class TestBox:
+    def test_full_box_contains_everything(self):
+        box = Box.full()
+        assert box.contains_header((0, 0, 0, 0, 0))
+        assert box.contains_header((0xFFFFFFFF, 0xFFFFFFFF, 65535, 65535, 255))
+        assert box.point_count() == 1 << 104
+
+    def test_cut(self):
+        box = Box.full()
+        children = box.cut(Field.PROTO, 4)
+        assert len(children) == 4
+        assert children[0].intervals[Field.PROTO] == Interval(0, 63)
+        assert children[3].intervals[Field.PROTO] == Interval(192, 255)
+        # Other dimensions untouched.
+        assert children[1].intervals[Field.SIP] == Interval(0, 0xFFFFFFFF)
+
+    def test_intersects_and_covers(self):
+        box = Box.full().cut(Field.SIP, 2)[0]  # SIP in [0, 2^31-1]
+        rule_inside = Rule.from_prefixes(sip="10.0.0.0/8")
+        rule_outside = Rule.from_prefixes(sip="192.168.0.0/16")
+        rule_covering = Rule.any()
+        assert box.intersects_rule(rule_inside)
+        assert not box.intersects_rule(rule_outside)
+        assert box.rule_covers(rule_covering)
+        assert not box.rule_covers(rule_inside)
+
+    def test_is_point(self):
+        point = Box(tuple(Interval(3, 3) for _ in range(5)))
+        assert point.is_point()
+        assert point.point_count() == 1
+        assert not Box.full().is_point()
+
+
+class TestProjection:
+    def test_initial_projection_preserves_order(self, tiny_ruleset):
+        projected = initial_projection(tiny_ruleset.rules)
+        assert [p.rule_id for p in projected] == [0, 1, 2, 3]
+        assert projected[0].intervals == tuple(tiny_ruleset[0].intervals)
+
+    def test_covers_box_widths(self):
+        full = ProjectedRule(0, (
+            Interval(0, 0xFFFFFFFF), Interval(0, 0xFFFFFFFF),
+            Interval(0, 0xFFFF), Interval(0, 0xFFFF), Interval(0, 0xFF),
+        ))
+        assert covers_box_widths(full, (32, 32, 16, 16, 8))
+        partial = ProjectedRule(0, (
+            Interval(0, 0x7FFFFFFF), Interval(0, 0xFFFFFFFF),
+            Interval(0, 0xFFFF), Interval(0, 0xFFFF), Interval(0, 0xFF),
+        ))
+        assert not covers_box_widths(partial, (32, 32, 16, 16, 8))
+        # Same intervals against a *smaller* box.
+        assert covers_box_widths(partial, (31, 32, 16, 16, 8))

@@ -1,0 +1,43 @@
+"""Tree-statistics tests (the §4.2.2 empirical observations)."""
+
+from repro.core.expcuts import build_expcuts
+from repro.core.stats import collect_stats, distinct_children
+
+
+class TestCollectStats:
+    def test_basic_invariants(self, small_fw_ruleset):
+        tree = build_expcuts(small_fw_ruleset)
+        stats = collect_stats(tree)
+        assert stats.num_rules == len(small_fw_ruleset)
+        assert stats.num_nodes == tree.node_count()
+        assert stats.max_depth <= stats.depth_bound == 13
+        assert sum(stats.nodes_per_level.values()) == stats.num_nodes
+        assert 0 < stats.aggregation_ratio < 1
+
+    def test_paper_observation_few_distinct_children(self, small_cr_ruleset):
+        """§4.2.2: with 256 cuttings the average number of distinct
+        children is small (the paper reports < 10 on real-life sets)."""
+        tree = build_expcuts(small_cr_ruleset)
+        stats = collect_stats(tree)
+        assert stats.mean_distinct_children < 10
+
+    def test_distinct_children_bounds(self, tiny_ruleset):
+        tree = build_expcuts(tiny_ruleset)
+        counts = distinct_children(tree)
+        assert len(counts) == tree.node_count()
+        for count, node in zip(counts, tree.nodes):
+            assert 1 <= count <= node.children.total_slots
+
+    def test_habs_density_matches_children(self, tiny_ruleset):
+        tree = build_expcuts(tiny_ruleset)
+        stats = collect_stats(tree)
+        # At least one HABS bit per node (bit 0 always set), and no more
+        # than the HABS width.
+        assert 1 <= stats.mean_habs_bits_set <= 16
+
+    def test_empty_tree(self):
+        from repro.core.rule import RuleSet
+
+        stats = collect_stats(build_expcuts(RuleSet([])))
+        assert stats.num_nodes == 0
+        assert stats.mean_distinct_children == 0.0

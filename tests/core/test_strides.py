@@ -1,0 +1,80 @@
+"""Stride-parameter coverage: the whole engine stack at every stride."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.engine import ExpCutsEngine
+from repro.core.expcuts import ExpCutsConfig, build_expcuts
+from repro.core.fields import cut_schedule
+from repro.core.layout import pack_tree
+
+from ..conftest import header_strategy, ruleset_strategy
+
+STRIDES = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("stride", STRIDES)
+class TestStride:
+    def test_depth_bound(self, stride):
+        expected = sum(
+            -(-width // stride) for width in (32, 32, 16, 16, 8)
+        )
+        assert len(cut_schedule(stride)) == expected
+
+    def test_lookup_correct(self, stride, tiny_ruleset):
+        tree = build_expcuts(tiny_ruleset, ExpCutsConfig(stride=stride))
+        engine = ExpCutsEngine(pack_tree(tree))
+        for header in (
+            (0x0A000001, 0xC0A80105, 12345, 80, 6),
+            (0x0B000001, 0x01020304, 2000, 53, 17),
+            (0, 0, 0, 0, 0),
+            (0xFFFFFFFF, 0xFFFFFFFF, 0xFFFF, 0xFFFF, 0xFF),
+        ):
+            assert engine.classify(header) == tiny_ruleset.first_match(header)
+
+    def test_access_bound(self, stride, tiny_ruleset):
+        tree = build_expcuts(tiny_ruleset, ExpCutsConfig(stride=stride))
+        engine = ExpCutsEngine(pack_tree(tree))
+        trace = engine.access_trace((0x0A000001, 0xC0A80105, 12345, 80, 6))
+        assert trace.total_accesses <= 2 * tree.depth_bound
+
+    def test_batch_matches_scalar(self, stride, tiny_ruleset):
+        tree = build_expcuts(tiny_ruleset, ExpCutsConfig(stride=stride))
+        engine = ExpCutsEngine(pack_tree(tree))
+        rng = np.random.default_rng(stride)
+        fields = [
+            rng.integers(0, 1 << 32, size=32, dtype=np.uint32),
+            rng.integers(0, 1 << 32, size=32, dtype=np.uint32),
+            rng.integers(0, 1 << 16, size=32, dtype=np.uint32),
+            rng.integers(0, 1 << 16, size=32, dtype=np.uint32),
+            rng.integers(0, 1 << 8, size=32, dtype=np.uint32),
+        ]
+        batch = engine.classify_batch(fields)
+        for idx in range(32):
+            header = tuple(int(f[idx]) for f in fields)
+            expected = engine.classify(header)
+            assert batch[idx] == (-1 if expected is None else expected)
+
+
+class TestStrideTradeoffs:
+    def test_narrow_stride_smaller_nodes(self, small_fw_ruleset):
+        wide = build_expcuts(small_fw_ruleset, ExpCutsConfig(stride=8))
+        narrow = build_expcuts(small_fw_ruleset, ExpCutsConfig(stride=4))
+        wide_bytes = pack_tree(wide).total_bytes
+        narrow_bytes = pack_tree(narrow).total_bytes
+        assert narrow_bytes < wide_bytes
+
+    def test_narrow_stride_deeper(self, small_fw_ruleset):
+        wide = build_expcuts(small_fw_ruleset, ExpCutsConfig(stride=8))
+        narrow = build_expcuts(small_fw_ruleset, ExpCutsConfig(stride=4))
+        assert narrow.depth_bound == 2 * wide.depth_bound
+
+
+@given(ruleset_strategy(max_rules=5), header_strategy())
+@settings(max_examples=20, deadline=None)
+def test_all_strides_agree_property(ruleset, header):
+    expected = ruleset.first_match(header)
+    for stride in (2, 4, 16):
+        tree = build_expcuts(ruleset, ExpCutsConfig(stride=stride))
+        assert tree.classify(header) == expected, f"stride {stride}"

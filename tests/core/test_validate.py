@@ -1,0 +1,96 @@
+"""Tests for the elementary-region verification machinery — and its use
+to *prove* classifier equivalence on small rule sets."""
+
+import pytest
+
+from repro.classifiers import ALGORITHMS
+from repro.core.rule import Rule, RuleSet
+from repro.core.validate import (
+    field_segment_points,
+    region_count,
+    representative_headers,
+    verify_all,
+    verify_equivalence,
+)
+
+
+class TestSegmentPoints:
+    def test_includes_both_borders(self):
+        rs = RuleSet([Rule.from_ranges(sport=(100, 200))])
+        points = field_segment_points(rs, 2)
+        # segments: [0,99], [100,200], [201,65535]
+        assert {0, 99, 100, 200, 201, 65535} <= set(points)
+
+    def test_wildcard_field_two_points(self):
+        rs = RuleSet([Rule.any()])
+        points = field_segment_points(rs, 0)
+        assert points == [0, 0xFFFFFFFF]
+
+    def test_region_count(self):
+        rs = RuleSet([Rule.from_ranges(sport=(100, 200))])
+        # sport has 3 segments; other fields 1 each.
+        assert region_count(rs) == 3
+
+
+class TestRepresentativeHeaders:
+    def test_exhaustive_when_small(self, tiny_ruleset):
+        headers = list(representative_headers(tiny_ruleset, cap=10_000_000))
+        # Product of per-field point counts.
+        sizes = [len(field_segment_points(tiny_ruleset, f)) for f in range(5)]
+        expected = 1
+        for size in sizes:
+            expected *= size
+        assert len(headers) == expected
+        assert len(set(headers)) == expected
+
+    def test_capped_when_large(self, small_cr_ruleset):
+        headers = list(representative_headers(small_cr_ruleset, cap=500))
+        assert len(headers) == 500
+
+    def test_capped_touches_every_point(self):
+        rs = RuleSet([Rule.from_ranges(sport=(10, 20)),
+                      Rule.from_ranges(sport=(15, 400)),
+                      Rule.from_ranges(dport=(5, 5))])
+        points = set(field_segment_points(rs, 2))
+        cap = 64
+        seen = {h[2] for h in representative_headers(rs, cap=cap)}
+        assert points <= seen or cap >= len(points)
+
+
+class TestExhaustiveEquivalence:
+    """The strongest correctness statement in the suite: for these rule
+    sets, every algorithm is verified on EVERY elementary region."""
+
+    @pytest.fixture(scope="class")
+    def overlap_ruleset(self):
+        return RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8", dport=(0, 1023), proto=6),
+            Rule.from_ranges(sport=(100, 60000), dport=(80, 80)),
+            Rule.from_prefixes(dip="10.1.0.0/16", proto=17),
+            Rule.from_ranges(dip=(0x0A010000, 0x0A01FFFF + 5)),  # unaligned
+            Rule.any("deny"),
+        ])
+
+    @pytest.mark.parametrize("algo", sorted(set(ALGORITHMS) - {"linear"}))
+    def test_proven_equivalent(self, algo, overlap_ruleset):
+        clf = ALGORITHMS[algo].build(overlap_ruleset)
+        checked = verify_equivalence(clf, overlap_ruleset, cap=2_000_000)
+        # Two border points per segment: at least one header per region.
+        assert checked >= region_count(overlap_ruleset)
+
+    def test_verify_all(self, tiny_ruleset):
+        classifiers = [ALGORITHMS[a].build(tiny_ruleset)
+                       for a in ("expcuts", "hicuts")]
+        results = verify_all(classifiers, tiny_ruleset, cap=1_000_000)
+        assert set(results) == {"expcuts", "hicuts"}
+        assert all(count > 0 for count in results.values())
+
+    def test_detects_divergence(self, tiny_ruleset):
+        class Broken:
+            name = "broken"
+
+            def classify(self, header):
+                return 0
+
+        with pytest.raises(AssertionError, match="disagrees"):
+            verify_equivalence(Broken(), tiny_ruleset, cap=10_000)

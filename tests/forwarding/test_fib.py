@@ -1,0 +1,95 @@
+"""FIB and route-table generator tests."""
+
+import pytest
+
+from repro.forwarding import FIB, Route, generate_fib, route_interval
+
+
+class TestRoute:
+    def test_matches(self):
+        route = Route(0x0A000000, 8, 3)
+        assert route.matches(0x0A123456)
+        assert not route.matches(0x0B000000)
+
+    def test_default_matches_all(self):
+        route = Route(0, 0, 1)
+        assert route.matches(0) and route.matches(0xFFFFFFFF)
+
+    def test_host_route(self):
+        route = Route(0x0A000001, 32, 2)
+        assert route.matches(0x0A000001)
+        assert not route.matches(0x0A000002)
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Route(0x0A000001, 8, 1)
+
+    def test_bad_plen(self):
+        with pytest.raises(ValueError):
+            Route(0, 33, 1)
+
+    def test_str(self):
+        assert str(Route(0x0A000000, 8, 3)) == "10.0.0.0/8 -> 3"
+
+    def test_interval(self):
+        iv = route_interval(Route(0x0A000000, 8, 1))
+        assert iv.lo == 0x0A000000 and iv.hi == 0x0AFFFFFF
+
+
+class TestFIB:
+    def test_longest_match_picks_most_specific(self):
+        fib = FIB()
+        fib.add(0, 0, 1)
+        fib.add(0x0A000000, 8, 2)
+        fib.add(0x0A010000, 16, 3)
+        assert fib.longest_match(0x0B000000) == 1
+        assert fib.longest_match(0x0A020000) == 2
+        assert fib.longest_match(0x0A010005) == 3
+
+    def test_no_match(self):
+        fib = FIB()
+        fib.add(0x0A000000, 8, 2)
+        assert fib.longest_match(0x0B000000) is None
+
+    def test_has_default(self):
+        fib = FIB()
+        assert not fib.has_default()
+        fib.add(0, 0, 1)
+        assert fib.has_default()
+
+
+class TestGenerator:
+    def test_size_and_determinism(self):
+        a = generate_fib(200, seed=5)
+        b = generate_fib(200, seed=5)
+        assert len(a) == len(b) == 200
+        assert [(r.prefix, r.plen, r.next_hop) for r in a] == \
+               [(r.prefix, r.plen, r.next_hop) for r in b]
+
+    def test_default_route_present(self):
+        assert generate_fib(50, seed=1).has_default()
+        assert not generate_fib(50, seed=1, with_default=False).has_default()
+
+    def test_plen_mix_is_24_heavy(self):
+        fib = generate_fib(1000, seed=9)
+        plens = [r.plen for r in fib]
+        assert plens.count(24) > 0.15 * len(plens)
+
+    def test_unique_prefixes(self):
+        fib = generate_fib(300, seed=2)
+        keys = {(r.prefix, r.plen) for r in fib}
+        assert len(keys) == len(fib)
+
+    def test_nesting_exists(self):
+        """Some routes must nest inside shorter ones (LPM's raison d'etre)."""
+        fib = generate_fib(500, seed=3)
+        routes = sorted(fib, key=lambda r: r.plen)
+        nested = 0
+        for i, outer in enumerate(routes):
+            if outer.plen == 0:
+                continue
+            for inner in routes[i + 1:]:
+                if inner.plen > outer.plen and outer.matches(inner.prefix):
+                    nested += 1
+                    break
+        assert nested > 10

@@ -1,0 +1,122 @@
+"""Trie LPM tests: both structures vs the scan oracle, plus costs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forwarding import FIB, BinaryTrie, MultibitTrie, Route, generate_fib
+
+
+@pytest.fixture(scope="module")
+def fib500():
+    return generate_fib(500, seed=3)
+
+
+def boundary_probes(fib, limit=150):
+    probes = []
+    for route in list(fib)[:limit]:
+        span = 32 - route.plen
+        lo = route.prefix
+        hi = route.prefix | ((1 << span) - 1) if span else route.prefix
+        probes.extend((lo, hi, max(lo - 1, 0), min(hi + 1, (1 << 32) - 1)))
+    return probes
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cls", [BinaryTrie, MultibitTrie],
+                             ids=lambda c: c.name)
+    def test_random_and_boundary(self, cls, fib500):
+        trie = cls(fib500)
+        rng = np.random.default_rng(4)
+        addrs = [int(a) for a in rng.integers(0, 1 << 32, size=800)]
+        addrs += boundary_probes(fib500)
+        for addr in addrs:
+            assert trie.lookup(addr) == fib500.longest_match(addr)
+
+    @pytest.mark.parametrize("stride", [4, 8, 16])
+    def test_multibit_strides(self, stride, fib500):
+        trie = MultibitTrie(fib500, stride=stride)
+        rng = np.random.default_rng(5)
+        for addr in (int(a) for a in rng.integers(0, 1 << 32, size=300)):
+            assert trie.lookup(addr) == fib500.longest_match(addr)
+        assert trie.worst_case_accesses() == 32 // stride
+
+    def test_bad_stride(self, fib500):
+        with pytest.raises(ValueError):
+            MultibitTrie(fib500, stride=5)
+
+    def test_batch_matches_scalar(self, fib500):
+        trie = MultibitTrie(fib500)
+        rng = np.random.default_rng(6)
+        addrs = rng.integers(0, 1 << 32, size=500, dtype=np.uint32)
+        batch = trie.lookup_batch(addrs)
+        for idx in range(500):
+            expected = trie.lookup(int(addrs[idx]))
+            got = None if batch[idx] < 0 else int(batch[idx])
+            assert got == expected
+
+    def test_empty_fib(self):
+        fib = FIB()
+        assert BinaryTrie(fib).lookup(123) is None
+        assert MultibitTrie(fib).lookup(123) is None
+
+    def test_overlapping_same_slot(self):
+        fib = FIB()
+        fib.add(0x0A000000, 7, 1)   # 10.0.0.0/7
+        fib.add(0x0A000000, 9, 2)   # 10.0.0.0/9 (nested, same level-0 slot)
+        fib.add(0x0A800000, 9, 3)
+        for cls in (BinaryTrie, MultibitTrie):
+            trie = cls(fib)
+            assert trie.lookup(0x0A000001) == 2
+            assert trie.lookup(0x0A800001) == 3
+            assert trie.lookup(0x0B000001) == 1
+            assert trie.lookup(0x0C000001) is None
+
+
+class TestCosts:
+    def test_multibit_bounded_accesses(self, fib500):
+        trie = MultibitTrie(fib500)
+        rng = np.random.default_rng(7)
+        for addr in (int(a) for a in rng.integers(0, 1 << 32, size=100)):
+            trace = trie.access_trace(addr)
+            assert 1 <= trace.total_accesses <= 4
+            assert trace.result == trie.lookup(addr)
+
+    def test_binary_unbounded_but_cheap_memory(self, fib500):
+        binary = BinaryTrie(fib500)
+        multibit = MultibitTrie(fib500)
+        assert binary.memory_words() < multibit.memory_words()
+        deep_trace = binary.access_trace(0x0A000001)
+        assert deep_trace.result == binary.lookup(0x0A000001)
+        assert binary.depth() <= 32
+
+    def test_narrow_stride_saves_memory(self, fib500):
+        wide = MultibitTrie(fib500, stride=16)
+        narrow = MultibitTrie(fib500, stride=4)
+        assert narrow.memory_words() < wide.memory_words()
+
+
+@st.composite
+def small_fib(draw):
+    fib = FIB()
+    n = draw(st.integers(1, 8))
+    seen = set()
+    for _ in range(n):
+        plen = draw(st.integers(0, 32))
+        value = draw(st.integers(0, (1 << 32) - 1))
+        span = 32 - plen
+        prefix = (value >> span) << span if span else value
+        if (prefix, plen) in seen:
+            continue
+        seen.add((prefix, plen))
+        fib.add(prefix, plen, draw(st.integers(0, 15)))
+    return fib
+
+
+@given(small_fib(), st.integers(0, (1 << 32) - 1))
+@settings(max_examples=60, deadline=None)
+def test_lpm_property(fib, address):
+    expected = fib.longest_match(address)
+    assert BinaryTrie(fib).lookup(address) == expected
+    assert MultibitTrie(fib).lookup(address) == expected
+    assert MultibitTrie(fib, stride=4).lookup(address) == expected

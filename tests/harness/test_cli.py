@@ -1,0 +1,41 @@
+"""Harness CLI tests."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table4" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_runs_config_table(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "IXP2850" in out
+        assert "regenerated" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        rc = main(["table3", "--json", str(tmp_path / "out")])
+        assert rc == 0
+        payload = json.loads((tmp_path / "out" / "table3.json").read_text())
+        assert payload["experiment"] == "table3"
+        assert payload["data"]["total"] == 16
+
+    def test_quick_experiment_with_json(self, tmp_path):
+        rc = main(["fig6", "--quick", "--json", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads((tmp_path / "fig6.json").read_text())
+        assert payload["quick"] is True
+        assert payload["data"]

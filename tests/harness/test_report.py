@@ -1,0 +1,43 @@
+"""Report-rendering tests."""
+
+from repro.harness.report import render_grouped_series, render_series, render_table
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        text = render_table("T", ["a", "bb"], [(1, 2.5), ("xyz", "w")])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "xyz" in text and "2.50" in text
+
+    def test_empty_rows(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+
+class TestSeries:
+    def test_bars_scale(self):
+        text = render_series("S", "x", "y", [(1, 10.0), (2, 20.0)])
+        lines = [ln for ln in text.splitlines() if "#" in ln]
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_empty(self):
+        assert "(no data)" in render_series("S", "x", "y", [])
+
+    def test_zero_values(self):
+        text = render_series("S", "x", "y", [(1, 0.0)])
+        assert "0.00" in text
+
+
+class TestGroupedSeries:
+    def test_groups_rendered(self):
+        text = render_grouped_series(
+            "G", "set", "mbps",
+            {"expcuts": [("FW01", 7.0)], "hicuts": [("FW01", 3.0)]},
+        )
+        assert "expcuts" in text and "hicuts" in text and "FW01" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_grouped_series("G", "x", "y", {})

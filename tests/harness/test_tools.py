@@ -1,0 +1,114 @@
+"""CLI tool tests (repro-classify, repro-generate)."""
+
+import pytest
+
+from repro.tools.classify import main as classify_main
+from repro.tools.generate import main as generate_main
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    rc = generate_main(["ruleset", "--profile", "FW01", "--size", "20",
+                        "--seed", "4", "--default-action", "deny",
+                        "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_ruleset_roundtrips(self, rules_file):
+        from repro.rulesets import load_rules
+
+        rules = load_rules(rules_file)
+        assert len(rules) == 21  # 20 + default
+
+    def test_trace_matched(self, rules_file, tmp_path):
+        out = tmp_path / "t.npz"
+        rc = generate_main(["trace", str(rules_file), "--count", "64",
+                            "-o", str(out)])
+        assert rc == 0
+        from repro.traffic import Trace
+
+        assert len(Trace.load(out)) == 64
+
+    def test_trace_uniform(self, tmp_path):
+        out = tmp_path / "u.npz"
+        rc = generate_main(["trace", "--count", "32", "-o", str(out)])
+        assert rc == 0
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        generate_main(["ruleset", "--profile", "CR01", "--size", "15",
+                       "--seed", "7", "-o", str(a)])
+        generate_main(["ruleset", "--profile", "CR01", "--size", "15",
+                       "--seed", "7", "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestClassify:
+    def test_generate_mode(self, rules_file, capsys):
+        rc = classify_main([str(rules_file), "--generate", "50",
+                            "--algorithm", "expcuts"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "50 packets" in out
+        assert "decisions" in out
+
+    def test_trace_file_mode(self, rules_file, tmp_path, capsys):
+        trace = tmp_path / "t.npz"
+        generate_main(["trace", str(rules_file), "--count", "40",
+                       "-o", str(trace)])
+        rc = classify_main([str(rules_file), str(trace), "--summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "40 packets" in out
+
+    def test_csv_output(self, rules_file, tmp_path):
+        out = tmp_path / "decisions.csv"
+        rc = classify_main([str(rules_file), "--generate", "25",
+                            "--output", str(out)])
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("sip,dip")
+        assert len(lines) == 26
+
+    def test_algorithms_agree_via_cli(self, rules_file, tmp_path):
+        trace = tmp_path / "t.npz"
+        generate_main(["trace", str(rules_file), "--count", "30",
+                       "-o", str(trace)])
+        outputs = []
+        for algo in ("expcuts", "hicuts", "hsm"):
+            out = tmp_path / f"{algo}.csv"
+            classify_main([str(rules_file), str(trace), "--algorithm", algo,
+                           "--output", str(out)])
+            outputs.append(out.read_text())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_missing_trace_errors(self, rules_file, capsys):
+        rc = classify_main([str(rules_file)])
+        assert rc == 2
+
+    def test_empty_rules_errors(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        rc = classify_main([str(empty), "--generate", "5"])
+        assert rc == 2
+
+    def test_missing_rules_file_clean_error(self, tmp_path, capsys):
+        rc = classify_main([str(tmp_path / "nope.txt"), "--generate", "5"])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_rules_file_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not a rule\n")
+        rc = classify_main([str(bad), "--generate", "5"])
+        assert rc == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_generate_trace_missing_rules_clean_error(self, tmp_path, capsys):
+        rc = generate_main(["trace", str(tmp_path / "nope.txt"),
+                            "--count", "5", "-o", str(tmp_path / "t.npz")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err

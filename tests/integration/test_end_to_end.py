@@ -1,0 +1,63 @@
+"""Cross-module integration: generate -> build -> classify -> simulate."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import ALGORITHMS, LinearSearchClassifier
+from repro.npsim import compile_programs, simulate_throughput
+from repro.rulesets import generate, parse_rules, format_rules
+from repro.rulesets.profiles import PROFILES
+from repro.traffic import corner_case_trace, matched_trace
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup():
+    ruleset = generate(PROFILES["CR01"], size=80, seed=77).with_default()
+    trace = matched_trace(ruleset, 500, seed=78)
+    return ruleset, trace
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("algo", sorted(set(ALGORITHMS) - {"linear"}))
+    def test_generate_build_classify_simulate(self, pipeline_setup, algo):
+        ruleset, trace = pipeline_setup
+        clf = ALGORITHMS[algo].build(ruleset)
+        oracle = LinearSearchClassifier.build(ruleset)
+        got = clf.classify_batch(trace.field_arrays())
+        want = oracle.classify_batch(trace.field_arrays())
+        np.testing.assert_array_equal(got, want)
+
+        res = simulate_throughput(clf, trace, num_threads=23,
+                                  max_packets=1500, trace_limit=150)
+        assert res.gbps > 0.1
+        assert res.packets == 1500
+
+    def test_serialisation_preserves_behaviour(self, pipeline_setup, tmp_path):
+        """Write rules to the text format, reload, rebuild: same answers."""
+        ruleset, trace = pipeline_setup
+        reloaded = parse_rules(format_rules(ruleset))
+        a = ALGORITHMS["expcuts"].build(ruleset)
+        b = ALGORITHMS["expcuts"].build(reloaded)
+        got_a = a.classify_batch(trace.field_arrays())
+        got_b = b.classify_batch(trace.field_arrays())
+        np.testing.assert_array_equal(got_a, got_b)
+
+    def test_program_recording_consistent_with_memory_regions(self, pipeline_setup):
+        ruleset, trace = pipeline_setup
+        clf = ALGORITHMS["expcuts"].build(ruleset)
+        ps = compile_programs(clf, trace, limit=100)
+        region_names = {r.name for r in clf.memory_regions()}
+        assert set(ps.regions) <= region_names
+
+    def test_corner_cases_through_simulator(self, pipeline_setup):
+        """Boundary headers classify correctly *and* replay in the DES."""
+        ruleset, _ = pipeline_setup
+        trace = corner_case_trace(ruleset)
+        clf = ALGORITHMS["expcuts"].build(ruleset)
+        oracle = LinearSearchClassifier.build(ruleset)
+        got = clf.classify_batch(trace.field_arrays())
+        want = oracle.classify_batch(trace.field_arrays())
+        np.testing.assert_array_equal(got, want)
+        res = simulate_throughput(clf, trace, num_threads=15,
+                                  max_packets=800, trace_limit=200)
+        assert res.gbps > 0

@@ -1,0 +1,162 @@
+"""The paper's headline claims, asserted as testable shapes.
+
+These run on reduced-scale configurations (small synthetic sets, short
+simulations) so the suite stays fast; the full-scale numbers live in
+EXPERIMENTS.md and regenerate via ``python -m repro.harness all``.
+"""
+
+import pytest
+
+from repro.classifiers import (
+    ExpCutsClassifier,
+    HiCutsClassifier,
+    HSMClassifier,
+)
+from repro.core.layout import pack_tree
+from repro.npsim import simulate_throughput
+from repro.rulesets import generate
+from repro.rulesets.profiles import PROFILES
+from repro.traffic import matched_trace
+
+
+@pytest.fixture(scope="module")
+def cr_setup():
+    ruleset = generate(PROFILES["CR02"], size=400, seed=55).with_default()
+    trace = matched_trace(ruleset, 600, seed=56)
+    return ruleset, trace
+
+
+class TestClaim1ExplicitWorstCase:
+    """§4.2: ExpCuts has an explicit worst-case search time; HiCuts
+    does not."""
+
+    def test_expcuts_bound_holds_everywhere(self, cr_setup):
+        ruleset, trace = cr_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        bound = clf.worst_case_accesses()
+        assert bound == 26  # 2 reads x 13 levels
+        worst = max(
+            clf.access_trace(trace.header(i)).total_accesses
+            for i in range(200)
+        )
+        assert worst <= bound
+
+    def test_hicuts_has_no_bound(self, cr_setup):
+        ruleset, _ = cr_setup
+        assert HiCutsClassifier.build(ruleset).worst_case_accesses() is None
+
+
+class TestClaim2Aggregation:
+    """§4.2.2 / Figure 6: HABS aggregation cuts memory to a small
+    fraction without changing results."""
+
+    def test_compression_fraction(self, cr_setup):
+        ruleset, _ = cr_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        stats = clf.stats()
+        assert stats.aggregation_ratio < 0.35
+
+    def test_results_identical(self, cr_setup):
+        ruleset, trace = cr_setup
+        packed = ExpCutsClassifier.build(ruleset, aggregated=True)
+        full = ExpCutsClassifier.build(ruleset, aggregated=False)
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            packed.classify_batch(trace.field_arrays()),
+            full.classify_batch(trace.field_arrays()),
+        )
+
+
+class TestClaim3Throughput:
+    """Figures 7–9: ExpCuts beats the baselines; speedup scales with
+    threads; the HiCuts cap comes from leaf linear search."""
+
+    def test_expcuts_beats_baselines(self, cr_setup):
+        ruleset, trace = cr_setup
+        results = {}
+        for cls in (ExpCutsClassifier, HiCutsClassifier, HSMClassifier):
+            clf = cls.build(ruleset)
+            results[cls.name] = simulate_throughput(
+                clf, trace, num_threads=71, max_packets=2500, trace_limit=250
+            ).gbps
+        assert results["expcuts"] > results["hicuts"]
+        assert results["expcuts"] > results["hsm"]
+
+    def test_near_linear_speedup(self, cr_setup):
+        ruleset, trace = cr_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        low = simulate_throughput(clf, trace, num_threads=7,
+                                  max_packets=2000, trace_limit=250).gbps
+        high = simulate_throughput(clf, trace, num_threads=71,
+                                   max_packets=2000, trace_limit=250).gbps
+        ratio = high / low
+        assert 6.0 <= ratio <= 11.0  # 71/7 ≈ 10.1 threads
+
+    def test_linear_search_rules_hurt(self):
+        """Figure 8's statement: throughput falls as the number of
+        linearly searched rules grows (forced-scan microbenchmark)."""
+        from repro.classifiers.base import MemoryRegion
+        from repro.harness.fig8 import forced_scan_program
+        from repro.npsim import IXP2850, place
+
+        placement = place([MemoryRegion("tree", 4096, 1.0)],
+                          list(IXP2850.sram_channels), "single_channel")
+        gbps = {}
+        for n in (1, 8, 16):
+            res = simulate_throughput(
+                forced_scan_program(n), num_threads=71,
+                max_packets=2000, placement=placement)
+            gbps[n] = res.gbps
+        assert gbps[1] > gbps[8] > gbps[16]
+        # the paper's threshold: beyond 8 rules, under 3 Gbps
+        assert gbps[16] < 3.0
+
+    def test_channel_scaling(self, cr_setup):
+        ruleset, trace = cr_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        gbps = [
+            simulate_throughput(clf, trace, num_threads=71, num_channels=n,
+                                max_packets=2000, trace_limit=250).gbps
+            for n in (1, 2, 4)
+        ]
+        assert gbps[0] < gbps[2]
+        assert gbps[0] < gbps[1] * 1.05  # 1 channel clearly insufficient
+
+
+class TestClaim4PopCount:
+    """§5.4: POP_COUNT cuts HABS computation >90 % vs RISC, with
+    identical classification results."""
+
+    def test_cycles_and_results(self, cr_setup):
+        ruleset, trace = cr_setup
+        fast = ExpCutsClassifier.build(ruleset, use_pop_count=True)
+        slow = ExpCutsClassifier.build(ruleset, use_pop_count=False)
+        header = trace.header(0)
+        fast_cycles = fast.access_trace(header).total_compute
+        slow_cycles = slow.access_trace(header).total_compute
+        assert fast_cycles < slow_cycles
+        assert fast.classify(header) == slow.classify(header)
+
+    def test_throughput_impact(self, cr_setup):
+        """Without the hardware instruction, the compute burden becomes
+        a bottleneck (the paper's motivation for using it)."""
+        ruleset, trace = cr_setup
+        fast = simulate_throughput(
+            ExpCutsClassifier.build(ruleset, use_pop_count=True), trace,
+            num_threads=71, max_packets=2000, trace_limit=250).gbps
+        slow = simulate_throughput(
+            ExpCutsClassifier.build(ruleset, use_pop_count=False), trace,
+            num_threads=71, max_packets=2000, trace_limit=250).gbps
+        assert slow < fast * 0.85
+
+
+class TestClaim5MemoryFit:
+    """§6.3: with aggregation the tree fits the 4x8 MB SRAM budget at
+    reduced scale proportional to the full-scale result."""
+
+    def test_image_fits(self, cr_setup):
+        ruleset, _ = cr_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        image = pack_tree(clf.tree, aggregated=True)
+        assert image.total_bytes < 4 * 8 * 1024 * 1024

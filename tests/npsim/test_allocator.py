@@ -1,0 +1,91 @@
+"""Placement-policy tests, including the Table 4 grouping."""
+
+import pytest
+
+from repro.classifiers.base import MemoryRegion
+from repro.npsim.allocator import (
+    allocation_table,
+    headroom_proportional,
+    place,
+    round_robin,
+    single_channel,
+)
+from repro.npsim.chip import IXP2850, default_sram_channels
+
+
+def level_regions(count=13, words=1000):
+    return [MemoryRegion(f"level:{i}", words, 1 / count) for i in range(count)]
+
+
+class TestHeadroomProportional:
+    def test_paper_grouping(self):
+        """Table 4's pattern over the measured headrooms 44/100/53/69:
+        contiguous groups of 2 / 5 / 3 / 3 levels (13-level tree)."""
+        placement = headroom_proportional(
+            level_regions(), list(IXP2850.sram_channels)
+        )
+        groups = placement.groups()
+        counts = [len(groups.get(i, [])) for i in range(4)]
+        assert counts == [2, 5, 3, 3]
+        # Contiguity: channel 0 gets levels 0-1, channel 1 gets 2-6, ...
+        assert sorted(groups[0]) == ["level:0", "level:1"]
+        assert sorted(groups[1], key=lambda n: int(n.split(":")[1])) == [
+            "level:2", "level:3", "level:4", "level:5", "level:6"
+        ]
+
+    def test_levels_stay_contiguous(self):
+        placement = headroom_proportional(
+            level_regions(26), list(IXP2850.sram_channels)
+        )
+        last_channel = -1
+        for level in range(26):
+            channel = placement.channel_of(f"level:{level}")
+            assert channel >= last_channel
+            last_channel = channel
+
+    def test_non_level_regions_balanced(self):
+        regions = [MemoryRegion(f"x{i}", 100, w)
+                   for i, w in enumerate((0.5, 0.3, 0.1, 0.1))]
+        placement = headroom_proportional(regions, list(IXP2850.sram_channels))
+        # The heaviest region must land on the channel with most headroom.
+        assert placement.channel_of("x0") == 1
+
+    def test_single_channel_chip(self):
+        channels = list(default_sram_channels(1, (0.0,)))
+        placement = headroom_proportional(level_regions(), channels)
+        assert set(placement.mapping.values()) == {0}
+
+    def test_no_channels_rejected(self):
+        with pytest.raises(ValueError):
+            headroom_proportional(level_regions(), [])
+
+
+class TestOtherPolicies:
+    def test_single_channel_picks_cleanest(self):
+        placement = single_channel(level_regions(), list(IXP2850.sram_channels))
+        assert set(placement.mapping.values()) == {1}  # the 0 %-utilised one
+
+    def test_round_robin_spreads(self):
+        placement = round_robin(level_regions(8), list(IXP2850.sram_channels))
+        assert set(placement.mapping.values()) == {0, 1, 2, 3}
+
+    def test_place_dispatch(self):
+        for policy in ("headroom_proportional", "single_channel", "round_robin"):
+            placement = place(level_regions(), list(IXP2850.sram_channels), policy)
+            assert placement.policy == policy
+        with pytest.raises(ValueError):
+            place(level_regions(), list(IXP2850.sram_channels), "nope")
+
+
+class TestAllocationTable:
+    def test_table4_rows(self):
+        regions = level_regions()
+        channels = list(IXP2850.sram_channels)
+        placement = headroom_proportional(regions, channels)
+        rows = allocation_table(regions, channels, placement)
+        assert len(rows) == 4
+        assert rows[0]["allocation"] == "level 0~1"
+        assert rows[1]["allocation"] == "level 2~6"
+        assert rows[0]["utilization"] == 0.56
+        assert rows[1]["headroom"] == 1.0
+        assert sum(r["words"] for r in rows) == 13 * 1000

@@ -1,0 +1,83 @@
+"""Analytic bottleneck model tests, incl. the DES cross-validation."""
+
+import pytest
+
+from repro.npsim.allocator import Placement
+from repro.npsim.analytic import saturation_bounds
+from repro.npsim.chip import ChipConfig, default_sram_channels
+from repro.npsim.memory import MemoryChannel
+from repro.npsim.microengine import Simulator
+from repro.npsim.program import synthetic_program_set
+
+
+def setup(reads, tail, channels=2, backgrounds=None):
+    backgrounds = backgrounds or tuple(0.0 for _ in range(channels))
+    chip = ChipConfig(sram_channels=default_sram_channels(channels, backgrounds))
+    ps = synthetic_program_set(reads, tail_compute=tail, copies=8)
+    regions = sorted({r[0] for r in reads})
+    placement = Placement({r: i % channels for i, r in enumerate(regions)}, "manual")
+    return chip, ps, placement
+
+
+class TestBounds:
+    def test_me_bound_formula(self):
+        chip, ps, placement = setup([("r0", 0, 1, 10)], tail=100)
+        bounds = saturation_bounds(chip, list(chip.sram_channels), ps,
+                                   placement, num_threads=8)
+        # per packet: tail 100 + compute 10 + issue 1 + switch 1 = 112
+        assert bounds.me_bound == pytest.approx(1 / 112)
+
+    def test_channel_bound_formula(self):
+        chip, ps, placement = setup([("r0", 0, 12, 0)], tail=0, channels=1)
+        bounds = saturation_bounds(chip, list(chip.sram_channels), ps,
+                                   placement, num_threads=64)
+        assert bounds.channel_bound == pytest.approx((1 / 6.0) / 12)
+
+    def test_headroom_scales_channel_bound(self):
+        chip, ps, placement = setup([("r0", 0, 12, 0)], tail=0, channels=1,
+                                    backgrounds=(0.5,))
+        bounds = saturation_bounds(chip, list(chip.sram_channels), ps,
+                                   placement, num_threads=64)
+        assert bounds.channel_bound == pytest.approx((0.5 / 6.0) / 12)
+
+    def test_concurrency_bound_scales_with_threads(self):
+        chip, ps, placement = setup([("r0", 0, 1, 10)], tail=10)
+        b1 = saturation_bounds(chip, list(chip.sram_channels), ps, placement, 1)
+        b4 = saturation_bounds(chip, list(chip.sram_channels), ps, placement, 4)
+        assert b4.concurrency_bound == pytest.approx(4 * b1.concurrency_bound)
+
+    def test_binding_resource_named(self):
+        chip, ps, placement = setup([("r0", 0, 32, 0)], tail=0, channels=1)
+        bounds = saturation_bounds(chip, list(chip.sram_channels), ps,
+                                   placement, num_threads=128)
+        assert bounds.binding.startswith("channel:")
+        assert bounds.rate == bounds.channel_bound
+
+    def test_gbps_conversion(self):
+        chip, ps, placement = setup([("r0", 0, 1, 10)], tail=100)
+        bounds = saturation_bounds(chip, list(chip.sram_channels), ps,
+                                   placement, num_threads=8)
+        assert bounds.gbps(1400.0, 64) == pytest.approx(
+            bounds.mpps(1400.0) * 64 * 8 / 1000
+        )
+
+
+class TestDesAgreesWithAnalytic:
+    """The mutual-validation property from DESIGN.md: the DES must land
+    within tolerance of min(bounds) in each clearly-bound regime."""
+
+    @pytest.mark.parametrize("threads,reads,tail", [
+        (1, [("r0", 0, 1, 10)], 10),          # concurrency bound
+        (8, [("r0", 0, 1, 0)], 200),          # ME bound
+        (48, [("r0", 0, 16, 0)] * 2, 0),      # channel bound
+    ])
+    def test_regimes(self, threads, reads, tail):
+        chip, ps, placement = setup(reads, tail, channels=1)
+        bounds = saturation_bounds(chip, list(chip.sram_channels), ps,
+                                   placement, threads)
+        channels = [MemoryChannel(c) for c in chip.sram_channels]
+        sim = Simulator(chip, channels, placement.mapping, ps, threads)
+        res = sim.run(4000)
+        measured = res.mpps(1.0)
+        assert measured <= bounds.rate * 1.02   # bounds are real bounds
+        assert measured >= bounds.rate * 0.75   # and reasonably tight

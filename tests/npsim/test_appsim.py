@@ -1,0 +1,115 @@
+"""Staged application-pipeline simulation tests."""
+
+import pytest
+
+from repro.npsim.application import build_application, run_application
+from repro.npsim.appsim import StageConfig, StagedSimulator
+from repro.npsim.chip import ChipConfig, IXP2850, default_sram_channels
+from repro.npsim.memory import MemoryChannel
+from repro.npsim.pipeline import MicroengineAllocation
+from repro.npsim.program import synthetic_program_set
+
+
+def two_stage(stage_a_cycles=50, stage_b_cycles=50, mes=(1, 1),
+              ring_capacity=16, source_rate=None, packets=2000):
+    a = synthetic_program_set([("ra", 0, 1, 10)], tail_compute=stage_a_cycles,
+                              name="a", copies=4)
+    b = synthetic_program_set([("rb", 0, 1, 10)], tail_compute=stage_b_cycles,
+                              name="b", copies=4)
+    chip = ChipConfig(sram_channels=default_sram_channels(2, (0.0, 0.0)))
+    channels = [MemoryChannel(c) for c in chip.sram_channels]
+    sim = StagedSimulator.from_program_sets(
+        [("alpha", mes[0], a), ("beta", mes[1], b)],
+        {"ra": 0, "rb": 1}, channels, chip=chip,
+        ring_capacity=ring_capacity, source_rate=source_rate,
+    )
+    return sim, sim.run(packets)
+
+
+class TestStagedBasics:
+    def test_all_packets_flow_through(self):
+        sim, res = two_stage()
+        assert res.packets == 2000
+        assert res.stage_reports[0].packets >= res.packets
+        assert res.stage_reports[1].packets >= res.packets
+
+    def test_slow_stage_is_bottleneck(self):
+        _, res = two_stage(stage_a_cycles=20, stage_b_cycles=400)
+        assert res.bottleneck_stage == "beta"
+        _, res2 = two_stage(stage_a_cycles=400, stage_b_cycles=20)
+        assert res2.bottleneck_stage == "alpha"
+
+    def test_throughput_set_by_bottleneck(self):
+        _, res = two_stage(stage_a_cycles=20, stage_b_cycles=400, mes=(1, 1))
+        # beta ME-bound: ~1/(400 + ring/get overheads) packets per cycle.
+        mpps = res.mpps(1.0)
+        assert mpps == pytest.approx(1 / 460, rel=0.15)
+
+    def test_more_mes_on_bottleneck_help(self):
+        _, slow = two_stage(stage_a_cycles=20, stage_b_cycles=400, mes=(1, 1))
+        _, fast = two_stage(stage_a_cycles=20, stage_b_cycles=400, mes=(1, 3))
+        assert fast.mpps(1.0) > 2 * slow.mpps(1.0)
+
+    def test_backpressure_via_ring(self):
+        _, res = two_stage(stage_a_cycles=5, stage_b_cycles=600,
+                           ring_capacity=4)
+        # alpha gets blocked putting into the tiny ring.
+        assert res.stage_reports[0].output_wait_fraction > 0.1
+        assert res.ring_peaks[1] <= 4
+
+    def test_open_loop_rate(self):
+        _, saturated = two_stage()
+        sat = saturated.mpps(1.0)
+        _, res = two_stage(source_rate=sat * 0.4)
+        assert res.mpps(1.0) == pytest.approx(sat * 0.4, rel=0.1)
+
+    def test_validation(self):
+        ps = synthetic_program_set([("r", 0, 1, 1)], tail_compute=1)
+        with pytest.raises(ValueError):
+            StageConfig(name="x", num_mes=0, programs=ps.programs)
+        with pytest.raises(ValueError):
+            StagedSimulator([], {}, [])
+        chip = IXP2850
+        with pytest.raises(ValueError):
+            StagedSimulator(
+                [StageConfig(name="x", num_mes=17, programs=ps.programs)],
+                {}, [], chip=chip,
+            )
+
+
+class TestStandardApplication:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.harness import get_classifier, get_trace
+
+        return get_classifier("FW01", "expcuts"), get_trace("FW01", count=300)
+
+    def test_processing_is_bottleneck(self, setup):
+        clf, trace = setup
+        res = run_application(clf, trace, max_packets=3000, trace_limit=200)
+        assert res.bottleneck_stage.startswith("processing")
+        assert res.gbps(1400.0, 64) > 3.0
+
+    def test_scales_with_processing_mes(self, setup):
+        clf, trace = setup
+        small = run_application(
+            clf, trace, max_packets=2500, trace_limit=200,
+            allocation=MicroengineAllocation(processing=2))
+        large = run_application(
+            clf, trace, max_packets=2500, trace_limit=200,
+            allocation=MicroengineAllocation(processing=8))
+        assert large.gbps(1400.0, 64) > 2.5 * small.gbps(1400.0, 64)
+
+    def test_pipelined_processing_loses(self, setup):
+        """Table 2 through the staged simulator."""
+        clf, trace = setup
+        mono = run_application(clf, trace, max_packets=2500, trace_limit=200)
+        split = build_application(clf, trace, trace_limit=200,
+                                  split_processing=2).run(2500)
+        assert split.gbps(1400.0, 64) < mono.gbps(1400.0, 64)
+
+    def test_open_loop_application(self, setup):
+        clf, trace = setup
+        res = run_application(clf, trace, max_packets=2500, trace_limit=200,
+                              source_rate_gbps=1.5)
+        assert res.gbps(1400.0, 64) == pytest.approx(1.5, rel=0.1)

@@ -1,0 +1,66 @@
+"""Chip model tests (Table 1 facts)."""
+
+import pytest
+
+from repro.npsim.chip import (
+    ChipConfig,
+    IXP2850,
+    SCRATCH_CHANNEL,
+    SRAM_CYCLES_PER_WORD,
+    default_sram_channels,
+    hardware_overview,
+)
+
+
+class TestTable1Facts:
+    def test_microengines(self):
+        assert IXP2850.num_microengines == 16
+        assert IXP2850.threads_per_me == 8
+        assert IXP2850.me_clock_mhz == 1400.0
+
+    def test_memory_channels(self):
+        assert len(IXP2850.sram_channels) == 4
+        assert len(IXP2850.dram_channels) == 3
+        assert all(c.kind == "sram" for c in IXP2850.sram_channels)
+
+    def test_clock_ratio(self):
+        # 1.4 GHz ME vs 233 MHz QDR SRAM: six ME cycles per word.
+        assert SRAM_CYCLES_PER_WORD == pytest.approx(1400 / 233, rel=0.01)
+
+    def test_overview_rows(self):
+        rows = hardware_overview()
+        assert len(rows) == 4
+        assert any("XScale" in r[0] for r in rows)
+        assert any("16 MEs x 8" in r[1] for r in rows)
+
+
+class TestChannelConfig:
+    def test_table4_backgrounds(self):
+        bg = [c.background_utilization for c in IXP2850.sram_channels]
+        assert bg == [0.56, 0.0, 0.47, 0.31]
+        headrooms = [c.headroom for c in IXP2850.sram_channels]
+        assert headrooms == pytest.approx([0.44, 1.0, 0.53, 0.69])
+
+    def test_with_sram_channels_subset(self):
+        one = IXP2850.with_sram_channels(1)
+        assert len(one.sram_channels) == 1
+        # least-utilised channel first
+        assert one.sram_channels[0].background_utilization == 0.0
+        two = IXP2850.with_sram_channels(2)
+        assert [c.background_utilization for c in two.sram_channels] == [0.0, 0.31]
+
+    def test_with_all_channels_keeps_order(self):
+        assert IXP2850.with_sram_channels(4) is IXP2850
+
+    def test_explicit_background(self):
+        chip = IXP2850.with_sram_channels(2, (0.1, 0.2))
+        assert [c.background_utilization for c in chip.sram_channels] == [0.1, 0.2]
+
+    def test_scratch_channel(self):
+        assert SCRATCH_CHANNEL.kind == "scratch"
+        assert SCRATCH_CHANNEL.latency_cycles < IXP2850.sram_channels[0].latency_cycles
+
+    def test_custom_chip(self):
+        chip = ChipConfig(me_clock_mhz=700.0,
+                          sram_channels=default_sram_channels(2, (0.0, 0.0)))
+        assert len(chip.sram_channels) == 2

@@ -1,0 +1,79 @@
+"""Simulator conservation invariants: nothing appears or vanishes."""
+
+import pytest
+
+from repro.npsim.chip import ChipConfig, default_sram_channels
+from repro.npsim.memory import MemoryChannel
+from repro.npsim.microengine import Simulator
+from repro.npsim.program import synthetic_program_set
+
+
+def build(reads, tail=20, threads=13, channels=2):
+    ps = synthetic_program_set(reads, tail_compute=tail, copies=7)
+    chip = ChipConfig(
+        sram_channels=default_sram_channels(channels,
+                                            tuple(0.0 for _ in range(channels)))
+    )
+    mem = [MemoryChannel(c) for c in chip.sram_channels]
+    regions = sorted({r[0] for r in reads})
+    placement = {r: i % channels for i, r in enumerate(regions)}
+    return Simulator(chip, mem, placement, ps, threads), chip
+
+
+class TestConservation:
+    def test_packet_counts_balance(self):
+        sim, _ = build([("a", 0, 1, 5), ("b", 0, 2, 5)])
+        res = sim.run(1234)
+        assert res.packets == 1234
+        assert sum(t.packets_done for t in sim.threads) == 1234
+        assert sum(m.packets_done for m in sim.mes) == 1234
+        assert len(res.completion_order) == 1234
+        assert sorted(res.completion_order) == list(range(1234))
+
+    def test_channel_words_match_programs(self):
+        reads = [("a", 0, 3, 5), ("b", 0, 2, 5), ("a", 8, 1, 5)]
+        sim, _ = build(reads)
+        res = sim.run(1000)
+        served = sum(ch.stats.words for ch in sim.channels)
+        # Completed packets moved exactly their programs' words; packets
+        # still in flight at the cut-off may have issued a few more.
+        expected_min = 1000 * 6
+        assert served >= expected_min
+        assert served <= expected_min + len(sim.threads) * 6
+
+    def test_commands_match_reads(self):
+        reads = [("a", 0, 1, 5)] * 4
+        sim, _ = build(reads)
+        res = sim.run(500)
+        commands = sum(ch.stats.commands for ch in sim.channels)
+        assert commands >= 500 * 4
+        assert commands <= 500 * 4 + len(sim.threads) * 4
+        del res
+
+    def test_busy_cycles_below_elapsed(self):
+        sim, _ = build([("a", 0, 1, 5)])
+        res = sim.run(2000)
+        for me in sim.mes:
+            assert 0 <= me.busy_cycles <= res.elapsed_cycles * 1.001
+        for ch in sim.channels:
+            assert ch.stats.busy_cycles <= res.elapsed_cycles * 1.001
+
+    def test_completions_monotone(self):
+        sim, _ = build([("a", 0, 1, 5)])
+        res = sim.run(800)
+        times = res.completion_times
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_determinism_across_runs(self):
+        a, _ = build([("a", 0, 2, 9), ("b", 4, 1, 3)], threads=19)
+        b, _ = build([("a", 0, 2, 9), ("b", 4, 1, 3)], threads=19)
+        ra, rb = a.run(1500), b.run(1500)
+        assert ra.completion_times == rb.completion_times
+        assert ra.completion_order == rb.completion_order
+
+    def test_open_loop_conservation(self):
+        sim, _ = build([("a", 0, 1, 5)])
+        res = sim.run(600, arrival_rate=0.001)
+        assert res.packets == 600
+        assert len(res.latencies) == 600
+        assert all(lat > 0 for lat in res.latencies)

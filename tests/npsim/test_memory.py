@@ -1,0 +1,108 @@
+"""Memory-channel queueing model tests."""
+
+import pytest
+
+from repro.npsim.chip import ChannelConfig
+from repro.npsim.memory import ChannelReport, MemoryChannel
+
+
+def make_channel(cycles_per_word=6.0, latency=150, depth=4, background=0.0):
+    return MemoryChannel(ChannelConfig(
+        name="test", kind="sram", cycles_per_word=cycles_per_word,
+        latency_cycles=latency, fifo_depth=depth,
+        background_utilization=background,
+    ))
+
+
+class TestServiceTiming:
+    def test_single_read(self):
+        ch = make_channel()
+        issue_done, ready = ch.issue(0.0, 1)
+        assert issue_done == 0.0                 # FIFO empty: no stall
+        assert ready == pytest.approx(6.0 + 150)
+
+    def test_burst_read(self):
+        ch = make_channel()
+        _, ready = ch.issue(0.0, 6)
+        assert ready == pytest.approx(36.0 + 150)
+
+    def test_sequential_service(self):
+        ch = make_channel()
+        _, r1 = ch.issue(0.0, 1)
+        _, r2 = ch.issue(0.0, 1)
+        assert r2 == pytest.approx(r1 + 6.0)     # second queues behind first
+
+    def test_idle_gap_resets(self):
+        ch = make_channel()
+        ch.issue(0.0, 1)
+        _, ready = ch.issue(1000.0, 1)
+        assert ready == pytest.approx(1000.0 + 6.0 + 150)
+
+    def test_background_slows_service(self):
+        clean = make_channel(background=0.0)
+        busy = make_channel(background=0.5)
+        _, clean_ready = clean.issue(0.0, 4)
+        _, busy_ready = busy.issue(0.0, 4)
+        assert busy_ready > clean_ready
+        assert busy.effective_cycles_per_word == pytest.approx(12.0)
+
+    def test_zero_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            make_channel(background=1.0)
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(ValueError):
+            make_channel().issue(0.0, 0)
+
+
+class TestFifoBackpressure:
+    def test_stall_when_full(self):
+        ch = make_channel(depth=2)
+        ch.issue(0.0, 10)   # busy until 60
+        ch.issue(0.0, 10)   # queued, done 120
+        issue_done, _ = ch.issue(0.0, 1)
+        # FIFO (depth 2) full: the ME stalls until the first completes.
+        assert issue_done == pytest.approx(60.0)
+        assert ch.stats.stalled_commands == 1
+        assert ch.stats.stall_cycles == pytest.approx(60.0)
+
+    def test_no_stall_after_drain(self):
+        ch = make_channel(depth=2)
+        ch.issue(0.0, 10)
+        ch.issue(0.0, 10)
+        issue_done, _ = ch.issue(500.0, 1)
+        assert issue_done == 500.0
+
+    def test_peak_outstanding_tracked(self):
+        ch = make_channel(depth=8)
+        for _ in range(5):
+            ch.issue(0.0, 10)
+        assert ch.stats.peak_outstanding == 5
+
+
+class TestStats:
+    def test_word_accounting(self):
+        ch = make_channel()
+        ch.issue(0.0, 3)
+        ch.issue(10.0, 2)
+        assert ch.stats.commands == 2
+        assert ch.stats.words == 5
+        assert ch.stats.busy_cycles == pytest.approx(30.0)
+
+    def test_utilization(self):
+        ch = make_channel()
+        ch.issue(0.0, 10)
+        assert ch.stats.utilization(120.0) == pytest.approx(0.5)
+        assert ch.stats.utilization(0.0) == 0.0
+
+    def test_report(self):
+        ch = make_channel(background=0.25)
+        ch.issue(0.0, 2)
+        report = ChannelReport.from_channel(ch, elapsed=100.0)
+        assert report.name == "test"
+        assert report.words == 2
+        assert report.background_utilization == 0.25
+
+    def test_capacity(self):
+        ch = make_channel(background=0.5)
+        assert ch.words_per_cycle_capacity == pytest.approx(1 / 12.0)

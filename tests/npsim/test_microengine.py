@@ -1,0 +1,118 @@
+"""DES scheduler tests: exact small cases, scaling and masking behaviour."""
+
+import math
+
+import pytest
+
+from repro.npsim.allocator import Placement
+from repro.npsim.chip import ChipConfig, default_sram_channels
+from repro.npsim.memory import MemoryChannel
+from repro.npsim.microengine import Simulator
+from repro.npsim.program import synthetic_program_set
+
+
+def simulate(reads, tail=0, threads=1, channels=1, overhead=0,
+             packets=2000, backgrounds=None, chip_kwargs=None):
+    backgrounds = backgrounds or tuple(0.0 for _ in range(channels))
+    chip = ChipConfig(
+        sram_channels=default_sram_channels(channels, backgrounds),
+        **(chip_kwargs or {}),
+    )
+    ps = synthetic_program_set(reads, tail_compute=tail, copies=16)
+    regions = sorted({r[0] for r in reads})
+    placement = Placement({r: i % channels for i, r in enumerate(regions)}, "manual")
+    mem = [MemoryChannel(c) for c in chip.sram_channels]
+    sim = Simulator(chip, mem, placement.mapping, ps, threads,
+                    per_packet_overhead=overhead)
+    return sim, sim.run(packets)
+
+
+class TestExactSmallCases:
+    def test_single_thread_latency_bound(self):
+        """1 thread, 1 read/packet: throughput = 1 / residence time."""
+        sim, res = simulate([("r0", 0, 1, 10)], tail=5, threads=1)
+        # residence = switch(1) + compute(10) + issue(1) + latency(156)
+        #           + switch(1) + tail(5)
+        expected_cycles = 1 + 10 + 1 + 156 + 1 + 5
+        mpps = res.mpps(1.0)  # packets per cycle with clock=1
+        assert mpps == pytest.approx(1 / expected_cycles, rel=0.02)
+
+    def test_compute_only_program(self):
+        sim, res = simulate([], tail=100, threads=1)
+        # pure compute: one switch + 100 cycles per packet... the thread
+        # never yields, so successive packets run back to back.
+        assert res.mpps(1.0) == pytest.approx(1 / 100, rel=0.05)
+
+    def test_two_threads_double_throughput_when_latency_bound(self):
+        _, res1 = simulate([("r0", 0, 1, 10)], tail=5, threads=1)
+        _, res2 = simulate([("r0", 0, 1, 10)], tail=5, threads=2)
+        assert res2.mpps(1.0) == pytest.approx(2 * res1.mpps(1.0), rel=0.05)
+
+    def test_me_saturation(self):
+        """Enough threads: throughput pinned by pipeline occupancy."""
+        sim, res = simulate([("r0", 0, 1, 0)], tail=100, threads=8)
+        # per packet ME work ~ switch+issue (2) + switch+tail (101)
+        assert res.me_busy_fraction > 0.95
+        assert res.mpps(1.0) == pytest.approx(1 / 104, rel=0.05)
+
+
+class TestChannelBound:
+    def test_bandwidth_binds(self):
+        """Many threads, heavy reads on one channel: words/cycle capped."""
+        reads = [("r0", 0, 8, 0) for _ in range(4)]  # 32 words/packet
+        sim, res = simulate(reads, tail=0, threads=32, channels=1,
+                            packets=4000)
+        words_per_cycle = 32 * res.mpps(1.0)
+        assert words_per_cycle == pytest.approx(1 / 6.0, rel=0.05)
+
+    def test_two_channels_double_bandwidth(self):
+        reads = [("r0", 0, 8, 0), ("r1", 0, 8, 0)] * 2
+        _, res1 = simulate(reads, threads=32, channels=1, packets=4000)
+        _, res2 = simulate(reads, threads=32, channels=2, packets=4000)
+        assert res2.mpps(1.0) > 1.7 * res1.mpps(1.0)
+
+    def test_background_reduces_throughput(self):
+        reads = [("r0", 0, 8, 0) for _ in range(4)]
+        _, clean = simulate(reads, threads=32, channels=1, packets=4000)
+        _, busy = simulate(reads, threads=32, channels=1, packets=4000,
+                           backgrounds=(0.5,))
+        assert busy.mpps(1.0) == pytest.approx(0.5 * clean.mpps(1.0), rel=0.1)
+
+
+class TestThreadPacking:
+    def test_me_count(self):
+        sim, _ = simulate([("r0", 0, 1, 0)], threads=17, packets=100)
+        assert len(sim.mes) == math.ceil(17 / 8)
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([("r0", 0, 1, 0)], threads=8 * 16 + 1, packets=10)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([("r0", 0, 1, 0)], threads=0, packets=10)
+
+    def test_unplaced_region_rejected(self):
+        chip = ChipConfig(sram_channels=default_sram_channels(1, (0.0,)))
+        ps = synthetic_program_set([("mystery", 0, 1, 0)], tail_compute=0)
+        with pytest.raises(KeyError):
+            Simulator(chip, [MemoryChannel(chip.sram_channels[0])], {}, ps, 1)
+
+
+class TestDeterminism:
+    def test_same_seedless_run_twice(self):
+        _, a = simulate([("r0", 0, 2, 7)], tail=13, threads=13, packets=3000)
+        _, b = simulate([("r0", 0, 2, 7)], tail=13, threads=13, packets=3000)
+        assert a.elapsed_cycles == b.elapsed_cycles
+        assert a.window_cycles == b.window_cycles
+
+    def test_packet_accounting(self):
+        sim, res = simulate([("r0", 0, 1, 1)], threads=5, packets=777)
+        assert res.packets == 777
+        assert sum(t.packets_done for t in sim.threads) == 777
+        assert sum(m.packets_done for m in sim.mes) == 777
+
+    def test_fair_thread_progress(self):
+        sim, _ = simulate([("r0", 0, 1, 3)], tail=3, threads=8, packets=4000)
+        done = [t.packets_done for t in sim.threads]
+        assert max(done) - min(done) <= 0.2 * max(done)

@@ -1,0 +1,113 @@
+"""Open-loop arrival process and latency measurement tests."""
+
+import pytest
+
+from repro.npsim.chip import ChipConfig, default_sram_channels
+from repro.npsim.memory import MemoryChannel
+from repro.npsim.microengine import Simulator
+from repro.npsim.program import synthetic_program_set
+
+
+def run(threads=16, packets=2000, **kwargs):
+    ps = synthetic_program_set([("r0", 0, 1, 8)], tail_compute=40, copies=8)
+    chip = ChipConfig(sram_channels=default_sram_channels(1, (0.0,)))
+    channels = [MemoryChannel(c) for c in chip.sram_channels]
+    sim = Simulator(chip, channels, {"r0": 0}, ps, threads)
+    return sim.run(packets, **kwargs)
+
+
+class TestOpenLoop:
+    def test_achieved_rate_matches_offered(self):
+        saturated = run()
+        sat_rate = saturated.window_packets / saturated.window_cycles
+        res = run(arrival_rate=sat_rate * 0.5)
+        achieved = res.window_packets / res.window_cycles
+        assert achieved == pytest.approx(sat_rate * 0.5, rel=0.05)
+
+    def test_latencies_recorded_only_open_loop(self):
+        saturated = run()
+        assert saturated.latencies == []
+        with pytest.raises(ValueError):
+            saturated.latency_percentiles(0.5)
+        open_loop = run(arrival_rate=0.001)
+        assert len(open_loop.latencies) == open_loop.packets
+
+    def test_latency_grows_with_load(self):
+        saturated = run()
+        sat_rate = saturated.window_packets / saturated.window_cycles
+        light = run(arrival_rate=sat_rate * 0.3)
+        heavy = run(arrival_rate=sat_rate * 0.95)
+        p99_light = light.latency_percentiles(0.99)[0]
+        p99_heavy = heavy.latency_percentiles(0.99)[0]
+        assert p99_heavy > p99_light
+
+    def test_light_load_latency_is_service_time(self):
+        # At trivial load there is no queueing: latency ~= the packet's
+        # unloaded residence time (switch+compute+issue+mem+tail).
+        res = run(threads=4, packets=500, arrival_rate=1e-4)
+        p50 = res.latency_percentiles(0.5)[0]
+        # residence: 1 + 8 + 1 + 156 + 1 + 40 + ~switches
+        assert p50 == pytest.approx(208, rel=0.1)
+
+    def test_bursts_increase_tail_latency(self):
+        saturated = run()
+        sat_rate = saturated.window_packets / saturated.window_cycles
+        smooth = run(arrival_rate=sat_rate * 0.6, burst_size=1)
+        bursty = run(arrival_rate=sat_rate * 0.6, burst_size=32)
+        assert (bursty.latency_percentiles(0.99)[0]
+                > smooth.latency_percentiles(0.99)[0])
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            run(arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            run(burst_size=0)
+
+    def test_percentile_validation(self):
+        res = run(arrival_rate=0.001, packets=200)
+        with pytest.raises(ValueError):
+            res.latency_percentiles(1.5)
+
+
+class TestRunnerIntegration:
+    def test_gbps_offered_load(self):
+        from repro.npsim import simulate_throughput
+        from repro.npsim.program import synthetic_program_set
+
+        ps = synthetic_program_set(
+            [(f"level:{i}", 0, 1, 8) for i in range(4)], tail_compute=10,
+            copies=16,
+        )
+        from repro.classifiers.base import MemoryRegion
+        from repro.npsim import IXP2850, place
+
+        placement = place(
+            [MemoryRegion(f"level:{i}", 64, 0.25) for i in range(4)],
+            list(IXP2850.sram_channels),
+        )
+        res = simulate_throughput(ps, num_threads=39, max_packets=3000,
+                                  placement=placement, arrival_rate_gbps=1.5)
+        assert res.gbps == pytest.approx(1.5, rel=0.08)
+        assert res.sim.latencies
+
+    def test_dram_slower_than_sram(self):
+        from repro.harness import get_classifier, get_trace
+        from repro.npsim import simulate_throughput
+
+        clf = get_classifier("FW01", "expcuts")
+        trace = get_trace("FW01", count=300)
+        sram = simulate_throughput(clf, trace, num_threads=23,
+                                   max_packets=1500, trace_limit=150)
+        dram = simulate_throughput(clf, trace, num_threads=23,
+                                   max_packets=1500, trace_limit=150,
+                                   memory_kind="dram")
+        assert dram.gbps < sram.gbps
+
+    def test_unknown_memory_kind(self):
+        from repro.harness import get_classifier, get_trace
+        from repro.npsim import simulate_throughput
+
+        clf = get_classifier("FW01", "expcuts")
+        trace = get_trace("FW01", count=50)
+        with pytest.raises(ValueError):
+            simulate_throughput(clf, trace, memory_kind="optane")

@@ -1,0 +1,86 @@
+"""Packet-ordering analysis tests (§3.2 programming challenge #3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.npsim.ordering import analyze_completion_order, commit_latencies
+
+
+class TestAnalyze:
+    def test_empty(self):
+        stats = analyze_completion_order([])
+        assert stats.packets == 0 and stats.in_order
+
+    def test_in_order(self):
+        stats = analyze_completion_order([0, 1, 2, 3])
+        assert stats.in_order
+        assert stats.reordered_fraction == 0.0
+        assert stats.reorder_buffer_peak == 1  # each commits immediately
+
+    def test_single_swap(self):
+        stats = analyze_completion_order([1, 0, 2, 3])
+        assert stats.reordered_fraction == pytest.approx(0.25)
+        assert stats.max_displacement == 1
+        assert stats.reorder_buffer_peak == 2
+
+    def test_reversed(self):
+        stats = analyze_completion_order([3, 2, 1, 0])
+        assert stats.reordered_fraction == pytest.approx(0.75)
+        assert stats.reorder_buffer_peak == 4
+
+    @given(st.permutations(list(range(12))))
+    def test_buffer_always_drains(self, order):
+        stats = analyze_completion_order(order)
+        assert 1 <= stats.reorder_buffer_peak <= len(order)
+        assert 0.0 <= stats.reordered_fraction < 1.0
+
+
+class TestCommitLatencies:
+    def test_in_order_zero_extra(self):
+        extra = commit_latencies([0, 1, 2], [10.0, 20.0, 30.0])
+        assert extra == [0.0, 0.0, 0.0]
+
+    def test_swap_adds_wait(self):
+        # Packet 0 completes last: packet 1 waits from t=10 to t=20.
+        extra = commit_latencies([1, 0], [10.0, 20.0])
+        assert extra == [0.0, 10.0]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            commit_latencies([0, 1], [1.0])
+
+    @given(st.permutations(list(range(8))))
+    def test_every_packet_commits(self, order):
+        times = [float(i * 10) for i in range(len(order))]
+        extra = commit_latencies(order, times)
+        assert len(extra) == len(order)
+        assert all(x >= 0 for x in extra)
+
+
+class TestSimulatorIntegration:
+    def _run(self, threads, **kwargs):
+        from repro.npsim.chip import ChipConfig, default_sram_channels
+        from repro.npsim.memory import MemoryChannel
+        from repro.npsim.microengine import Simulator
+        from repro.npsim.program import synthetic_program_set
+
+        ps = synthetic_program_set([("r0", 0, 1, 8)], tail_compute=30, copies=8)
+        chip = ChipConfig(sram_channels=default_sram_channels(1, (0.0,)))
+        channels = [MemoryChannel(c) for c in chip.sram_channels]
+        sim = Simulator(chip, channels, {"r0": 0}, ps, threads)
+        return sim.run(1500, **kwargs)
+
+    def test_single_thread_stays_ordered(self):
+        res = self._run(1)
+        assert analyze_completion_order(res.completion_order).in_order
+
+    def test_parallelism_reorders(self):
+        res = self._run(16)
+        stats = analyze_completion_order(res.completion_order)
+        assert stats.reordered_fraction > 0.0
+        assert stats.reorder_buffer_peak <= 16 + 1
+
+    def test_completion_bookkeeping_aligned(self):
+        res = self._run(8)
+        assert len(res.completion_order) == len(res.completion_times) == 1500
+        assert sorted(res.completion_order) == list(range(1500))

@@ -1,0 +1,55 @@
+"""Application pipeline model tests (Tables 2 and 3)."""
+
+import pytest
+
+from repro.npsim.pipeline import (
+    DEFAULT_ALLOCATION,
+    MicroengineAllocation,
+    PROCESSING_OVERHEAD_CYCLES,
+    mapping_tradeoffs,
+    per_packet_overhead,
+)
+
+
+class TestAllocation:
+    def test_table3_defaults(self):
+        assert DEFAULT_ALLOCATION.receive == 2
+        assert DEFAULT_ALLOCATION.processing == 9
+        assert DEFAULT_ALLOCATION.scheduling == 3
+        assert DEFAULT_ALLOCATION.transmit == 2
+        assert DEFAULT_ALLOCATION.total == 16  # the whole IXP2850
+
+    def test_rows(self):
+        rows = dict(DEFAULT_ALLOCATION.rows())
+        assert rows["Processing"] == 9
+
+    def test_custom(self):
+        alloc = MicroengineAllocation(processing=4)
+        assert alloc.total == 11
+
+
+class TestOverhead:
+    def test_multiprocessing_base(self):
+        assert per_packet_overhead("multiprocessing") == PROCESSING_OVERHEAD_CYCLES
+
+    def test_context_pipelining_pays_handoffs(self):
+        two = per_packet_overhead("context_pipelining", num_stages=2)
+        three = per_packet_overhead("context_pipelining", num_stages=3)
+        assert two > PROCESSING_OVERHEAD_CYCLES
+        assert three > two
+
+    def test_one_stage_pipelining_equals_base(self):
+        assert (per_packet_overhead("context_pipelining", num_stages=1)
+                == PROCESSING_OVERHEAD_CYCLES)
+
+    def test_unknown_mapping(self):
+        with pytest.raises(ValueError):
+            per_packet_overhead("magic")
+
+
+class TestTradeoffs:
+    def test_table2_rows_present(self):
+        table = mapping_tradeoffs()
+        assert set(table) == {"multiprocessing", "context_pipelining"}
+        for sides in table.values():
+            assert sides["advantages"] and sides["disadvantages"]

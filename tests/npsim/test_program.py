@@ -1,0 +1,80 @@
+"""Program recording/lowering tests."""
+
+import pytest
+
+from repro.classifiers import ExpCutsClassifier, LinearSearchClassifier
+from repro.npsim.program import (
+    append_app_tail,
+    compile_programs,
+    synthetic_program_set,
+)
+from repro.traffic import matched_trace
+
+
+class TestCompile:
+    def test_regions_and_counts(self, tiny_ruleset):
+        clf = ExpCutsClassifier.build(tiny_ruleset)
+        trace = matched_trace(tiny_ruleset, 32, seed=2)
+        ps = compile_programs(clf, trace)
+        assert len(ps.programs) == 32
+        assert all(r.startswith("level:") for r in ps.regions)
+        # ExpCuts: exactly 2 reads per level traversed, 1 word each.
+        assert ps.words_per_packet() == ps.accesses_per_packet()
+        assert ps.words_per_packet() <= 26
+
+    def test_limit(self, tiny_ruleset):
+        clf = LinearSearchClassifier.build(tiny_ruleset)
+        trace = matched_trace(tiny_ruleset, 100, seed=2)
+        ps = compile_programs(clf, trace, limit=10)
+        assert len(ps.programs) == 10
+
+    def test_results_recorded(self, tiny_ruleset):
+        clf = ExpCutsClassifier.build(tiny_ruleset)
+        trace = matched_trace(tiny_ruleset, 16, seed=3)
+        ps = compile_programs(clf, trace)
+        for idx, prog in enumerate(ps.programs):
+            expected = clf.classify(trace.header(idx))
+            assert prog.result == expected
+
+    def test_compute_accounting(self):
+        ps = synthetic_program_set(
+            [("a", 0, 1, 10), ("b", 4, 2, 20)], tail_compute=5,
+        )
+        assert ps.compute_per_packet() == 35
+        assert ps.words_per_packet() == 3
+        assert ps.accesses_per_packet() == 2
+        assert ps.region_id("a") == 0 and ps.region_id("b") == 1
+
+
+class TestAppTail:
+    def test_segments_added(self):
+        ps = synthetic_program_set([("a", 0, 1, 10)], tail_compute=5)
+        tailed = append_app_tail(ps, overhead_cycles=100, num_segments=5)
+        prog = tailed.programs[0]
+        assert len(prog.reads) == 1 + 4          # original + 4 scratch refs
+        assert "scratch" in tailed.regions
+        # total added compute == overhead
+        added = sum(r[3] for r in prog.reads[1:]) + prog.tail_compute - 5
+        assert added == 100
+
+    def test_zero_overhead_is_identity(self):
+        ps = synthetic_program_set([("a", 0, 1, 10)], tail_compute=5)
+        assert append_app_tail(ps, 0) is ps
+
+    def test_single_segment_pure_compute(self):
+        ps = synthetic_program_set([("a", 0, 1, 10)], tail_compute=5)
+        tailed = append_app_tail(ps, 100, num_segments=1)
+        assert len(tailed.programs[0].reads) == 1
+        assert tailed.programs[0].tail_compute == 105
+
+    def test_bad_arguments(self):
+        ps = synthetic_program_set([("a", 0, 1, 10)], tail_compute=5)
+        with pytest.raises(ValueError):
+            append_app_tail(ps, -1)
+        with pytest.raises(ValueError):
+            append_app_tail(ps, 10, num_segments=0)
+
+    def test_reuses_existing_region(self):
+        ps = synthetic_program_set([("scratch", 0, 1, 1)], tail_compute=0)
+        tailed = append_app_tail(ps, 50, num_segments=2)
+        assert tailed.regions.count("scratch") == 1

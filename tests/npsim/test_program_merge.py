@@ -1,0 +1,90 @@
+"""merge_program_sets and the FIB-integrated application."""
+
+import pytest
+
+from repro.npsim.program import (
+    PacketProgram,
+    ProgramSet,
+    merge_program_sets,
+    synthetic_program_set,
+)
+
+
+class TestMerge:
+    def test_reads_concatenate(self):
+        a = synthetic_program_set([("x", 0, 1, 5)], tail_compute=9, name="a")
+        b = synthetic_program_set([("y", 4, 2, 3)], tail_compute=7, name="b")
+        merged = merge_program_sets(a, b)
+        prog = merged.programs[0]
+        assert len(prog.reads) == 2
+        # a's tail compute lands before b's first read.
+        assert prog.reads[1][3] == 3 + 9
+        assert prog.tail_compute == 7
+        assert merged.regions == ["x", "y"]
+        assert merged.classifier_name == "a+b"
+
+    def test_region_dedup(self):
+        a = synthetic_program_set([("shared", 0, 1, 1)], tail_compute=0)
+        b = synthetic_program_set([("shared", 8, 1, 1)], tail_compute=0)
+        merged = merge_program_sets(a, b)
+        assert merged.regions == ["shared"]
+        assert merged.programs[0].reads[1][0] == 0
+
+    def test_second_set_cycles(self):
+        a = ProgramSet(
+            regions=["x"],
+            programs=[PacketProgram(((0, 0, 1, 1),), 0, None)] * 4,
+            classifier_name="a", packet_bytes=64,
+        )
+        b = ProgramSet(
+            regions=["y"],
+            programs=[PacketProgram(((0, i, 1, 1),), 0, None) for i in range(2)],
+            classifier_name="b", packet_bytes=64,
+        )
+        merged = merge_program_sets(a, b)
+        assert len(merged.programs) == 4
+        assert merged.programs[2].reads[1][1] == 0  # b cycles back
+        assert merged.programs[3].reads[1][1] == 1
+
+    def test_readless_second(self):
+        a = synthetic_program_set([("x", 0, 1, 5)], tail_compute=9)
+        b = ProgramSet(regions=[], programs=[PacketProgram((), 11, None)],
+                       classifier_name="b", packet_bytes=64)
+        merged = merge_program_sets(a, b)
+        assert merged.programs[0].tail_compute == 20
+
+    def test_empty_rejected(self):
+        a = synthetic_program_set([("x", 0, 1, 5)], tail_compute=0)
+        empty = ProgramSet(regions=[], programs=[], classifier_name="e",
+                           packet_bytes=64)
+        with pytest.raises(ValueError):
+            merge_program_sets(a, empty)
+
+    def test_result_preserved(self):
+        a = ProgramSet(regions=["x"],
+                       programs=[PacketProgram(((0, 0, 1, 1),), 0, 42)],
+                       classifier_name="a", packet_bytes=64)
+        b = synthetic_program_set([("y", 0, 1, 1)], tail_compute=0)
+        assert merge_program_sets(a, b).programs[0].result == 42
+
+
+class TestApplicationWithFib:
+    def test_runs_and_stays_processing_bound(self):
+        from repro.forwarding import generate_fib
+        from repro.harness import get_classifier, get_trace
+        from repro.npsim.application import run_application
+
+        clf = get_classifier("FW01", "expcuts")
+        trace = get_trace("FW01", count=300)
+        fib = generate_fib(400, seed=8)
+        res = run_application(clf, trace, max_packets=2500,
+                              trace_limit=200, fib=fib)
+        assert res.packets == 2500
+        assert res.gbps(1400.0, 64) > 3.0
+        # With a tiny rule set and the recorded (cheap) LPM, processing
+        # and transmit run neck-and-neck; processing must still be within
+        # a whisker of the busiest stage.
+        busiest = max(r.me_busy_fraction for r in res.stage_reports)
+        processing = next(r for r in res.stage_reports
+                          if r.name.startswith("processing"))
+        assert processing.me_busy_fraction >= busiest - 0.05

@@ -1,0 +1,91 @@
+"""End-to-end runner tests: classifier + trace -> throughput."""
+
+import pytest
+
+from repro.classifiers import ExpCutsClassifier, HiCutsClassifier
+from repro.npsim.runner import simulate_throughput
+from repro.traffic import matched_trace
+
+
+@pytest.fixture(scope="module")
+def fw_setup(request):
+    from repro.rulesets import generate
+    from repro.rulesets.profiles import PROFILES
+
+    ruleset = generate(PROFILES["FW01"], size=40, seed=11).with_default()
+    trace = matched_trace(ruleset, 300, seed=21)
+    return ruleset, trace
+
+
+class TestSimulateThroughput:
+    def test_basic_run(self, fw_setup):
+        ruleset, trace = fw_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        res = simulate_throughput(clf, trace, num_threads=23,
+                                  max_packets=2000, trace_limit=200)
+        assert res.gbps > 0
+        assert res.packets == 2000
+        assert res.classifier_name == "expcuts"
+        assert res.num_channels == 4
+        assert 0 < res.me_busy_fraction <= 1
+        assert res.words_per_packet <= 26
+
+    def test_more_threads_more_throughput(self, fw_setup):
+        ruleset, trace = fw_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        slow = simulate_throughput(clf, trace, num_threads=7,
+                                   max_packets=2000, trace_limit=200)
+        fast = simulate_throughput(clf, trace, num_threads=39,
+                                   max_packets=2000, trace_limit=200)
+        assert fast.gbps > 2 * slow.gbps
+
+    def test_channel_sweep_monotone(self, fw_setup):
+        ruleset, trace = fw_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        results = [
+            simulate_throughput(clf, trace, num_threads=71, num_channels=n,
+                                max_packets=2000, trace_limit=200).gbps
+            for n in (1, 4)
+        ]
+        assert results[1] > results[0]
+
+    def test_requires_trace_for_classifier(self, fw_setup):
+        ruleset, _ = fw_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        with pytest.raises(ValueError):
+            simulate_throughput(clf, None)
+
+    def test_program_set_requires_placement(self):
+        from repro.npsim.program import synthetic_program_set
+
+        ps = synthetic_program_set([("r", 0, 1, 5)], tail_compute=0)
+        with pytest.raises(ValueError):
+            simulate_throughput(ps)
+
+    def test_sim_close_to_analytic(self, fw_setup):
+        ruleset, trace = fw_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        res = simulate_throughput(clf, trace, num_threads=55,
+                                  max_packets=4000, trace_limit=200)
+        # The DES never beats the bound and should come reasonably close.
+        assert res.gbps <= res.analytic_gbps * 1.02
+        assert res.gbps >= res.analytic_gbps * 0.6
+
+    def test_expcuts_beats_hicuts(self, fw_setup):
+        """The headline comparison must hold on any realistic setup."""
+        ruleset, trace = fw_setup
+        exp = simulate_throughput(ExpCutsClassifier.build(ruleset), trace,
+                                  num_threads=71, max_packets=2000,
+                                  trace_limit=200)
+        hic = simulate_throughput(HiCutsClassifier.build(ruleset), trace,
+                                  num_threads=71, max_packets=2000,
+                                  trace_limit=200)
+        assert exp.gbps > hic.gbps
+
+    def test_str_summary(self, fw_setup):
+        ruleset, trace = fw_setup
+        clf = ExpCutsClassifier.build(ruleset)
+        res = simulate_throughput(clf, trace, num_threads=7,
+                                  max_packets=500, trace_limit=100)
+        text = str(res)
+        assert "expcuts" in text and "Gbps" in text

@@ -1,0 +1,99 @@
+"""Rule-set analysis tests: the measuring stick measures right, and the
+generated twins exhibit the structure their profiles request."""
+
+import pytest
+
+from repro.core.interval import Interval, full_interval
+from repro.core.rule import Rule, RuleSet
+from repro.rulesets import generate
+from repro.rulesets.analysis import RuleSetStats, analyze, classify_port
+from repro.rulesets.profiles import PROFILES
+
+
+class TestClassifyPort:
+    @pytest.mark.parametrize("iv,expected", [
+        (full_interval(16), "any"),
+        (Interval(80, 80), "exact"),
+        (Interval(1024, 65535), "high"),
+        (Interval(0, 1023), "low"),
+        (Interval(6000, 6063), "range"),
+    ])
+    def test_idioms(self, iv, expected):
+        assert classify_port(iv) == expected
+
+
+class TestAnalyzeMechanics:
+    def test_empty(self):
+        stats = analyze(RuleSet([]))
+        assert stats.size == 0
+
+    def test_known_ruleset(self):
+        rs = RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8", dport=80, proto=6),
+            Rule.from_prefixes(sip="10.0.0.0/8", dport=443, proto=6),
+            Rule.from_prefixes(dip="192.168.0.0/16", proto=17),
+            Rule.any(),
+        ])
+        stats = analyze(rs)
+        assert stats.size == 4
+        assert stats.wildcard_fraction["sip"] == pytest.approx(0.5)
+        assert stats.prefix_length_histogram["sip"][8] == 2
+        assert stats.port_idioms["dport"] == {"exact": 2, "any": 2}
+        assert stats.protocol_mix == {"tcp": 2, "udp": 1, "any": 1}
+        # Same /8 used twice -> reuse 0.5 on sip.
+        assert stats.address_reuse["sip"] == pytest.approx(0.5)
+        # Rules 0 and 1 share a shape (sip /8 + exact dport + proto).
+        assert stats.tuple_count == 3
+
+    def test_overlap_fraction_bounds(self):
+        disjoint = RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8"),
+            Rule.from_prefixes(sip="11.0.0.0/8"),
+        ])
+        nested = RuleSet([
+            Rule.from_prefixes(sip="10.0.0.0/8"),
+            Rule.from_prefixes(sip="10.1.0.0/16"),
+        ])
+        assert analyze(disjoint).overlap_fraction == 0.0
+        assert analyze(nested).overlap_fraction == 1.0
+
+    def test_summary_lines_render(self):
+        stats = analyze(RuleSet([Rule.any()]))
+        text = "\n".join(stats.summary_lines())
+        assert "rules: 1" in text and "wildcards" in text
+
+
+class TestTwinsMatchProfiles:
+    """The substitution check: generated sets show the structure their
+    profiles request (and that real sets of their kind exhibit)."""
+
+    def test_firewall_wildcard_heavy_sources(self):
+        stats = analyze(generate(PROFILES["FW03"], size=250, seed=41))
+        assert stats.wildcard_fraction["sip"] > 0.25
+        assert stats.wildcard_fraction["sip"] > stats.wildcard_fraction["dip"]
+
+    def test_core_router_prefix_heavy(self):
+        stats = analyze(generate(PROFILES["CR03"], size=250, seed=42))
+        assert stats.wildcard_fraction["sip"] < 0.1
+        hist = stats.prefix_length_histogram["dip"]
+        assert hist.get(24, 0) > 0.15 * stats.size
+
+    def test_core_router_sport_any(self):
+        stats = analyze(generate(PROFILES["CR02"], size=250, seed=43))
+        assert stats.port_idioms["sport"].get("any", 0) > 0.6 * stats.size
+
+    def test_tcp_dominates_everywhere(self):
+        for name in ("FW01", "CR01"):
+            stats = analyze(generate(PROFILES[name], size=200, seed=44))
+            assert stats.protocol_mix.get("tcp", 0) >= max(
+                v for k, v in stats.protocol_mix.items() if k != "tcp"
+            )
+
+    def test_address_reuse_requested(self):
+        stats = analyze(generate(PROFILES["CR04"], size=400, seed=45))
+        assert stats.address_reuse["sip"] > 0.1
+
+    def test_rule_shapes_bounded(self):
+        """Real sets use few tuple shapes; the twins must too."""
+        stats = analyze(generate(PROFILES["CR02"], size=300, seed=46))
+        assert stats.tuple_count < stats.size * 0.7

@@ -1,0 +1,87 @@
+"""Synthetic rule-set generator tests."""
+
+import pytest
+
+from repro.core.fields import Field
+from repro.core.interval import full_interval
+from repro.rulesets import generate, paper_ruleset
+from repro.rulesets.profiles import PAPER_ORDER, PROFILES
+
+
+class TestDeterminism:
+    def test_same_seed_same_rules(self):
+        a = generate(PROFILES["FW01"], size=30, seed=7)
+        b = generate(PROFILES["FW01"], size=30, seed=7)
+        assert [r.intervals for r in a] == [r.intervals for r in b]
+        assert [r.action for r in a] == [r.action for r in b]
+
+    def test_different_seed_different_rules(self):
+        a = generate(PROFILES["FW01"], size=30, seed=7)
+        b = generate(PROFILES["FW01"], size=30, seed=8)
+        assert [r.intervals for r in a] != [r.intervals for r in b]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ["FW01", "CR01"])
+    def test_size_and_uniqueness(self, name):
+        rs = generate(PROFILES[name], size=50, seed=3)
+        assert len(rs) == 50
+        keys = {tuple(r.intervals) for r in rs}
+        assert len(keys) == 50  # duplicates suppressed
+
+    def test_no_full_wildcard_rule(self):
+        rs = generate(PROFILES["CR02"], size=200, seed=9)
+        for rule in rs:
+            assert any(
+                rule.intervals[f].size < (1 << (32, 32, 16, 16, 8)[f])
+                for f in range(5)
+            )
+
+    def test_ips_are_prefix_blocks(self):
+        rs = generate(PROFILES["CR01"], size=80, seed=4)
+        for rule in rs:
+            for fld in (Field.SIP, Field.DIP):
+                assert rule.intervals[fld].is_power_of_two_aligned()
+
+    def test_firewall_has_wildcard_sources(self):
+        rs = generate(PROFILES["FW03"], size=200, seed=5)
+        wildcard_sip = sum(1 for r in rs if r.is_wildcard(Field.SIP))
+        assert wildcard_sip > 0.2 * len(rs)
+
+    def test_core_router_mostly_specific(self):
+        rs = generate(PROFILES["CR03"], size=200, seed=5)
+        wildcard_sip = sum(1 for r in rs if r.is_wildcard(Field.SIP))
+        assert wildcard_sip < 0.2 * len(rs)
+
+    def test_core_router_sport_mostly_any(self):
+        rs = generate(PROFILES["CR03"], size=200, seed=5)
+        any_sport = sum(
+            1 for r in rs if r.intervals[Field.SPORT] == full_interval(16)
+        )
+        assert any_sport > 0.6 * len(rs)
+
+    def test_address_reuse_bounds_distinct_prefixes(self):
+        rs = generate(PROFILES["CR04"], size=300, seed=6)
+        distinct = len({r.intervals[Field.SIP] for r in rs})
+        assert distinct < 300  # reuse must collapse some
+
+
+class TestPaperSets:
+    def test_sizes(self):
+        expected = {"FW01": 68, "FW02": 136, "FW03": 340, "CR01": 486,
+                    "CR02": 972, "CR03": 1458, "CR04": 1945}
+        for name in PAPER_ORDER:
+            assert PROFILES[name].size == expected[name]
+
+    def test_cr04_is_the_published_size(self):
+        # §6.1: "The largest real-life ruleset (CR04) contains 1945 rules."
+        assert PROFILES["CR04"].size == 1945
+
+    def test_paper_ruleset_has_default(self):
+        rs = paper_ruleset("FW01")
+        assert len(rs) == 69  # 68 + trailing catch-all
+        assert rs.first_match((1, 2, 3, 4, 5)) is not None
+
+    def test_generate_by_name(self):
+        rs = generate("FW01", size=10, seed=1)
+        assert len(rs) == 10

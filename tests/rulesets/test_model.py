@@ -1,0 +1,51 @@
+"""Profile model tests."""
+
+import pytest
+
+from repro.rulesets.model import (
+    CORE_SPORT_IDIOMS,
+    DEFAULT_PORT_IDIOMS,
+    DEFAULT_PROTO_MIX,
+    RuleSetProfile,
+)
+from repro.rulesets.profiles import PAPER_ORDER, PROFILES
+
+
+class TestProfiles:
+    def test_all_paper_sets_registered(self):
+        assert set(PAPER_ORDER) <= set(PROFILES)
+        assert len(PAPER_ORDER) == 7
+
+    def test_kinds(self):
+        for name in PAPER_ORDER:
+            profile = PROFILES[name]
+            expected = "firewall" if name.startswith("FW") else "core_router"
+            assert profile.kind == expected
+
+    def test_sizes_increase_within_family(self):
+        fw = [PROFILES[n].size for n in PAPER_ORDER if n.startswith("FW")]
+        cr = [PROFILES[n].size for n in PAPER_ORDER if n.startswith("CR")]
+        assert fw == sorted(fw) and cr == sorted(cr)
+
+    def test_normalized_weights(self):
+        weights = PROFILES["CR01"].normalized_prefix_weights()
+        assert abs(sum(w for _, w in weights) - 1.0) < 1e-9
+
+    def test_empty_weights_rejected(self):
+        profile = RuleSetProfile(name="x", kind="firewall", size=1, seed=1)
+        with pytest.raises(ValueError):
+            profile.normalized_prefix_weights()
+
+
+class TestIdioms:
+    def test_port_idiom_kinds(self):
+        kinds = {i.kind for i in DEFAULT_PORT_IDIOMS}
+        assert kinds == {"any", "exact", "range", "high", "low"}
+
+    def test_core_sport_mostly_any(self):
+        weights = {i.kind: i.weight for i in CORE_SPORT_IDIOMS}
+        assert weights["any"] >= 0.8
+
+    def test_proto_mix_tcp_dominates(self):
+        mix = dict(DEFAULT_PROTO_MIX)
+        assert mix[6] == max(mix.values())

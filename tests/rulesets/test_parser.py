@@ -1,0 +1,75 @@
+"""ClassBench-format parser round-trip tests."""
+
+import pytest
+
+from repro.core.interval import Interval, full_interval
+from repro.rulesets import format_rules, generate, load_rules, parse_rules, save_rules
+from repro.rulesets.profiles import PROFILES
+
+SAMPLE = """
+# comment line
+
+@10.0.0.0/8\t192.168.1.0/24\t0 : 1023\t80 : 80\t0x06/0xFF\tpermit
+@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00\tdeny
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        rs = parse_rules(SAMPLE, name="sample")
+        assert len(rs) == 2
+        assert rs[0].intervals[0] == Interval(0x0A000000, 0x0AFFFFFF)
+        assert rs[0].intervals[3] == Interval(80, 80)
+        assert rs[0].intervals[4] == Interval(6, 6)
+        assert rs[0].action == "permit"
+        assert rs[1].intervals[4] == full_interval(8)
+        assert rs[1].action == "deny"
+
+    def test_default_action(self):
+        rs = parse_rules("@1.2.3.4/32 5.6.7.8/32 0 : 0 0 : 0 0x11/0xFF")
+        assert rs[0].action == "permit"
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_rules("not a rule")
+
+    def test_unsupported_proto_mask(self):
+        with pytest.raises(ValueError, match="protocol mask"):
+            parse_rules("@1.2.3.4/32 5.6.7.8/32 0 : 0 0 : 0 0x11/0xF0")
+
+    def test_bad_cidr(self):
+        with pytest.raises(ValueError):
+            parse_rules("@1.2.3/32 5.6.7.8/32 0 : 0 0 : 0 0x11/0xFF")
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        rs = parse_rules(SAMPLE)
+        text = format_rules(rs)
+        rs2 = parse_rules(text)
+        assert [r.intervals for r in rs] == [r.intervals for r in rs2]
+        assert [r.action for r in rs] == [r.action for r in rs2]
+
+    def test_generated_roundtrip(self):
+        rs = generate(PROFILES["CR01"], size=60, seed=13)
+        rs2 = parse_rules(format_rules(rs))
+        assert [r.intervals for r in rs] == [r.intervals for r in rs2]
+
+    def test_file_roundtrip(self, tmp_path):
+        rs = generate(PROFILES["FW01"], size=20, seed=14)
+        path = tmp_path / "rules.txt"
+        save_rules(rs, path)
+        rs2 = load_rules(path)
+        assert len(rs2) == 20
+        assert rs2.name == "rules"
+        assert [r.intervals for r in rs] == [r.intervals for r in rs2]
+
+    def test_empty(self):
+        assert format_rules(parse_rules("")) == ""
+
+    def test_non_prefix_ip_rejected_on_format(self):
+        from repro.core.rule import Rule, RuleSet
+
+        rs = RuleSet([Rule.from_ranges(sip=(1, 6))])
+        with pytest.raises(ValueError):
+            format_rules(rs)

@@ -1,0 +1,75 @@
+"""Traffic generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import corner_case_trace, matched_trace, uniform_trace, zipf_weights
+
+
+class TestZipf:
+    def test_normalised(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_skew_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_skew_concentrates(self):
+        weights = zipf_weights(10, 1.5)
+        assert weights[0] > 5 * weights[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestMatchedTrace:
+    def test_matched_fraction(self, small_fw_ruleset):
+        trace = matched_trace(small_fw_ruleset, 400, seed=3,
+                              matched_fraction=1.0)
+        hits = sum(
+            1 for header in trace.headers()
+            if small_fw_ruleset.first_match(header) is not None
+        )
+        assert hits == len(trace)
+
+    def test_deterministic(self, small_fw_ruleset):
+        a = matched_trace(small_fw_ruleset, 100, seed=9)
+        b = matched_trace(small_fw_ruleset, 100, seed=9)
+        assert list(a.headers()) == list(b.headers())
+
+    def test_bad_fraction(self, small_fw_ruleset):
+        with pytest.raises(ValueError):
+            matched_trace(small_fw_ruleset, 10, matched_fraction=1.5)
+
+    def test_zero_fraction_is_uniformish(self, small_fw_ruleset):
+        trace = matched_trace(small_fw_ruleset, 50, seed=4,
+                              matched_fraction=0.0)
+        assert len(trace) == 50
+
+
+class TestUniformTrace:
+    def test_shape_and_ranges(self):
+        trace = uniform_trace(200, seed=5)
+        assert len(trace) == 200
+        assert int(trace.proto.max()) <= 255
+        assert int(trace.sport.max()) <= 65535
+
+
+class TestCornerCaseTrace:
+    def test_probes_rule_boundaries(self, tiny_ruleset):
+        trace = corner_case_trace(tiny_ruleset)
+        headers = set(trace.headers())
+        rule = tiny_ruleset[0]
+        corners_lo = tuple(iv.lo for iv in rule.intervals)
+        assert corners_lo in headers
+        # the just-outside probe on the sip field
+        outside = (rule.intervals[0].lo - 1,) + corners_lo[1:]
+        assert outside in headers
+
+    def test_empty_ruleset(self):
+        from repro.core.rule import RuleSet
+
+        trace = corner_case_trace(RuleSet([]))
+        assert len(trace) == 1

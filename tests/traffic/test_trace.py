@@ -1,0 +1,70 @@
+"""Trace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import PACKET_BYTES, Trace
+
+
+def make_trace(n=4):
+    return Trace(
+        sip=np.arange(n, dtype=np.uint32),
+        dip=np.arange(n, dtype=np.uint32) + 10,
+        sport=np.full(n, 80, dtype=np.uint32),
+        dport=np.full(n, 443, dtype=np.uint32),
+        proto=np.full(n, 6, dtype=np.uint32),
+    )
+
+
+class TestContainer:
+    def test_len_and_header(self):
+        trace = make_trace(4)
+        assert len(trace) == 4
+        assert trace.header(1) == (1, 11, 80, 443, 6)
+        assert trace.packet_bytes == PACKET_BYTES == 64
+
+    def test_headers_iterator(self):
+        assert list(make_trace(2).headers()) == [(0, 10, 80, 443, 6),
+                                                 (1, 11, 80, 443, 6)]
+
+    def test_field_arrays_order(self):
+        arrays = make_trace(2).field_arrays()
+        assert len(arrays) == 5
+        assert arrays[4].tolist() == [6, 6]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                sip=np.zeros(2, dtype=np.uint32),
+                dip=np.zeros(3, dtype=np.uint32),
+                sport=np.zeros(2, dtype=np.uint32),
+                dport=np.zeros(2, dtype=np.uint32),
+                proto=np.zeros(2, dtype=np.uint32),
+            )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                sip=np.zeros(1, dtype=np.uint32),
+                dip=np.zeros(1, dtype=np.uint32),
+                sport=np.zeros(1, dtype=np.uint32),
+                dport=np.zeros(1, dtype=np.uint32),
+                proto=np.array([300], dtype=np.uint32),
+            )
+
+    def test_from_headers(self):
+        trace = Trace.from_headers([(1, 2, 3, 4, 5), (6, 7, 8, 9, 10)])
+        assert len(trace) == 2
+        assert trace.header(1) == (6, 7, 8, 9, 10)
+
+    def test_from_headers_empty(self):
+        assert len(Trace.from_headers([])) == 0
+
+    def test_save_load(self, tmp_path):
+        trace = make_trace(5)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == 5
+        assert loaded.header(3) == trace.header(3)
+        assert loaded.packet_bytes == trace.packet_bytes
