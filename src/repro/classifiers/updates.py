@@ -12,6 +12,15 @@ classifying.  This module packages that standard production scheme:
 * once the overlay or tombstone count crosses ``rebuild_threshold`` the
   base classifier is **rebuilt** from the live rule list (the hot-swap).
 
+The hot-swap is **atomic, validate-then-swap**: the new structure is
+built and spot-checked against the linear oracle *before* it replaces
+the serving snapshot.  A rebuild that raises, or whose structure
+disagrees with the oracle, is rolled back — the old snapshot keeps
+serving, the failure is recorded in ``failures``, and retry is deferred
+until further updates land.  A per-lookup **depth watchdog** catches a
+lookup that escapes the base structure's explicit bound (a corrupted
+image) and answers from the linear slow path instead of crashing.
+
 Semantics are always exact first-match over the *current* rule list —
 ``tests/classifiers/test_updates.py`` drives random update/lookup
 sequences against the linear oracle, including a hypothesis state
@@ -23,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Type
 
+from ..core.errors import ConfigurationError, RebuildError, ReproError, UpdateError
 from ..core.rule import Rule, RuleSet
 from .base import PacketClassifier
 
@@ -35,9 +45,20 @@ class UpdateStats:
     inserts: int = 0
     removes: int = 0
     rebuilds: int = 0
+    failed_rebuilds: int = 0
     base_hits: int = 0
     overlay_hits: int = 0
     slow_path_lookups: int = 0
+    watchdog_fallbacks: int = 0
+
+
+@dataclass(frozen=True)
+class RebuildFailure:
+    """Record of one rejected hot-swap (the old snapshot kept serving)."""
+
+    error: str
+    rules: int
+    pending_updates: int
 
 
 @dataclass
@@ -54,33 +75,83 @@ class UpdatableClassifier:
     def __init__(self, ruleset: RuleSet,
                  base_class: Type[PacketClassifier],
                  rebuild_threshold: int = 32,
+                 spot_check_headers: int = 32,
                  **build_params) -> None:
+        """``spot_check_headers`` caps the validate-then-swap equivalence
+        check (0 disables it)."""
         if rebuild_threshold < 1:
-            raise ValueError("rebuild_threshold must be >= 1")
+            raise ConfigurationError("rebuild_threshold must be >= 1")
+        if spot_check_headers < 0:
+            raise ConfigurationError("spot_check_headers must be non-negative")
         self.base_class = base_class
         self.build_params = build_params
         self.rebuild_threshold = rebuild_threshold
+        self.spot_check_headers = spot_check_headers
         self.rules: list[Rule] = list(ruleset.rules)
         self.name = f"updatable({base_class.name})"
         self.stats = UpdateStats()
+        self.failures: list[RebuildFailure] = []
+        #: After a failed rebuild, retry only once pending grows past this.
+        self._retry_after_pending: int | None = None
         self._rebuild()
 
     # -- structure maintenance ------------------------------------------------
 
-    def _rebuild(self) -> None:
-        self._snapshot = list(self.rules)
-        self.base = self.base_class.build(
-            RuleSet(self._snapshot, name="snapshot"), **self.build_params
+    def _build_and_validate(self) -> tuple[list[Rule], PacketClassifier]:
+        """Build a candidate structure and spot-check it against the
+        linear oracle; raises rather than swapping on any problem."""
+        snapshot = list(self.rules)
+        base = self.base_class.build(
+            RuleSet(snapshot, name="snapshot"), **self.build_params
         )
+        if self.spot_check_headers > 0 and snapshot:
+            oracle = RuleSet(snapshot, name="oracle")
+            for rule in snapshot[:self.spot_check_headers]:
+                header = tuple(iv.lo for iv in rule.intervals)
+                got = base.classify(header)
+                want = oracle.first_match(header)
+                if got != want:
+                    raise RebuildError(
+                        f"candidate structure disagrees with the oracle at "
+                        f"{header}: got {got}, oracle says {want}"
+                    )
+        return snapshot, base
+
+    def _rebuild(self) -> bool:
+        """Atomic validate-then-swap; returns False on a rolled-back
+        rebuild (the previous snapshot keeps serving)."""
+        try:
+            snapshot, base = self._build_and_validate()
+        except Exception as exc:
+            if not hasattr(self, "base"):
+                # No snapshot to fall back to: the initial build must work.
+                raise
+            self.stats.failed_rebuilds += 1
+            self.failures.append(RebuildFailure(
+                error=repr(exc), rules=len(self.rules),
+                pending_updates=self.pending_updates,
+            ))
+            self._retry_after_pending = self.pending_updates
+            return False
+        # Swap: all serving state replaced in one step.
+        self._snapshot = snapshot
+        self.base = base
         # snapshot index -> current index (None once deleted).
-        self._snapshot_to_current: list[int | None] = list(range(len(self._snapshot)))
+        self._snapshot_to_current: list[int | None] = list(range(len(snapshot)))
         self._overlay: list[_OverlayEntry] = []
         self._tombstones = 0
+        self._retry_after_pending = None
         self.stats.rebuilds += 1
+        return True
 
     def _maybe_rebuild(self) -> None:
-        if len(self._overlay) + self._tombstones >= self.rebuild_threshold:
-            self._rebuild()
+        pending = len(self._overlay) + self._tombstones
+        if pending < self.rebuild_threshold:
+            return
+        if (self._retry_after_pending is not None
+                and pending <= self._retry_after_pending):
+            return  # back off until more updates land
+        self._rebuild()
 
     @property
     def pending_updates(self) -> int:
@@ -100,7 +171,7 @@ class UpdatableClassifier:
         if position is None:
             position = len(self.rules)
         if not 0 <= position <= len(self.rules):
-            raise IndexError(f"position {position} out of range")
+            raise UpdateError(f"position {position} out of range")
         self.rules.insert(position, rule)
         # Every live reference at or after the slot shifts down one.
         for idx, current in enumerate(self._snapshot_to_current):
@@ -117,7 +188,7 @@ class UpdatableClassifier:
     def remove(self, position: int) -> Rule:
         """Remove the rule at priority ``position``; returns it."""
         if not 0 <= position < len(self.rules):
-            raise IndexError(f"position {position} out of range")
+            raise UpdateError(f"position {position} out of range")
         removed = self.rules.pop(position)
         kept_overlay = []
         dropped_from_overlay = False
@@ -143,9 +214,13 @@ class UpdatableClassifier:
         self._maybe_rebuild()
         return removed
 
-    def rebuild(self) -> None:
-        """Force the hot-swap rebuild immediately."""
-        self._rebuild()
+    def rebuild(self) -> bool:
+        """Force the hot-swap rebuild immediately.
+
+        Returns False when the rebuild was rejected and rolled back (the
+        failure is recorded in ``failures``).
+        """
+        return self._rebuild()
 
     # -- lookup -----------------------------------------------------------------
 
@@ -156,7 +231,14 @@ class UpdatableClassifier:
             if entry.rule.matches(header):
                 if best is None or entry.position < best:
                     best = entry.position
-        base_hit = self.base.classify(header)
+        try:
+            base_hit = self.base.classify(header)
+        except (ReproError, LookupError):
+            # Depth watchdog / corrupted structure: the base walked past
+            # its explicit bound.  Answer exactly from the live rule list.
+            self.stats.watchdog_fallbacks += 1
+            self.stats.slow_path_lookups += 1
+            return self._scan(header)
         if base_hit is not None:
             current = self._snapshot_to_current[base_hit]
             if current is None:

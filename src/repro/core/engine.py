@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .errors import DepthBoundExceededError
 from .fields import CutStep
 from .layout import LEAF_FLAG, TreeImage, decode_leaf
 from .popcount import (
@@ -87,7 +88,14 @@ class ExpCutsEngine:
         """Return the matched rule id (or ``None``) for one header."""
         ptr = self.image.root_ptr
         level = 0
+        bound = len(self.schedule)
         while not ptr & int(LEAF_FLAG):
+            if level >= bound:
+                # Watchdog: only a corrupted image can get here — the
+                # packed tree is at most ``bound`` levels deep.
+                raise DepthBoundExceededError(
+                    f"lookup descended past the {bound}-level bound"
+                )
             ptr = self._descend(ptr, level, header)[0]
             level += 1
         return decode_leaf(ptr)
@@ -131,8 +139,13 @@ class ExpCutsEngine:
         reads: list[MemRead] = []
         ptr = self.image.root_ptr
         level = 0
+        bound = len(self.schedule)
         pending = KEY_EXTRACT_CYCLES  # root pointer is a register, not a read
         while not ptr & int(LEAF_FLAG):
+            if level >= bound:
+                raise DepthBoundExceededError(
+                    f"lookup descended past the {bound}-level bound"
+                )
             seg = self.image.levels[level]
             addr = ptr
             reads.append(MemRead(f"level:{level}", addr, 1, pending))
@@ -210,7 +223,7 @@ class ExpCutsEngine:
             active = active[~leaf_now]
             ptr = ptr[~leaf_now]
         if active.size:
-            raise RuntimeError("traversal exceeded the explicit depth bound")
+            raise DepthBoundExceededError("traversal exceeded the explicit depth bound")
         return results
 
     @staticmethod

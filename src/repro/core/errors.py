@@ -1,0 +1,98 @@
+"""Typed exception hierarchy for the whole library.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers can catch "anything this library
+objects to" with one clause while the graceful-degradation machinery
+(:mod:`repro.npsim.faults`, :class:`repro.classifiers.updates.UpdatableClassifier`)
+distinguishes recoverable conditions from programming mistakes.
+
+Each concrete class also inherits the builtin exception the same
+condition used to raise (``ValueError``, ``IndexError``, ``KeyError``),
+so pre-existing ``except ValueError`` call sites and tests keep working
+across the migration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A constructor or function was given an invalid parameter value."""
+
+
+class SimulationError(ReproError):
+    """Something went wrong inside the NP discrete-event simulation."""
+
+
+class ChannelError(SimulationError, ValueError):
+    """A memory channel was misconfigured or misused."""
+
+
+class ChannelOfflineError(ChannelError):
+    """A command was issued to a channel that is offline.
+
+    Raised by :meth:`repro.npsim.memory.MemoryChannel.issue` when a
+    fault took the channel down; the simulator routes around offline
+    channels, so seeing this escape means a routing bug, not a fault.
+    """
+
+    def __init__(self, channel: str, at: float) -> None:
+        super().__init__(f"channel {channel} is offline at cycle {at:.0f}")
+        self.channel = channel
+        self.at = at
+
+
+class PlacementError(SimulationError, ValueError):
+    """No valid region-to-channel placement exists (or policy unknown)."""
+
+
+class RegionUnmappedError(SimulationError, KeyError):
+    """A program references a region with no channel placement."""
+
+
+class RuleParseError(ReproError, ValueError):
+    """A rule line could not be parsed.
+
+    Carries ``source`` (file name or ruleset name) and ``line_no`` so
+    batch loaders can report exactly where the bad line sits.
+    """
+
+    def __init__(self, message: str, source: str | None = None,
+                 line_no: int | None = None) -> None:
+        where = ""
+        if source is not None:
+            where += f"{source}:"
+        if line_no is not None:
+            where += f"line {line_no}: "
+        super().__init__(f"{where}{message}")
+        self.source = source
+        self.line_no = line_no
+
+
+class RuleFormatError(ReproError, ValueError):
+    """A rule cannot be serialised to the textual format."""
+
+
+class UpdateError(ReproError, IndexError):
+    """An insert/remove targeted an invalid rule position."""
+
+
+class RebuildError(ReproError, RuntimeError):
+    """A classifier rebuild failed or produced a structure that
+    disagrees with the linear oracle (validate-then-swap rejected it)."""
+
+
+class DepthBoundExceededError(ReproError, RuntimeError):
+    """A lookup descended past the structure's explicit depth bound.
+
+    The per-lookup watchdog: a corrupted image or a bad pointer word
+    would otherwise walk garbage forever; callers fall back to the
+    linear slow path when they see this.
+    """
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault-injection plan is internally inconsistent."""

@@ -47,6 +47,8 @@ REGISTRY: dict[str, tuple[str, str]] = {
              "Figure 8: linear search effect on throughput"),
     "fig9": ("repro.harness.fig9",
              "Figure 9: ExpCuts vs HiCuts vs HSM on all rule sets"),
+    "resilience": ("repro.harness.resilience",
+                   "Resilience: throughput under injected SRAM channel loss"),
 }
 
 

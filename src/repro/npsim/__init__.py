@@ -5,6 +5,15 @@ from .application import build_application, run_application
 from .appsim import StageConfig, StagedResult, StagedSimulator
 from .analytic import Bounds, saturation_bounds
 from .chip import ChannelConfig, ChipConfig, IXP2850, default_sram_channels, hardware_overview
+from .faults import (
+    ChannelFailure,
+    DegradationEvent,
+    FaultInjector,
+    FaultPlan,
+    LatencySpike,
+    MicroengineStall,
+    ResilienceReport,
+)
 from .flowcache import CacheOutcome, FlowCache, cached_program_set, simulate_hit_rate
 from .memory import ChannelReport, MemoryChannel
 from .microengine import SimResult, Simulator
@@ -23,18 +32,25 @@ __all__ = [
     "Bounds",
     "CacheOutcome",
     "ChannelConfig",
+    "ChannelFailure",
     "ChannelReport",
     "ChipConfig",
     "DEFAULT_ALLOCATION",
+    "DegradationEvent",
+    "FaultInjector",
+    "FaultPlan",
     "FlowCache",
     "IXP2850",
+    "LatencySpike",
     "MemoryChannel",
+    "MicroengineStall",
     "MicroengineAllocation",
     "PROCESSING_OVERHEAD_CYCLES",
     "PacketProgram",
     "Placement",
     "ProgramSet",
     "ReorderStats",
+    "ResilienceReport",
     "SimResult",
     "Simulator",
     "StageConfig",

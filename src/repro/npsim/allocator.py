@@ -11,21 +11,34 @@ while a monolithic linear-search rule table cannot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 
 from ..classifiers.base import MemoryRegion
+from ..core.errors import PlacementError
 from .chip import ChannelConfig
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
 class Placement:
-    """A region -> channel assignment plus its rationale."""
+    """A region -> channel assignment plus its rationale.
+
+    ``replicas`` maps region name -> backup channel index for regions
+    the ``failover`` policy mirrors; a read re-routes there when the
+    primary channel fails mid-run.
+    """
 
     mapping: dict[str, int]
     policy: str
+    replicas: dict[str, int] = field(default_factory=dict)
 
     def channel_of(self, region: str) -> int:
         return self.mapping[region]
+
+    def replica_of(self, region: str) -> int | None:
+        return self.replicas.get(region)
 
     def groups(self) -> dict[int, list[str]]:
         out: dict[int, list[str]] = {}
@@ -56,7 +69,7 @@ def headroom_proportional(
     already-assigned weight.
     """
     if not channels:
-        raise ValueError("need at least one channel")
+        raise PlacementError("need at least one channel")
     mapping: dict[str, int] = {}
 
     level_regions = sorted(
@@ -122,21 +135,74 @@ def round_robin(regions: list[MemoryRegion], channels: list[ChannelConfig]) -> P
     )
 
 
+def failover(regions: list[MemoryRegion], channels: list[ChannelConfig]) -> Placement:
+    """Headroom-proportional placement plus replicas for hot regions.
+
+    Regions whose access weight is at or above the mean get a mirror on
+    the best-headroom channel other than their primary, so losing a
+    channel mid-run costs bandwidth (reads shift to the replica) rather
+    than correctness.  Cold regions stay single-copy — after a channel
+    loss they ride the control plane's emergency re-placement instead
+    (see :mod:`repro.npsim.faults`) — keeping the SRAM cost of the
+    policy proportional to the hot working set.
+    """
+    base = headroom_proportional(regions, channels)
+    replicas: dict[str, int] = {}
+    if len(channels) >= 2 and regions:
+        mean_weight = sum(r.access_weight for r in regions) / len(regions)
+        for region in regions:
+            if region.access_weight < mean_weight and len(regions) > 1:
+                continue
+            primary = base.mapping[region.name]
+            backup = max(
+                (i for i in range(len(channels)) if i != primary),
+                key=lambda i: channels[i].headroom,
+            )
+            replicas[region.name] = backup
+    return Placement(dict(base.mapping), "failover", replicas)
+
+
 POLICIES = {
     "headroom_proportional": headroom_proportional,
     "single_channel": single_channel,
     "round_robin": round_robin,
+    "failover": failover,
 }
 
 
 def place(regions: list[MemoryRegion], channels: list[ChannelConfig],
           policy: str = "headroom_proportional") -> Placement:
-    """Dispatch by policy name."""
+    """Dispatch by policy name.
+
+    Channels with no bandwidth headroom (background utilisation >= 1)
+    cannot serve classification reads at all: they are excluded here
+    with a diagnostic, and region indices are mapped back to positions
+    in the *original* channel list so the simulator's channel table
+    stays aligned with the chip.
+    """
     try:
         fn = POLICIES[policy]
     except KeyError:
-        raise ValueError(f"unknown placement policy {policy!r}") from None
-    return fn(regions, channels)
+        raise PlacementError(f"unknown placement policy {policy!r}") from None
+    eligible = [(idx, ch) for idx, ch in enumerate(channels) if ch.headroom > 0.0]
+    if not eligible:
+        raise PlacementError(
+            "no channel has bandwidth headroom; nothing can be placed"
+        )
+    if len(eligible) == len(channels):
+        return fn(regions, channels)
+    excluded = [ch.name for ch in channels if ch.headroom <= 0.0]
+    log.warning(
+        "excluding saturated channel(s) %s from placement (no headroom)",
+        ", ".join(excluded),
+    )
+    placement = fn(regions, [ch for _, ch in eligible])
+    to_original = [idx for idx, _ in eligible]
+    return Placement(
+        {name: to_original[sub] for name, sub in placement.mapping.items()},
+        placement.policy,
+        {name: to_original[sub] for name, sub in placement.replicas.items()},
+    )
 
 
 def allocation_table(regions: list[MemoryRegion], channels: list[ChannelConfig],

@@ -18,9 +18,11 @@ accumulated exactly.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
+from ..core.errors import ChannelError, ChannelOfflineError
 from .chip import ChannelConfig
 
 
@@ -45,14 +47,45 @@ class ChannelStats:
 class MemoryChannel:
     """One SRAM/DRAM controller (single server + bounded command FIFO)."""
 
-    def __init__(self, config: ChannelConfig) -> None:
+    def __init__(self, config: ChannelConfig, allow_offline: bool = False) -> None:
+        """``allow_offline`` admits a zero-headroom channel as a dead
+        (permanently offline) server instead of raising — the allocator
+        never places regions on it, but the channel list stays aligned
+        with the chip's physical channel indices."""
         if config.headroom <= 0.0:
-            raise ValueError(f"channel {config.name} has no headroom")
+            if not allow_offline:
+                raise ChannelError(f"channel {config.name} has no headroom")
+            self.effective_cycles_per_word = math.inf
+            self.offline_at: float | None = 0.0
+        else:
+            self.effective_cycles_per_word = config.cycles_per_word / config.headroom
+            self.offline_at = None
         self.config = config
-        self.effective_cycles_per_word = config.cycles_per_word / config.headroom
         self.service_free = 0.0          # when the server frees up
         self.completions: deque[float] = deque()  # in-FIFO commands' finish times
         self.stats = ChannelStats()
+        #: (start, end, factor) latency multipliers (fault injection).
+        self._latency_spikes: list[tuple[float, float, float]] = []
+
+    # -- fault hooks -------------------------------------------------------
+
+    def fail_at(self, time: float) -> None:
+        """Take the channel offline from ``time`` on (idempotent; the
+        earliest requested failure wins)."""
+        if self.offline_at is None or time < self.offline_at:
+            self.offline_at = float(time)
+
+    def is_offline(self, now: float) -> bool:
+        return self.offline_at is not None and now >= self.offline_at
+
+    def add_latency_spike(self, start: float, end: float, factor: float) -> None:
+        """Multiply read latency by ``factor`` during ``[start, end)``."""
+        if end <= start:
+            raise ChannelError("latency spike window is empty")
+        if factor < 1.0:
+            raise ChannelError("latency spike factor must be >= 1.0")
+        self._latency_spikes.append((float(start), float(end), float(factor)))
+        self._latency_spikes.sort()
 
     def issue(self, now: float, nwords: int) -> tuple[float, float]:
         """Issue a read command at ``now``.
@@ -62,7 +95,9 @@ class MemoryChannel:
         and the time the data lands in the thread's transfer registers.
         """
         if nwords <= 0:
-            raise ValueError("read must cover at least one word")
+            raise ChannelError("read must cover at least one word")
+        if self.offline_at is not None and now >= self.offline_at:
+            raise ChannelOfflineError(self.config.name, now)
         completions = self.completions
         while completions and completions[0] <= now:
             completions.popleft()
@@ -77,7 +112,14 @@ class MemoryChannel:
         service_time = nwords * self.effective_cycles_per_word
         start = max(stall_until, self.service_free)
         self.service_free = start + service_time
-        data_ready = self.service_free + self.config.latency_cycles
+        latency = self.config.latency_cycles
+        for spike_start, spike_end, factor in self._latency_spikes:
+            if spike_start <= now < spike_end:
+                latency = latency * factor
+                break
+            if spike_start > now:
+                break
+        data_ready = self.service_free + latency
         completions.append(self.service_free)
         stats = self.stats
         stats.commands += 1

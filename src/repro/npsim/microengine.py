@@ -24,10 +24,15 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..core.errors import ConfigurationError, RegionUnmappedError
 from .chip import ChipConfig
 from .memory import MemoryChannel
 from .program import ProgramSet
+
+if TYPE_CHECKING:
+    from .faults import FaultInjector
 
 
 @dataclass
@@ -71,16 +76,19 @@ class SimResult:
     completion_times: list[float] = field(default_factory=list)
     #: Per-packet latency (completion - arrival), only for open-loop runs.
     latencies: list[float] = field(default_factory=list)
+    #: Packets discarded by fault injection (malformed headers plus
+    #: packets abandoned on unreachable regions); 0 without faults.
+    packets_discarded: int = 0
 
     def latency_percentiles(self, *quantiles: float) -> list[float]:
         """Latency percentiles in ME cycles (open-loop runs only)."""
         if not self.latencies:
-            raise ValueError("latencies are only recorded for open-loop runs")
+            raise ConfigurationError("latencies are only recorded for open-loop runs")
         ordered = sorted(self.latencies)
         out = []
         for q in quantiles:
             if not 0.0 <= q <= 1.0:
-                raise ValueError(f"quantile {q} out of range")
+                raise ConfigurationError(f"quantile {q} out of range")
             idx = min(len(ordered) - 1, int(q * len(ordered)))
             out.append(ordered[idx])
         return out
@@ -107,17 +115,24 @@ class Simulator:
         num_threads: int,
         threads_per_me: int | None = None,
         per_packet_overhead: int = 0,
+        replicas: dict[str, int] | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         """``placement`` maps region name -> index into ``channels``.
 
         ``num_threads`` are packed onto ``ceil(num_threads / threads_per_me)``
         MEs (the paper reserves one context of the last ME for exception
         handling, hence the 7/15/…/71 sweep points).
+
+        ``replicas`` optionally maps region name -> backup channel index
+        (the ``failover`` placement policy); ``injector`` activates fault
+        injection — without one, the run takes the exact fault-free code
+        path.
         """
         if num_threads <= 0:
-            raise ValueError("need at least one thread")
+            raise ConfigurationError("need at least one thread")
         if not program_set.programs:
-            raise ValueError("program set is empty")
+            raise ConfigurationError("program set is empty")
         self.chip = chip
         self.channels = channels
         self.program_set = program_set
@@ -125,7 +140,7 @@ class Simulator:
         tpm = threads_per_me or chip.threads_per_me
         num_mes = (num_threads + tpm - 1) // tpm
         if num_mes > chip.num_microengines:
-            raise ValueError(
+            raise ConfigurationError(
                 f"{num_threads} threads need {num_mes} MEs; chip has "
                 f"{chip.num_microengines}"
             )
@@ -133,7 +148,7 @@ class Simulator:
         self.region_channels: list[MemoryChannel] = []
         for region in program_set.regions:
             if region not in placement:
-                raise KeyError(f"region {region!r} has no channel placement")
+                raise RegionUnmappedError(f"region {region!r} has no channel placement")
             self.region_channels.append(channels[placement[region]])
 
         self.mes = [MicroengineState(i) for i in range(num_mes)]
@@ -142,6 +157,24 @@ class Simulator:
             self.threads.append(ThreadState(me_index=t // tpm, thread_index=t % tpm))
         self._next_packet = 0
         self.completions: list[float] = []
+
+        self.injector = injector
+        if injector is not None:
+            backups: list[MemoryChannel | None] = []
+            for rid, region in enumerate(program_set.regions):
+                backup_idx = (replicas or {}).get(region)
+                if (backup_idx is None
+                        or channels[backup_idx] is self.region_channels[rid]):
+                    backups.append(None)
+                else:
+                    backups.append(channels[backup_idx])
+            injector.prepare(
+                channels=channels,
+                primary=list(self.region_channels),
+                backup=backups,
+                region_names=list(program_set.regions),
+                num_mes=num_mes,
+            )
 
     # -- packet feed -------------------------------------------------------
 
@@ -175,9 +208,9 @@ class Simulator:
         Open-loop runs record per-packet latency (completion − arrival).
         """
         if arrival_rate is not None and arrival_rate <= 0:
-            raise ValueError("arrival_rate must be positive")
+            raise ConfigurationError("arrival_rate must be positive")
         if burst_size < 1:
-            raise ValueError("burst_size must be >= 1")
+            raise ConfigurationError("burst_size must be >= 1")
         self._arrival_spacing = (1.0 / arrival_rate) if arrival_rate else None
         self._burst_size = burst_size
         chip = self.chip
@@ -186,6 +219,13 @@ class Simulator:
         issue_cycles = chip.issue_cycles
         switch_cycles = chip.context_switch_cycles
         overhead = self.per_packet_overhead
+        injector = self.injector
+        validate_cycles = injector.plan.validate_cycles if injector is not None else 0
+        total_discarded = 0
+        # Safety valve for pathological fault plans (every region dead):
+        # finish the run with whatever completed instead of spinning.
+        discard_cap = max(50_000, 10 * max_packets)
+        give_up = False
 
         # Event heap entries: (time, seq, kind, index) where kind 0 is a
         # thread wake (index = thread id) and kind 1 an ME service slot
@@ -199,6 +239,11 @@ class Simulator:
         svc_scheduled = [False] * len(self.mes)
         for tid, thread in enumerate(self.threads):
             self._fetch_packet(thread)
+            if injector is not None:
+                while (verdict := injector.packet_verdict(thread.packet_seq)):
+                    injector.note_header_fault(verdict)
+                    total_discarded += 1
+                    self._fetch_packet(thread)
             thread.packet_arrival = self._arrival_of(thread.packet_seq)
             wake_at = max(float(tid), thread.packet_arrival)
             heapq.heappush(heap, (wake_at, seq, 0, tid))
@@ -229,10 +274,21 @@ class Simulator:
             svc_scheduled[index] = False
             if not me.ready:
                 continue
+            if injector is not None:
+                stall_end = injector.me_stall_until(index, now)
+                if stall_end > now:
+                    # The ME pipeline is frozen: hold the ready queue and
+                    # retry the service slot when the stall clears.
+                    injector.stalled_me_cycles += stall_end - now
+                    svc_scheduled[index] = True
+                    heapq.heappush(heap, (stall_end, seq, 1, index))
+                    seq += 1
+                    continue
             run_tid = me.ready.popleft()
             run_thread = self.threads[run_tid]
             t = max(now, me.busy_until) + switch_cycles
             busy_start = t
+            segment_drops = 0
             # Execute one segment: through packet boundaries until the
             # next memory reference blocks the thread.
             while True:
@@ -242,7 +298,41 @@ class Simulator:
                         run_thread.op_index
                     ]
                     t += compute_before
-                    channel = region_channels[rid]
+                    if injector is None:
+                        channel = region_channels[rid]
+                    else:
+                        channel = injector.route(rid, t)
+                        if channel is None:
+                            # Region unreachable mid-recovery: abandon
+                            # this packet (counted) and take the next.
+                            injector.note_region_loss(rid, t)
+                            total_discarded += 1
+                            segment_drops += 1
+                            t += validate_cycles
+                            self._fetch_packet(run_thread)
+                            while (verdict := injector.packet_verdict(
+                                    run_thread.packet_seq)):
+                                injector.note_header_fault(verdict)
+                                total_discarded += 1
+                                t += validate_cycles
+                                self._fetch_packet(run_thread)
+                            if total_discarded >= discard_cap:
+                                give_up = True
+                                break
+                            if segment_drops >= 64:
+                                # Yield so simulated time advances instead
+                                # of spinning inside one segment.
+                                heapq.heappush(heap, (t, seq, 0, run_tid))
+                                seq += 1
+                                break
+                            if open_loop:
+                                arrival = self._arrival_of(run_thread.packet_seq)
+                                run_thread.packet_arrival = arrival
+                                if arrival > t:
+                                    heapq.heappush(heap, (arrival, seq, 0, run_tid))
+                                    seq += 1
+                                    break
+                            continue
                     issue_done, data_ready = channel.issue(t, nwords)
                     t = max(t, issue_done) + issue_cycles
                     run_thread.op_index += 1
@@ -259,6 +349,13 @@ class Simulator:
                 if open_loop:
                     latencies.append(t - run_thread.packet_arrival)
                 self._fetch_packet(run_thread)
+                if injector is not None:
+                    while (verdict := injector.packet_verdict(
+                            run_thread.packet_seq)):
+                        injector.note_header_fault(verdict)
+                        total_discarded += 1
+                        t += validate_cycles
+                        self._fetch_packet(run_thread)
                 if total_done >= max_packets:
                     break
                 if open_loop:
@@ -272,6 +369,8 @@ class Simulator:
                         break
             me.busy_cycles += t - busy_start
             me.busy_until = t
+            if give_up:
+                break
             if me.ready and not svc_scheduled[index]:
                 svc_scheduled[index] = True
                 heapq.heappush(heap, (t, seq, 1, index))
@@ -305,4 +404,5 @@ class Simulator:
             completion_order=completion_order,
             completion_times=list(completions),
             latencies=latencies,
+            packets_discarded=total_discarded,
         )

@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..classifiers.base import PacketClassifier
+from ..core.errors import ConfigurationError
 from ..traffic.trace import Trace
 from .allocator import Placement, place
 from .analytic import Bounds, saturation_bounds
 from .chip import ChipConfig, IXP2850, SCRATCH_CHANNEL
+from .faults import FaultInjector, FaultPlan, ResilienceReport
 from .memory import ChannelReport, MemoryChannel
 from .microengine import SimResult, Simulator
 from .pipeline import APP_TAIL_SEGMENTS, per_packet_overhead
@@ -40,6 +42,8 @@ class ThroughputResult:
     analytic_gbps: float
     #: The raw DES outcome (latencies, completion order, samples).
     sim: SimResult | None = None
+    #: Degradation accounting, present when a fault plan was injected.
+    resilience: ResilienceReport | None = None
 
     def __str__(self) -> str:
         return (
@@ -64,6 +68,7 @@ def simulate_throughput(
     memory_kind: str = "sram",
     arrival_rate_gbps: float | None = None,
     burst_size: int = 1,
+    fault_plan: FaultPlan | None = None,
 ) -> ThroughputResult:
     """Simulate classification throughput.
 
@@ -76,13 +81,18 @@ def simulate_throughput(
     ``arrival_rate_gbps`` switches to an open-loop run at that offered
     load (64-byte packets), recording per-packet latency; the default is
     saturation (infinite backlog).
+
+    ``fault_plan`` injects seeded channel/ME/header faults (see
+    :mod:`repro.npsim.faults`); the run degrades instead of raising, and
+    the result carries a :class:`ResilienceReport`.  Pair it with
+    ``placement_policy="failover"`` so hot regions have replicas.
     """
     if isinstance(classifier, ProgramSet):
         program_set = classifier
         regions = None
     else:
         if trace is None:
-            raise ValueError("a trace is required to record programs")
+            raise ConfigurationError("a trace is required to record programs")
         program_set = compile_programs(classifier, trace, limit=trace_limit)
         regions = classifier.memory_regions()
 
@@ -95,11 +105,11 @@ def simulate_throughput(
         if num_channels is not None:
             channel_configs = channel_configs[:num_channels]
     else:
-        raise ValueError(f"unknown memory kind {memory_kind!r}")
+        raise ConfigurationError(f"unknown memory kind {memory_kind!r}")
 
     if placement is None:
         if regions is None:
-            raise ValueError(
+            raise ConfigurationError(
                 "placement must be given explicitly for a bare ProgramSet"
             )
         placement = place(regions, channel_configs, placement_policy)
@@ -117,15 +127,24 @@ def simulate_throughput(
     full_placement = Placement(
         {**placement.mapping, "scratch": len(channel_configs) - 1},
         placement.policy,
+        dict(placement.replicas),
     )
 
-    channels = [MemoryChannel(cfg) for cfg in channel_configs]
+    # Saturated channels (no headroom) stay in the list as dead servers
+    # so indices line up with the chip; the allocator never uses them.
+    channels = [
+        MemoryChannel(cfg, allow_offline=cfg.headroom <= 0.0)
+        for cfg in channel_configs
+    ]
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
     simulator = Simulator(
         chip=chip,
         channels=channels,
         placement=full_placement.mapping,
         program_set=program_set,
         num_threads=num_threads,
+        replicas=full_placement.replicas,
+        injector=injector,
     )
     packet_bytes = program_set.packet_bytes
     arrival_rate = None
@@ -140,6 +159,12 @@ def simulate_throughput(
     bounds = saturation_bounds(
         chip, channel_configs, program_set, full_placement, num_threads,
     )
+    resilience = None
+    if injector is not None:
+        resilience = injector.report(
+            result.completion_times, result.packets,
+            chip.me_clock_mhz, packet_bytes,
+        )
     return ThroughputResult(
         classifier_name=program_set.classifier_name,
         num_threads=num_threads,
@@ -155,4 +180,5 @@ def simulate_throughput(
         bounds=bounds,
         analytic_gbps=bounds.gbps(chip.me_clock_mhz, packet_bytes),
         sim=result,
+        resilience=resilience,
     )

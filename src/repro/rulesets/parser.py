@@ -14,12 +14,16 @@ sets use only those two).
 from __future__ import annotations
 
 import io
+import logging
 import re
 from pathlib import Path
 from typing import Iterable, TextIO
 
+from ..core.errors import RuleFormatError, RuleParseError
 from ..core.interval import Interval, full_interval, prefix_to_interval
 from ..core.rule import ACTION_PERMIT, Rule, RuleSet
+
+log = logging.getLogger(__name__)
 
 _LINE_RE = re.compile(
     r"^@(?P<sip>\S+)\s+(?P<dip>\S+)\s+"
@@ -54,49 +58,76 @@ def _interval_to_cidr(iv: Interval) -> str:
     """Render an aligned power-of-two interval as CIDR."""
     size = iv.size
     if size & (size - 1) or iv.lo % size:
-        raise ValueError(f"interval {iv} is not an aligned prefix block")
+        raise RuleFormatError(f"interval {iv} is not an aligned prefix block")
     plen = 32 - (size.bit_length() - 1)
     return f"{_format_ip(iv.lo)}/{plen}"
 
 
-def parse_rules(stream: TextIO | str, name: str = "ruleset") -> RuleSet:
-    """Parse rules from a file object or a string."""
+def _parse_line(line: str) -> Rule:
+    """Parse one non-empty rule line; raises ``ValueError`` flavours."""
+    match = _LINE_RE.match(line)
+    if not match:
+        raise ValueError(f"cannot parse rule {line!r}")
+    g = match.groupdict()
+    proto_val = int(g["proto"], 16)
+    proto_mask = int(g["pmask"], 16)
+    if proto_mask == 0x00:
+        proto = full_interval(8)
+    elif proto_mask == 0xFF:
+        proto = Interval(proto_val, proto_val)
+    else:
+        raise ValueError(f"unsupported protocol mask {g['pmask']}")
+    return Rule(
+        (
+            _parse_cidr(g["sip"]),
+            _parse_cidr(g["dip"]),
+            Interval(int(g["sp_lo"]), int(g["sp_hi"])),
+            Interval(int(g["dp_lo"]), int(g["dp_hi"])),
+            proto,
+        ),
+        g["action"] or ACTION_PERMIT,
+    )
+
+
+def parse_rules(stream: TextIO | str, name: str = "ruleset",
+                strict: bool = True,
+                errors: list[RuleParseError] | None = None) -> RuleSet:
+    """Parse rules from a file object or a string.
+
+    Every malformed line surfaces as a typed
+    :class:`~repro.core.errors.RuleParseError` carrying the source name
+    and line number — no raw ``IndexError``/``ValueError`` escapes.
+    With ``strict=False`` bad lines are skipped and counted instead of
+    fatal: each one is appended to ``errors`` (when a list is passed)
+    and summarised in a log warning.
+    """
     if isinstance(stream, str):
         stream = io.StringIO(stream)
     rules: list[Rule] = []
+    skipped = 0
     for line_no, raw in enumerate(stream, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        match = _LINE_RE.match(line)
-        if not match:
-            raise ValueError(f"line {line_no}: cannot parse rule {line!r}")
-        g = match.groupdict()
-        proto_val = int(g["proto"], 16)
-        proto_mask = int(g["pmask"], 16)
-        if proto_mask == 0x00:
-            proto = full_interval(8)
-        elif proto_mask == 0xFF:
-            proto = Interval(proto_val, proto_val)
-        else:
-            raise ValueError(f"line {line_no}: unsupported protocol mask {g['pmask']}")
-        rules.append(Rule(
-            (
-                _parse_cidr(g["sip"]),
-                _parse_cidr(g["dip"]),
-                Interval(int(g["sp_lo"]), int(g["sp_hi"])),
-                Interval(int(g["dp_lo"]), int(g["dp_hi"])),
-                proto,
-            ),
-            g["action"] or ACTION_PERMIT,
-        ))
+        try:
+            rules.append(_parse_line(line))
+        except (ValueError, IndexError) as exc:
+            error = RuleParseError(str(exc), source=name, line_no=line_no)
+            if strict:
+                raise error from exc
+            skipped += 1
+            if errors is not None:
+                errors.append(error)
+    if skipped:
+        log.warning("%s: skipped %d malformed rule line(s)", name, skipped)
     return RuleSet(rules, name=name)
 
 
-def load_rules(path: str | Path) -> RuleSet:
+def load_rules(path: str | Path, strict: bool = True,
+               errors: list[RuleParseError] | None = None) -> RuleSet:
     path = Path(path)
     with path.open() as fh:
-        return parse_rules(fh, name=path.stem)
+        return parse_rules(fh, name=path.stem, strict=strict, errors=errors)
 
 
 def format_rules(ruleset: RuleSet) -> str:
@@ -113,7 +144,7 @@ def format_rules(ruleset: RuleSet) -> str:
         elif proto.lo == proto.hi:
             proto_text = f"0x{proto.lo:02X}/0xFF"
         else:
-            raise ValueError(f"protocol interval {proto} is not representable")
+            raise RuleFormatError(f"protocol interval {proto} is not representable")
         lines.append(
             f"@{_interval_to_cidr(sip)}\t{_interval_to_cidr(dip)}\t"
             f"{sp.lo} : {sp.hi}\t{dp.lo} : {dp.hi}\t{proto_text}\t{rule.action}"

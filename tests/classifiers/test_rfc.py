@@ -76,7 +76,7 @@ class TestLookup:
         assert clf.classify((0, 0x00010001, 0, 0, 0)) is None
 
     def test_memory_is_largest_of_all(self, small_fw_ruleset):
-        from repro.classifiers import ExpCutsClassifier, HiCutsClassifier
+        from repro.classifiers import HiCutsClassifier
 
         rfc = RFCClassifier.build(small_fw_ruleset)
         hicuts = HiCutsClassifier.build(small_fw_ruleset)

@@ -1,0 +1,236 @@
+"""Failure paths of the update layer: rejected rebuilds, rollback,
+tombstone-heavy workloads, and the depth watchdog."""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.classifiers import ExpCutsClassifier, LinearSearchClassifier
+from repro.classifiers.updates import UpdatableClassifier
+from repro.core.errors import DepthBoundExceededError, RebuildError
+from repro.core.rule import Rule, RuleSet
+
+
+class FlakyClassifier(LinearSearchClassifier):
+    """A base whose build raises on command (after the first success)."""
+
+    name = "flaky"
+    fail_builds = 0
+    builds = 0
+
+    @classmethod
+    def build(cls, ruleset, **params):
+        cls.builds += 1
+        if cls.fail_builds > 0:
+            cls.fail_builds -= 1
+            raise RuntimeError("synthetic build failure")
+        return super().build(ruleset, **params)
+
+
+class WrongClassifier(LinearSearchClassifier):
+    """A base that builds fine but answers the wrong rule."""
+
+    name = "wrong"
+    lie = False
+
+    def classify(self, header):
+        got = super().classify(header)
+        if type(self).lie and got is not None:
+            return None
+        return got
+
+
+class BrokenLookupClassifier(LinearSearchClassifier):
+    """A base whose lookups blow the depth bound after the swap."""
+
+    name = "broken-lookup"
+    broken = False
+
+    def classify(self, header):
+        if type(self).broken:
+            raise DepthBoundExceededError("synthetic corrupted image")
+        return super().classify(header)
+
+
+@pytest.fixture(autouse=True)
+def reset_flaky():
+    FlakyClassifier.fail_builds = 0
+    FlakyClassifier.builds = 0
+    WrongClassifier.lie = False
+    BrokenLookupClassifier.broken = False
+    yield
+    FlakyClassifier.fail_builds = 0
+    WrongClassifier.lie = False
+    BrokenLookupClassifier.broken = False
+
+
+HEADER = (0x0A000001, 0xC0A80105, 12345, 80, 6)
+
+
+def rules(n):
+    return [Rule.from_prefixes(sip=f"{10 + i}.0.0.0/8") for i in range(n)]
+
+
+class TestRebuildRollback:
+    def test_initial_build_failure_propagates(self):
+        FlakyClassifier.fail_builds = 1
+        with pytest.raises(RuntimeError):
+            UpdatableClassifier(RuleSet(rules(3)), FlakyClassifier)
+
+    def test_failed_rebuild_rolls_back(self, tiny_ruleset):
+        clf = UpdatableClassifier(tiny_ruleset, FlakyClassifier,
+                                  rebuild_threshold=100)
+        clf.insert(Rule.any("deny"), position=0)
+        FlakyClassifier.fail_builds = 1
+        assert clf.rebuild() is False
+        # The old snapshot keeps serving and updates are still pending...
+        assert clf.pending_updates == 1
+        assert clf.stats.failed_rebuilds == 1
+        assert len(clf.failures) == 1
+        assert "synthetic build failure" in clf.failures[0].error
+        # ...and answers stay exact (overlay + old base).
+        oracle = clf.current_ruleset()
+        assert clf.classify(HEADER) == oracle.first_match(HEADER)
+        # The next forced rebuild succeeds and clears the backlog.
+        assert clf.rebuild() is True
+        assert clf.pending_updates == 0
+
+    def test_oracle_disagreement_rejected(self, tiny_ruleset):
+        clf = UpdatableClassifier(tiny_ruleset, WrongClassifier,
+                                  rebuild_threshold=100)
+        clf.insert(Rule.any("deny"), position=0)
+        WrongClassifier.lie = True
+        assert clf.rebuild() is False
+        assert "disagrees with the oracle" in clf.failures[0].error
+        WrongClassifier.lie = False
+        assert clf.rebuild() is True
+
+    def test_spot_check_disabled_skips_validation(self, tiny_ruleset):
+        WrongClassifier.lie = True
+        # With spot_check_headers=0 even a lying base is swapped in —
+        # the knob exists for callers that trust the build.
+        clf = UpdatableClassifier(tiny_ruleset, WrongClassifier,
+                                  spot_check_headers=0)
+        assert clf.stats.failed_rebuilds == 0
+
+    def test_threshold_retry_backs_off(self, tiny_ruleset):
+        """A failed threshold rebuild must not retry on every update."""
+        clf = UpdatableClassifier(tiny_ruleset, FlakyClassifier,
+                                  rebuild_threshold=3)
+        FlakyClassifier.fail_builds = 1
+        for i in range(3):
+            clf.insert(Rule.from_prefixes(sip=f"{30 + i}.0.0.0/8"))
+        assert clf.stats.failed_rebuilds == 1
+        builds_after_failure = FlakyClassifier.builds
+        # The very next update is below the backoff mark: no retry.
+        clf.insert(Rule.from_prefixes(sip="40.0.0.0/8"))
+        assert FlakyClassifier.builds == builds_after_failure + 1  # retry once past it
+        assert clf.pending_updates == 0  # ...and that retry succeeded
+
+    def test_rebuild_error_is_runtime_error(self):
+        assert issubclass(RebuildError, RuntimeError)
+
+
+class TestTombstoneHeavyWorkload:
+    def test_mass_removal_crosses_threshold(self):
+        clf = UpdatableClassifier(RuleSet(rules(20)), ExpCutsClassifier,
+                                  rebuild_threshold=5)
+        for _ in range(15):
+            clf.remove(0)
+        assert clf.stats.rebuilds >= 3
+        assert len(clf) == 5
+        oracle = clf.current_ruleset()
+        for i in range(20):
+            header = ((10 + i) << 24, 0, 0, 0, 0)
+            assert clf.classify(header) == oracle.first_match(header)
+
+    def test_churn_remove_reinsert(self):
+        clf = UpdatableClassifier(RuleSet(rules(8)), ExpCutsClassifier,
+                                  rebuild_threshold=4)
+        for round_no in range(6):
+            removed = clf.remove(round_no % max(len(clf), 1))
+            clf.insert(removed, position=0)
+        oracle = clf.current_ruleset()
+        for i in range(8):
+            header = ((10 + i) << 24, 0, 0, 0, 0)
+            assert clf.classify(header) == oracle.first_match(header)
+
+    def test_remove_to_empty(self):
+        clf = UpdatableClassifier(RuleSet(rules(4)), ExpCutsClassifier,
+                                  rebuild_threshold=2)
+        for _ in range(4):
+            clf.remove(0)
+        assert len(clf) == 0
+        assert clf.classify(HEADER) is None
+
+
+class TestDepthWatchdog:
+    def test_watchdog_falls_back_to_scan(self, tiny_ruleset):
+        clf = UpdatableClassifier(tiny_ruleset, BrokenLookupClassifier,
+                                  rebuild_threshold=100)
+        oracle = clf.current_ruleset()
+        want = oracle.first_match(HEADER)
+        BrokenLookupClassifier.broken = True
+        assert clf.classify(HEADER) == want      # exact answer, no crash
+        assert clf.stats.watchdog_fallbacks == 1
+        assert clf.stats.slow_path_lookups >= 1
+
+    def test_engine_raises_past_bound(self, small_fw_ruleset):
+        """The packed engine's own watchdog trips when a walk overruns
+        the explicit level bound (here: the bound shrunk under it, as a
+        corrupted header word would make happen)."""
+        clf = ExpCutsClassifier.build(small_fw_ruleset)
+        engine = clf.engine
+        engine.schedule = engine.schedule[:1]
+        with pytest.raises(DepthBoundExceededError):
+            for rule in small_fw_ruleset:
+                engine.classify(tuple(iv.lo for iv in rule.intervals))
+
+
+class FlakyUpdateMachine(RuleBasedStateMachine):
+    """Random updates with a base that fails every other rebuild; answers
+    must stay exact through every rollback."""
+
+    @initialize()
+    def setup(self):
+        FlakyClassifier.fail_builds = 0
+        self.clf = UpdatableClassifier(
+            RuleSet([Rule.any("deny")]), FlakyClassifier,
+            rebuild_threshold=3,
+        )
+        self.step = 0
+
+    @rule(octet=st.integers(1, 6), head=st.booleans())
+    def insert(self, octet, head):
+        self.step += 1
+        FlakyClassifier.fail_builds = self.step % 2
+        self.clf.insert(Rule.from_prefixes(sip=f"{octet}.0.0.0/8"),
+                        position=0 if head else None)
+
+    @rule(frac=st.floats(0, 0.999))
+    def remove(self, frac):
+        self.step += 1
+        FlakyClassifier.fail_builds = self.step % 2
+        if len(self.clf) > 1:
+            self.clf.remove(int(frac * len(self.clf)))
+
+    @invariant()
+    def agrees_with_oracle(self):
+        oracle = self.clf.current_ruleset()
+        for octet in (1, 4, 9):
+            header = (octet << 24, 0, 0, 0, 0)
+            assert self.clf.classify(header) == oracle.first_match(header)
+
+    @invariant()
+    def snapshot_is_consistent(self):
+        # Every live snapshot reference points at the rule it named.
+        for snap_idx, current in enumerate(self.clf._snapshot_to_current):
+            if current is not None:
+                assert self.clf.rules[current] is self.clf._snapshot[snap_idx]
+
+
+FlakyUpdateMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None,
+)
+TestFlakyUpdateMachine = FlakyUpdateMachine.TestCase

@@ -11,7 +11,7 @@ from repro.core.expcuts import (
 )
 from repro.core.rule import Rule, RuleSet
 
-from ..conftest import header_near_rules_strategy, header_strategy, ruleset_strategy
+from ..conftest import header_strategy, ruleset_strategy
 
 
 class TestRefEncoding:

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.habs import HabsArray, compress, compression_ratio
+from repro.core.habs import compress, compression_ratio
 
 
 class TestPaperExample:

@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 from repro.core.interval import (
     Interval,
     elementary_edges,
-    full_interval,
     interval_to_prefixes,
     prefix_to_interval,
     split_equal,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.forwarding import FIB, BinaryTrie, MultibitTrie, Route, generate_fib
+from repro.forwarding import FIB, BinaryTrie, MultibitTrie, generate_fib
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Build-cache tests (in-memory and on-disk)."""
 
-import os
 
 import pytest
 

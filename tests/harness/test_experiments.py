@@ -18,7 +18,8 @@ from repro.harness.experiments import (
 class TestRegistry:
     def test_every_paper_artifact_registered(self):
         expected = {"table1", "table2", "table3", "table4", "table5",
-                    "fig5", "fig6", "fig7", "fig8", "fig9"}
+                    "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "resilience"}
         assert set(REGISTRY) == expected
 
     def test_list(self):

@@ -70,11 +70,51 @@ class TestOtherPolicies:
         assert set(placement.mapping.values()) == {0, 1, 2, 3}
 
     def test_place_dispatch(self):
-        for policy in ("headroom_proportional", "single_channel", "round_robin"):
+        for policy in ("headroom_proportional", "single_channel", "round_robin",
+                       "failover"):
             placement = place(level_regions(), list(IXP2850.sram_channels), policy)
             assert placement.policy == policy
         with pytest.raises(ValueError):
             place(level_regions(), list(IXP2850.sram_channels), "nope")
+
+    def test_failover_replicas_off_primary(self):
+        placement = place(level_regions(), list(IXP2850.sram_channels), "failover")
+        assert placement.replicas  # equal weights: every region is "hot"
+        for name, backup in placement.replicas.items():
+            assert backup != placement.channel_of(name)
+
+    def test_single_channel_has_no_replica_room(self):
+        channels = list(default_sram_channels(1, (0.0,)))
+        placement = place(level_regions(), channels, "failover")
+        assert placement.replicas == {}
+
+
+class TestSaturatedChannels:
+    def saturated_mix(self):
+        # Channel 1 has zero headroom; 0/2/3 stay usable.
+        return list(default_sram_channels(4, (0.3, 1.0, 0.5, 0.2)))
+
+    def test_saturated_channel_excluded(self, caplog):
+        channels = self.saturated_mix()
+        with caplog.at_level("WARNING", logger="repro.npsim.allocator"):
+            placement = place(level_regions(), channels, "headroom_proportional")
+        assert 1 not in set(placement.mapping.values())
+        assert any("saturated" in rec.message for rec in caplog.records)
+
+    def test_indices_stay_aligned_with_chip(self):
+        channels = self.saturated_mix()
+        placement = place(level_regions(), channels, "failover")
+        used = set(placement.mapping.values()) | set(placement.replicas.values())
+        assert used <= {0, 2, 3}
+        # Heaviest-headroom channel in the *original* numbering still
+        # receives the largest contiguous level group.
+        groups = placement.groups()
+        assert len(groups.get(3, [])) >= len(groups.get(0, []))
+
+    def test_all_saturated_rejected(self):
+        channels = list(default_sram_channels(2, (1.0, 1.0)))
+        with pytest.raises(ValueError):
+            place(level_regions(), channels, "headroom_proportional")
 
 
 class TestAllocationTable:

@@ -1,6 +1,5 @@
 """Simulator conservation invariants: nothing appears or vanishes."""
 
-import pytest
 
 from repro.npsim.chip import ChipConfig, default_sram_channels
 from repro.npsim.memory import MemoryChannel

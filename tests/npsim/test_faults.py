@@ -1,0 +1,202 @@
+"""Fault-injection layer: plan validation, determinism, degradation."""
+
+import pytest
+
+from repro.classifiers import ExpCutsClassifier
+from repro.classifiers.base import MemoryRegion
+from repro.core.errors import FaultPlanError
+from repro.npsim import ChannelFailure, FaultPlan, LatencySpike, MicroengineStall
+from repro.npsim.allocator import place
+from repro.npsim.chip import IXP2850
+from repro.npsim.faults import (
+    PACKET_CORRUPT,
+    PACKET_DROP,
+    PACKET_OK,
+    FaultInjector,
+    _uniform,
+)
+from repro.npsim.runner import simulate_throughput
+from repro.traffic import matched_trace
+
+
+@pytest.fixture(scope="module")
+def fw_setup():
+    from repro.rulesets import generate
+    from repro.rulesets.profiles import PROFILES
+
+    ruleset = generate(PROFILES["FW01"], size=40, seed=11).with_default()
+    trace = matched_trace(ruleset, 300, seed=21)
+    return ExpCutsClassifier.build(ruleset), trace
+
+
+class TestFaultPlanValidation:
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(corrupt_rate=-0.1)
+        # Every packet faulty would never complete a run.
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drop_rate=0.6, corrupt_rate=0.4)
+
+    def test_bad_spike_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(latency_spikes=(LatencySpike("sram0", 10.0, 5.0, 2.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(latency_spikes=(LatencySpike("sram0", 0.0, 10.0, 0.5),))
+
+    def test_bad_stall_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(me_stalls=(MicroengineStall(0, 0.0, 0.0),))
+        with pytest.raises(FaultPlanError):
+            FaultPlan(me_stalls=(MicroengineStall(-1, 0.0, 10.0),))
+
+    def test_negative_failure_time_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(channel_failures=(ChannelFailure("sram0", -1.0),))
+
+    def test_first_failure_cycle(self):
+        plan = FaultPlan(channel_failures=(
+            ChannelFailure("sram0", 500.0), ChannelFailure("sram1", 100.0)))
+        assert plan.first_failure_cycle == 100.0
+        assert FaultPlan().first_failure_cycle is None
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            seed=7,
+            channel_failures=(ChannelFailure("sram2", 1000.0),),
+            latency_spikes=(LatencySpike("sram0", 10.0, 90.0, 3.0),),
+            me_stalls=(MicroengineStall(2, 50.0, 25.0),),
+            drop_rate=0.01, corrupt_rate=0.02,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"channel_failures": [{"channel": "sram0"}]})
+
+    def test_unknown_channel_rejected_at_prepare(self, fw_setup):
+        clf, trace = fw_setup
+        plan = FaultPlan(channel_failures=(ChannelFailure("nvram9", 100.0),))
+        with pytest.raises(FaultPlanError):
+            simulate_throughput(clf, trace, num_threads=7, max_packets=500,
+                                trace_limit=100, fault_plan=plan)
+
+
+class TestDeterministicSchedule:
+    def test_uniform_is_order_independent(self):
+        values = [_uniform(2007, seq) for seq in range(200)]
+        assert values == [_uniform(2007, seq) for seq in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # Different seeds give a different schedule.
+        assert values != [_uniform(2008, seq) for seq in range(200)]
+
+    def test_verdict_fractions(self):
+        inj = FaultInjector(FaultPlan(drop_rate=0.1, corrupt_rate=0.05))
+        verdicts = [inj.packet_verdict(seq) for seq in range(20_000)]
+        drops = verdicts.count(PACKET_DROP) / len(verdicts)
+        corrupts = verdicts.count(PACKET_CORRUPT) / len(verdicts)
+        assert drops == pytest.approx(0.1, abs=0.01)
+        assert corrupts == pytest.approx(0.05, abs=0.01)
+
+    def test_no_header_checks_when_rates_zero(self):
+        inj = FaultInjector(FaultPlan())
+        assert all(inj.packet_verdict(seq) == PACKET_OK for seq in range(100))
+
+    def test_same_plan_same_result(self, fw_setup):
+        clf, trace = fw_setup
+        plan = FaultPlan(
+            channel_failures=(ChannelFailure("sram1", 20_000.0),),
+            drop_rate=0.02,
+        )
+        runs = [
+            simulate_throughput(clf, trace, num_threads=23, max_packets=1500,
+                                trace_limit=150, placement_policy="failover",
+                                fault_plan=plan)
+            for _ in range(2)
+        ]
+        assert runs[0].gbps == runs[1].gbps
+        assert (runs[0].resilience.total_discarded
+                == runs[1].resilience.total_discarded)
+
+
+class TestFailoverPlacement:
+    def test_hot_regions_get_replicas(self):
+        regions = [MemoryRegion(f"level:{i}", 1000, w)
+                   for i, w in enumerate((0.4, 0.3, 0.2, 0.05, 0.05))]
+        placement = place(regions, list(IXP2850.sram_channels), "failover")
+        assert placement.policy == "failover"
+        # The hot regions (weight >= mean 0.2) are replicated...
+        for name in ("level:0", "level:1", "level:2"):
+            replica = placement.replica_of(name)
+            assert replica is not None
+            assert replica != placement.channel_of(name)
+        # ...the cold tail is not.
+        assert placement.replica_of("level:4") is None
+
+
+class TestDegradedRuns:
+    def test_channel_loss_completes_and_degrades(self, fw_setup):
+        """The acceptance scenario: 1-of-4 channels dies mid-run."""
+        clf, trace = fw_setup
+        plan = FaultPlan(channel_failures=(ChannelFailure("sram1", 15_000.0),))
+        res = simulate_throughput(clf, trace, num_threads=23, max_packets=2500,
+                                  trace_limit=150, placement_policy="failover",
+                                  fault_plan=plan)
+        rep = res.resilience
+        assert rep is not None
+        assert res.gbps > 0
+        assert any(e.kind == "channel_failed" for e in rep.events)
+        # Something actually re-routed: replicas or emergency remap served reads.
+        assert rep.replica_reads + rep.remapped_reads > 0
+        assert "Resilience report" in rep.summary()
+
+    def test_no_plan_no_report(self, fw_setup):
+        clf, trace = fw_setup
+        res = simulate_throughput(clf, trace, num_threads=7, max_packets=500,
+                                  trace_limit=100)
+        assert res.resilience is None
+
+    def test_header_faults_counted(self, fw_setup):
+        clf, trace = fw_setup
+        plan = FaultPlan(drop_rate=0.05, corrupt_rate=0.05)
+        res = simulate_throughput(clf, trace, num_threads=7, max_packets=1000,
+                                  trace_limit=100, fault_plan=plan)
+        rep = res.resilience
+        assert res.packets == 1000              # completed on top of the drops
+        assert rep.packets_dropped > 0
+        assert rep.packets_corrupted > 0
+        assert res.sim.packets_discarded == rep.total_discarded
+
+    def test_latency_spike_slows_window(self, fw_setup):
+        clf, trace = fw_setup
+        spike = LatencySpike("sram1", 0.0, 1e9, 8.0)  # whole-run spike
+        slow = simulate_throughput(clf, trace, num_threads=23, max_packets=1500,
+                                   trace_limit=150,
+                                   fault_plan=FaultPlan(latency_spikes=(spike,)))
+        clean = simulate_throughput(clf, trace, num_threads=23, max_packets=1500,
+                                    trace_limit=150, fault_plan=FaultPlan())
+        assert slow.gbps < clean.gbps
+        assert any(e.kind == "latency_spike" for e in slow.resilience.events)
+
+    def test_me_stall_recorded(self, fw_setup):
+        clf, trace = fw_setup
+        plan = FaultPlan(me_stalls=(MicroengineStall(0, 1000.0, 50_000.0),))
+        res = simulate_throughput(clf, trace, num_threads=23, max_packets=1500,
+                                  trace_limit=150, fault_plan=plan)
+        rep = res.resilience
+        assert rep.stalled_me_cycles > 0
+        assert any(e.kind == "me_stalled" for e in rep.events)
+
+    def test_empty_plan_matches_no_plan(self, fw_setup):
+        """An injector with nothing scheduled must not change the numbers."""
+        clf, trace = fw_setup
+        base = simulate_throughput(clf, trace, num_threads=23, max_packets=1500,
+                                   trace_limit=150)
+        empty = simulate_throughput(clf, trace, num_threads=23, max_packets=1500,
+                                    trace_limit=150, fault_plan=FaultPlan())
+        assert empty.gbps == base.gbps
+        assert empty.resilience.total_discarded == 0

@@ -1,7 +1,10 @@
 """Memory-channel queueing model tests."""
 
+import math
+
 import pytest
 
+from repro.core.errors import ChannelError, ChannelOfflineError
 from repro.npsim.chip import ChannelConfig
 from repro.npsim.memory import ChannelReport, MemoryChannel
 
@@ -50,9 +53,61 @@ class TestServiceTiming:
         with pytest.raises(ValueError):
             make_channel(background=1.0)
 
+    def test_zero_headroom_error_is_typed(self):
+        with pytest.raises(ChannelError):
+            make_channel(background=1.0)
+
+    def test_zero_headroom_admitted_as_dead_server(self):
+        cfg = ChannelConfig(name="dead", kind="sram", cycles_per_word=6.0,
+                            latency_cycles=150, fifo_depth=4,
+                            background_utilization=1.0)
+        ch = MemoryChannel(cfg, allow_offline=True)
+        assert ch.is_offline(0.0)
+        assert ch.effective_cycles_per_word == math.inf
+        with pytest.raises(ChannelOfflineError):
+            ch.issue(0.0, 1)
+
     def test_zero_words_rejected(self):
         with pytest.raises(ValueError):
             make_channel().issue(0.0, 0)
+
+
+class TestFaultHooks:
+    def test_fail_at_takes_channel_offline(self):
+        ch = make_channel()
+        ch.fail_at(100.0)
+        assert not ch.is_offline(99.0)
+        assert ch.is_offline(100.0)
+        _, ready = ch.issue(50.0, 1)             # still serving before the cut
+        assert ready > 50.0
+        with pytest.raises(ChannelOfflineError) as excinfo:
+            ch.issue(100.0, 1)
+        assert excinfo.value.channel == "test"
+        assert excinfo.value.at == 100.0
+
+    def test_earliest_failure_wins(self):
+        ch = make_channel()
+        ch.fail_at(500.0)
+        ch.fail_at(200.0)
+        ch.fail_at(900.0)
+        assert ch.offline_at == 200.0
+
+    def test_latency_spike_window(self):
+        ch = make_channel()
+        ch.add_latency_spike(100.0, 200.0, 4.0)
+        _, before = ch.issue(0.0, 1)
+        assert before == pytest.approx(6.0 + 150)
+        _, during = ch.issue(150.0, 1)
+        assert during == pytest.approx(150.0 + 6.0 + 600)
+        _, after = ch.issue(1000.0, 1)
+        assert after == pytest.approx(1000.0 + 6.0 + 150)
+
+    def test_bad_spike_rejected(self):
+        ch = make_channel()
+        with pytest.raises(ChannelError):
+            ch.add_latency_spike(10.0, 10.0, 2.0)
+        with pytest.raises(ChannelError):
+            ch.add_latency_spike(0.0, 10.0, 0.5)
 
 
 class TestFifoBackpressure:

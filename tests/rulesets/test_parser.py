@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.errors import RuleFormatError, RuleParseError
 from repro.core.interval import Interval, full_interval
 from repro.rulesets import format_rules, generate, load_rules, parse_rules, save_rules
 from repro.rulesets.profiles import PROFILES
@@ -40,6 +41,56 @@ class TestParse:
     def test_bad_cidr(self):
         with pytest.raises(ValueError):
             parse_rules("@1.2.3/32 5.6.7.8/32 0 : 0 0 : 0 0x11/0xFF")
+
+
+class TestErrorHandling:
+    BAD = (
+        "@10.0.0.0/8\t192.168.1.0/24\t0 : 1023\t80 : 80\t0x06/0xFF\tpermit\n"
+        "garbage line\n"
+        "@1.2.3/32 5.6.7.8/32 0 : 0 0 : 0 0x11/0xFF\n"
+        "@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00\tdeny\n"
+    )
+
+    def test_typed_error_carries_location(self):
+        with pytest.raises(RuleParseError) as excinfo:
+            parse_rules(self.BAD, name="acl1")
+        assert excinfo.value.source == "acl1"
+        assert excinfo.value.line_no == 2
+        assert "acl1:line 2" in str(excinfo.value)
+
+    def test_lenient_mode_skips_and_counts(self):
+        errors: list[RuleParseError] = []
+        rs = parse_rules(self.BAD, name="acl1", strict=False, errors=errors)
+        assert len(rs) == 2                      # the two good lines survive
+        assert [e.line_no for e in errors] == [2, 3]
+
+    def test_lenient_mode_without_error_list(self):
+        rs = parse_rules(self.BAD, strict=False)
+        assert len(rs) == 2
+
+    def test_load_rules_lenient(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text(self.BAD)
+        with pytest.raises(RuleParseError) as excinfo:
+            load_rules(path)
+        assert excinfo.value.source == "bad"
+        errors: list[RuleParseError] = []
+        rs = load_rules(path, strict=False, errors=errors)
+        assert len(rs) == 2 and len(errors) == 2
+
+    def test_no_raw_builtin_errors_escape(self):
+        # Lines crafted to hit int()/split() edge cases inside parsing.
+        for line in ("@1.2.3.4/xx 5.6.7.8/32 0 : 0 0 : 0 0x11/0xFF",
+                     "@1.2.3.4/32 5.6.7.8/32 0 : 0 0 : 0 0xZZ/0xFF",
+                     "@/ / 0 : 0 0 : 0 0x11/0xFF"):
+            with pytest.raises(RuleParseError):
+                parse_rules(line)
+
+    def test_format_error_is_typed(self):
+        from repro.core.rule import Rule, RuleSet
+
+        with pytest.raises(RuleFormatError):
+            format_rules(RuleSet([Rule.from_ranges(sip=(1, 6))]))
 
 
 class TestRoundTrip:
