@@ -5,10 +5,19 @@ everywhere; HSM competitive on small sets but degrading with rule count;
 HiCuts capped by leaf linear search.
 """
 
+import pytest
+
 from repro.harness.fig9 import run_fig9
 from repro.rulesets import PAPER_ORDER
 
 
+# fig9's data keys by rule set and algorithm (values are Mbps), so the
+# perf record spells the unit out per series.
+@pytest.mark.bench_metrics(lambda result: {
+    f"{name}.{algo}.mbps": mbps
+    for name, algos in result.data.items()
+    for algo, mbps in algos.items()
+})
 def test_fig9_full(run_once):
     result = run_once(lambda: run_fig9(quick=False))
     print("\n" + result.text)

@@ -4,13 +4,21 @@ Benchmarks regenerate the paper's tables/figures at full scale; classifier
 builds are cached on disk (``.repro_cache/``) so only the first invocation
 pays construction time.  Each benchmark prints the regenerated rows —
 ``pytest benchmarks/ --benchmark-only -s`` shows them.
+
+Every ``run_once`` benchmark also drops a ``BENCH_<name>.json`` record at
+the repo root (throughput figures, wall time, git sha, date) — the
+perf-trajectory breadcrumbs that ``scripts/check_bench_regression.py``
+compares against the previously committed records.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.harness import get_classifier, get_ruleset, get_trace
+from repro.obs import extract_throughput, write_bench_record
 
 
 @pytest.fixture(scope="session")
@@ -29,10 +37,30 @@ def cr04_ruleset():
 
 
 @pytest.fixture
-def run_once(benchmark):
-    """Benchmark a heavy regeneration exactly once (no warmup rounds)."""
+def run_once(benchmark, request):
+    """Benchmark a heavy regeneration exactly once (no warmup rounds).
+
+    The returned result's throughput figures (any ``*gbps*``/``*mpps*``
+    leaves of its ``data`` dict) plus wall time are written as
+    ``BENCH_<name>.json`` at the repo root, keyed by the test name.
+    """
+    name = request.node.name.removeprefix("test_")
+    extractor = request.node.get_closest_marker("bench_metrics")
 
     def runner(fn):
-        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+        start = time.perf_counter()
+        result = benchmark.pedantic(fn, rounds=1, iterations=1,
+                                    warmup_rounds=0)
+        wall = time.perf_counter() - start
+        if extractor is not None:
+            metrics = extractor.args[0](result)
+        else:
+            data = getattr(result, "data", None)
+            metrics = extract_throughput(data) if isinstance(data, dict) else {}
+        try:
+            write_bench_record(name, metrics, wall)
+        except OSError:
+            pass  # read-only checkout: the benchmark itself still counts
+        return result
 
     return runner

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json records against the committed baseline.
+
+The benchmarks (``pytest benchmarks/ --benchmark-only``) drop one
+``BENCH_<name>.json`` per heavy benchmark at the repo root; the committed
+history of those files is the repository's performance trajectory.  This
+script compares the records in the working tree against the versions at a
+baseline git revision (default ``HEAD``) and fails when any throughput
+metric regresses by more than ``--threshold`` (default 15%).
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only -q
+    python scripts/check_bench_regression.py [--baseline HEAD] [--threshold 0.15]
+
+Exit status: 0 = no regressions (including "nothing to compare"),
+1 = at least one metric regressed, 2 = usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_PREFIX = "BENCH_"
+
+
+def repo_root() -> Path:
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True)
+    if out.returncode != 0:
+        raise SystemExit(2)
+    return Path(out.stdout.strip())
+
+
+def committed_record(root: Path, rev: str, name: str) -> dict | None:
+    """The record as committed at ``rev``, or None if absent there."""
+    out = subprocess.run(["git", "show", f"{rev}:{name}"],
+                         cwd=root, capture_output=True, text=True)
+    if out.returncode != 0:
+        return None
+    try:
+        return json.loads(out.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare(fresh: dict, baseline: dict, threshold: float) -> list[str]:
+    """Human-readable regression lines (empty when within tolerance)."""
+    problems = []
+    base_metrics = baseline.get("metrics", {})
+    for key, new in sorted(fresh.get("metrics", {}).items()):
+        old = base_metrics.get(key)
+        if not isinstance(old, (int, float)) or old <= 0:
+            continue
+        drop = (old - new) / old
+        if drop > threshold:
+            problems.append(
+                f"  {key}: {old:.4g} -> {new:.4g}  ({drop:+.1%} drop)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="HEAD",
+                        help="git revision holding the reference records "
+                             "(default: HEAD)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative throughput drop that fails the check "
+                             "(default: 0.15)")
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    records = sorted(root.glob(f"{BENCH_PREFIX}*.json"))
+    if not records:
+        print("no BENCH_*.json records in the working tree; "
+              "run the benchmarks first")
+        return 0
+
+    failed = False
+    for path in records:
+        try:
+            fresh = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            print(f"{path.name}: unreadable (skipped)")
+            continue
+        baseline = committed_record(root, args.baseline, path.name)
+        if baseline is None:
+            print(f"{path.name}: new benchmark (no baseline at "
+                  f"{args.baseline}); nothing to compare")
+            continue
+        problems = compare(fresh, baseline, args.threshold)
+        if problems:
+            failed = True
+            print(f"{path.name}: REGRESSION vs {args.baseline} "
+                  f"(threshold {args.threshold:.0%})")
+            print("\n".join(problems))
+        else:
+            n = len(fresh.get("metrics", {}))
+            print(f"{path.name}: ok ({n} metric(s) within "
+                  f"{args.threshold:.0%} of {args.baseline})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

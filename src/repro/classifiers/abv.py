@@ -114,7 +114,9 @@ class ABVClassifier(PacketClassifier):
 
     # -- lookup ---------------------------------------------------------------
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int], trace=None) -> int | None:
+        if trace is not None:
+            return self._classify_traced(header, trace)
         segs = self._segments(header)
         for chunk in self._surviving_chunks(segs):
             value = 0xFFFFFFFF

@@ -4,6 +4,9 @@ A classifier is built once from a :class:`~repro.core.rule.RuleSet` and
 then answers three questions:
 
 * ``classify(header)`` — which rule matches first (functional result);
+  pass ``trace=DecisionTrace()`` to additionally record the decision
+  path (nodes visited, strides, POP_COUNTs, linear-search lengths) —
+  see :mod:`repro.obs.trace`;
 * ``access_trace(header)`` — exactly which memory references and compute
   cycles that lookup costs (consumed by :mod:`repro.npsim`);
 * ``memory_regions()`` — the logical memory segments the built structure
@@ -24,6 +27,8 @@ import numpy as np
 
 from ..core.engine import LookupTrace
 from ..core.rule import RuleSet
+from ..obs.metrics import metrics_enabled, metrics_scope
+from ..obs.trace import DecisionTrace
 
 
 @dataclass(frozen=True)
@@ -63,8 +68,42 @@ class PacketClassifier(abc.ABC):
     # -- lookup -----------------------------------------------------------
 
     @abc.abstractmethod
-    def classify(self, header: Sequence[int]) -> int | None:
-        """First-matching rule index for one header, or ``None``."""
+    def classify(self, header: Sequence[int],
+                 trace: DecisionTrace | None = None) -> int | None:
+        """First-matching rule index for one header, or ``None``.
+
+        With ``trace`` given, the lookup's decision path is recorded
+        into it; the returned rule is identical either way (the suite
+        property-tests traced == untraced == linear oracle per
+        algorithm).
+        """
+
+    def _classify_traced(self, header: Sequence[int],
+                         trace: DecisionTrace) -> int | None:
+        """Fallback traced lookup, derived from :meth:`access_trace`.
+
+        Algorithms with a bespoke instrumented walk (ExpCuts, HiCuts,
+        HyperCuts, linear) override the traced path inside ``classify``
+        instead; everything else gets exact read-level steps from the
+        access trace for free.
+        """
+        result = trace.record_lookup(self.name, header, self.access_trace(header))
+        self._emit_lookup_metrics(trace)
+        return result
+
+    def _emit_lookup_metrics(self, trace: DecisionTrace) -> None:
+        """Fold one traced lookup into the metrics registry (if enabled)."""
+        if not metrics_enabled():
+            return
+        scope = metrics_scope(f"classify.{self.name}")
+        scope.counter("lookups").inc()
+        scope.histogram("depth").observe(trace.depth)
+        scope.histogram("accesses").observe(trace.total_accesses)
+        scope.histogram("words").observe(trace.total_words)
+        if trace.linear_search_length:
+            scope.histogram("linear_search_length").observe(
+                trace.linear_search_length
+            )
 
     def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
         """Vectorized lookup over five parallel field arrays.

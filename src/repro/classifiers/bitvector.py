@@ -66,7 +66,9 @@ class BitVectorClassifier(PacketClassifier):
             fields.append(_FieldVectors(edges=edges, masks=masks))
         return cls(ruleset, fields)
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int], trace=None) -> int | None:
+        if trace is not None:
+            return self._classify_traced(header, trace)
         combined = None
         for fld, fv in enumerate(self.fields):
             mask = fv.masks[fv.locate(header[fld])]

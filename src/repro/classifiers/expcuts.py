@@ -11,6 +11,7 @@ from ..core.expcuts import ExpCutsConfig, ExpCutsTree, build_expcuts
 from ..core.layout import TreeImage, pack_tree
 from ..core.rule import RuleSet
 from ..core.stats import TreeStats, collect_stats
+from ..obs.trace import DecisionTrace
 from .base import MemoryRegion, PacketClassifier
 
 
@@ -48,7 +49,12 @@ class ExpCutsClassifier(PacketClassifier):
         image = pack_tree(tree, aggregated=aggregated)
         return cls(ruleset, tree, image, use_pop_count=use_pop_count)
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int],
+                 trace: DecisionTrace | None = None) -> int | None:
+        if trace is not None:
+            result = self.engine.classify_traced(header, trace)
+            self._emit_lookup_metrics(trace)
+            return result
         return self.engine.classify(header)
 
     def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:

@@ -35,6 +35,7 @@ from ..core.engine import LookupTrace, MemRead
 from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
 from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
 from ..core.rule import RuleSet
+from ..obs.trace import DecisionTrace
 from .base import MemoryRegion, PacketClassifier
 from .linear import RULE_COMPARE_CYCLES, RULE_WORDS
 
@@ -297,7 +298,10 @@ class HiCutsClassifier(PacketClassifier):
             ref = node.children[idx]
             pending = 2
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int],
+                 trace: DecisionTrace | None = None) -> int | None:
+        if trace is not None:
+            return self._classify_traced(header, trace)
         leaf, _ = self._walk(header)
         if leaf is None:
             return None
@@ -305,6 +309,44 @@ class HiCutsClassifier(PacketClassifier):
             if self.ruleset[rule_id].matches(header):
                 return rule_id
         return None
+
+    def _classify_traced(self, header: Sequence[int],
+                         trace: DecisionTrace) -> int | None:
+        """Instrumented walk: descent steps plus the leaf linear scan —
+        the scan length is exactly the cost Figure 8 sweeps ``binth``
+        to expose."""
+        trace.begin(self.name, header)
+        ref = self.root_ref
+        origin = [0] * NUM_FIELDS
+        leaf: _Leaf | None = None
+        while True:
+            if ref == REF_NO_MATCH:
+                break
+            node = self.nodes[ref]
+            addr = self._node_offsets[ref]
+            if isinstance(node, _Leaf):
+                leaf = node
+                trace.leaf("tree", addr, words=1, rules=len(node.rule_ids))
+                break
+            local = header[node.field] - origin[node.field]
+            idx = local >> node.shift
+            trace.node("tree", addr, words=2, field=node.field,
+                       stride=node.log2_cuts, slot=idx)
+            origin[node.field] += idx << node.shift
+            ref = node.children[idx]
+        result = None
+        if leaf is not None:
+            leaf_addr = trace.steps[-1].addr if trace.steps else 0
+            for slot, rule_id in enumerate(leaf.rule_ids):
+                matched = self.ruleset[rule_id].matches(header)
+                trace.linear("tree", leaf_addr + 1 + slot * RULE_WORDS,
+                             RULE_WORDS, rule=rule_id, matched=matched)
+                if matched:
+                    result = rule_id
+                    break
+        trace.finish(result)
+        self._emit_lookup_metrics(trace)
+        return result
 
     def access_trace(self, header: Sequence[int]) -> LookupTrace:
         leaf, reads = self._walk(header)

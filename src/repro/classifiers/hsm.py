@@ -109,7 +109,9 @@ class HSMClassifier(PacketClassifier):
     def _field_classes(self, header: Sequence[int]) -> list[int]:
         return [fs.locate(header[fld]) for fld, fs in enumerate(self.fields)]
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int], trace=None) -> int | None:
+        if trace is not None:
+            return self._classify_traced(header, trace)
         c = self._field_classes(header)
         c12 = int(self.x12[c[Field.SIP], c[Field.DIP]])
         c34 = int(self.x34[c[Field.SPORT], c[Field.DPORT]])

@@ -33,6 +33,7 @@ from typing import Sequence
 from ..core.engine import LookupTrace, MemRead
 from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
 from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
+from ..obs.trace import DecisionTrace
 from ..core.rule import RuleSet
 from .base import MemoryRegion, PacketClassifier
 from .linear import RULE_COMPARE_CYCLES, RULE_WORDS
@@ -327,7 +328,10 @@ class HyperCutsClassifier(PacketClassifier):
             ref = node.children[index]
             pending = 2
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int],
+                 trace: DecisionTrace | None = None) -> int | None:
+        if trace is not None:
+            return self._classify_traced(header, trace)
         leaf, _ = self._walk(header)
         if leaf is None:
             return None
@@ -335,6 +339,46 @@ class HyperCutsClassifier(PacketClassifier):
             if self.ruleset[rule_id].matches(header):
                 return rule_id
         return None
+
+    def _classify_traced(self, header: Sequence[int],
+                         trace: DecisionTrace) -> int | None:
+        """Instrumented walk: multi-dimension descent + leaf scan."""
+        trace.begin(self.name, header)
+        ref = self.root_ref
+        origin = [0] * NUM_FIELDS
+        leaf: _Leaf | None = None
+        while True:
+            if ref == REF_NO_MATCH:
+                break
+            node = self.nodes[ref]
+            addr = self._node_offsets[ref]
+            if isinstance(node, _Leaf):
+                leaf = node
+                trace.leaf("tree", addr, words=1, rules=len(node.rule_ids))
+                break
+            index = 0
+            for fld, lg, shift in zip(node.dims, node.lgs, node.shifts):
+                local = header[fld] - origin[fld]
+                index = (index << lg) | (local >> shift)
+            trace.node("tree", addr, words=2, fields=list(node.dims),
+                       strides=list(node.lgs), slot=index)
+            for fld, shift in zip(node.dims, node.shifts):
+                local = header[fld] - origin[fld]
+                origin[fld] += (local >> shift) << shift
+            ref = node.children[index]
+        result = None
+        if leaf is not None:
+            leaf_addr = trace.steps[-1].addr if trace.steps else 0
+            for slot, rule_id in enumerate(leaf.rule_ids):
+                matched = self.ruleset[rule_id].matches(header)
+                trace.linear("tree", leaf_addr + 1 + slot * RULE_WORDS,
+                             RULE_WORDS, rule=rule_id, matched=matched)
+                if matched:
+                    result = rule_id
+                    break
+        trace.finish(result)
+        self._emit_lookup_metrics(trace)
+        return result
 
     def access_trace(self, header: Sequence[int]) -> LookupTrace:
         leaf, reads = self._walk(header)

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.engine import LookupTrace, MemRead
 from ..core.rule import RuleSet
+from ..obs.trace import DecisionTrace
 from .base import MemoryRegion, PacketClassifier
 
 #: SRAM words per stored rule (paper §6.6: "6 consecutive 32-bits words").
@@ -46,8 +47,22 @@ class LinearSearchClassifier(PacketClassifier):
             raise TypeError(f"unexpected parameters: {sorted(params)}")
         return cls(ruleset)
 
-    def classify(self, header: Sequence[int]) -> int | None:
-        return self.ruleset.first_match(header)
+    def classify(self, header: Sequence[int],
+                 trace: DecisionTrace | None = None) -> int | None:
+        if trace is None:
+            return self.ruleset.first_match(header)
+        trace.begin(self.name, header)
+        result = None
+        for idx, rule in enumerate(self.ruleset.rules):
+            matched = rule.matches(header)
+            trace.linear("rules", idx * RULE_WORDS, RULE_WORDS,
+                         rule=idx, matched=matched)
+            if matched:
+                result = idx
+                break
+        trace.finish(result)
+        self._emit_lookup_metrics(trace)
+        return result
 
     def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
         n = len(fields[0])

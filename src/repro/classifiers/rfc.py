@@ -179,7 +179,9 @@ class RFCClassifier(PacketClassifier):
             out.append(int(table[value]))
         return out
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int], trace=None) -> int | None:
+        if trace is not None:
+            return self._classify_traced(header, trace)
         k = self._chunk_classes(header)
         ca = int(self.a[k[0], k[1]])
         cb = int(self.b[k[2], k[3]])

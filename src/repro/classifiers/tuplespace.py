@@ -138,7 +138,9 @@ class TupleSpaceClassifier(PacketClassifier):
         out = np.where(best == np.iinfo(np.int64).max, -1, best)
         return out.astype(np.int64)
 
-    def classify(self, header: Sequence[int]) -> int | None:
+    def classify(self, header: Sequence[int], trace=None) -> int | None:
+        if trace is not None:
+            return self._classify_traced(header, trace)
         best: int | None = None
         for tup, table in self.tables.items():
             hit = table.get(tup.mask_header(header))

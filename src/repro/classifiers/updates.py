@@ -224,21 +224,33 @@ class UpdatableClassifier:
 
     # -- lookup -----------------------------------------------------------------
 
-    def classify(self, header: Sequence[int]) -> int | None:
-        """Index of the first matching rule in the *current* rule order."""
+    def classify(self, header: Sequence[int], trace=None) -> int | None:
+        """Index of the first matching rule in the *current* rule order.
+
+        ``trace`` (a :class:`repro.obs.trace.DecisionTrace`) records the
+        wrapped structure's walk plus overlay/fallback annotations; the
+        returned rule is unchanged.
+        """
         best: int | None = None
         for entry in self._overlay:
             if entry.rule.matches(header):
                 if best is None or entry.position < best:
                     best = entry.position
+        if trace is not None and self._overlay:
+            trace.note(overlay_entries=len(self._overlay), overlay_best=best)
         try:
-            base_hit = self.base.classify(header)
+            base_hit = (self.base.classify(header, trace=trace)
+                        if trace is not None else self.base.classify(header))
         except (ReproError, LookupError):
             # Depth watchdog / corrupted structure: the base walked past
             # its explicit bound.  Answer exactly from the live rule list.
             self.stats.watchdog_fallbacks += 1
             self.stats.slow_path_lookups += 1
-            return self._scan(header)
+            result = self._scan(header)
+            if trace is not None:
+                trace.note(fallback="watchdog_linear_scan")
+                trace.finish(result)
+            return result
         if base_hit is not None:
             current = self._snapshot_to_current[base_hit]
             if current is None:
@@ -247,14 +259,22 @@ class UpdatableClassifier:
                 # by the rebuild threshold).
                 self.stats.slow_path_lookups += 1
                 scan = self._scan(header)
-                return scan if best is None else (
+                result = scan if best is None else (
                     min(best, scan) if scan is not None else best
                 )
+                if trace is not None:
+                    trace.note(fallback="tombstone_linear_scan")
+                    trace.finish(result)
+                return result
             if best is None or current < best:
                 self.stats.base_hits += 1
+                if trace is not None:
+                    trace.finish(current)
                 return current
         if best is not None:
             self.stats.overlay_hits += 1
+        if trace is not None:
+            trace.finish(best)
         return best
 
     def _scan(self, header: Sequence[int]) -> int | None:

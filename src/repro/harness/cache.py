@@ -23,7 +23,11 @@ from ..core.rule import RuleSet
 from ..rulesets import paper_ruleset
 from ..traffic import Trace, matched_trace
 
-CACHE_VERSION = 3
+CACHE_VERSION = 4
+
+#: Telemetry knobs never change the built structure, so they are stripped
+#: before keying — a traced build and a plain build share one cache entry.
+_TELEMETRY_PARAMS = frozenset({"trace", "metrics", "telemetry", "timeline"})
 
 _memory_cache: dict[str, object] = {}
 
@@ -113,13 +117,20 @@ def get_trace(ruleset_name: str, count: int = 1500, seed: int = 42,
 
 def get_classifier(ruleset_name: str, algorithm: str,
                    **params) -> PacketClassifier:
-    """A built classifier for a paper rule set (memoised, incl. on disk)."""
+    """A built classifier for a paper rule set (memoised, incl. on disk).
+
+    Telemetry parameters (:data:`_TELEMETRY_PARAMS`) are stripped before
+    keying: they affect observation, never the built structure, so they
+    must not fragment (or poison) the cache.
+    """
+    build_params = {k: v for k, v in params.items()
+                    if k not in _TELEMETRY_PARAMS}
     key = _key("classifier", ruleset_name, _ruleset_digest(ruleset_name),
-               algorithm, tuple(sorted(params.items())))
+               algorithm, tuple(sorted(build_params.items())))
     cached = _load(key)
     if cached is None:
         ruleset = get_ruleset(ruleset_name)
-        cached = ALGORITHMS[algorithm].build(ruleset, **params)
+        cached = ALGORITHMS[algorithm].build(ruleset, **build_params)
         _store(key, cached)
     return cached
 

@@ -42,6 +42,17 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write each experiment's data as "
                              "DIR/<experiment>.json")
+    profile_group = parser.add_argument_group(
+        "profile options", "only honoured by the 'profile' experiment")
+    profile_group.add_argument("--algorithms", default=None,
+                               help="comma-separated algorithm list "
+                                    "(default: expcuts,hicuts)")
+    profile_group.add_argument("--ruleset", default=None,
+                               help="rule set to profile (default: CR04, "
+                                    "CR01 with --quick)")
+    profile_group.add_argument("--out", default="results",
+                               help="directory for profile reports and "
+                                    "Chrome traces (default: results/)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -56,7 +67,17 @@ def _main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
             return 2
         start = time.time()
-        result = run_experiment(name, quick=args.quick)
+        if name == "profile" and (args.algorithms or args.ruleset
+                                  or args.out != "results"):
+            from .profile import DEFAULT_ALGORITHMS, run_profile
+
+            algorithms = (tuple(a.strip() for a in args.algorithms.split(",")
+                                if a.strip())
+                          if args.algorithms else DEFAULT_ALGORITHMS)
+            result = run_profile(quick=args.quick, algorithms=algorithms,
+                                 ruleset=args.ruleset, out_dir=args.out)
+        else:
+            result = run_experiment(name, quick=args.quick)
         print(result.text)
         print(f"[{name} regenerated in {time.time() - start:.1f}s]")
         print()

@@ -1,0 +1,207 @@
+"""Profile — where do lookups actually spend their memory budget?
+
+Not a paper figure: this experiment drives the observability layer
+(:mod:`repro.obs`) end to end and writes machine-readable profile
+reports under ``results/``.  For each algorithm it
+
+* traces every lookup of the evaluation trace with a
+  :class:`~repro.obs.trace.DecisionTrace`, aggregating depth, access
+  and linear-search-length histograms plus the hottest nodes (the
+  addresses a cache or scratch placement should pin);
+* measures the exact-match flow-cache hit rate on the same traffic
+  (the paper's §1 argument about header diversity, quantified);
+* runs the DES with a :class:`~repro.obs.timeline.TimelineRecorder`
+  attached, exporting the event stream as Chrome-trace JSON
+  (``results/profile_<alg>_<ruleset>.trace.json``, viewable in
+  chrome://tracing or Perfetto) and per-channel utilization
+  timeseries.
+
+The combined report lands in ``results/profile_<ruleset>.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from pathlib import Path
+
+from ..npsim import simulate_hit_rate, simulate_throughput
+from ..obs import (
+    DecisionTrace,
+    MetricsRegistry,
+    TimelineRecorder,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+)
+from .cache import get_classifier, get_trace
+from .experiments import ExperimentResult
+from .report import render_table
+
+DEFAULT_ALGORITHMS = ("expcuts", "hicuts")
+RULESET = "CR04"
+#: Exact-match flow-cache sizes swept for the hit-rate column.
+CACHE_CAPACITY = 2048
+#: Hottest node addresses retained per algorithm in the JSON report.
+HOT_NODES = 20
+#: Sample decision traces embedded in the report (min/median/max depth).
+SAMPLE_TRACES = 3
+
+
+def _histogram(values: list[int]) -> dict[str, object]:
+    """Exact integer histogram plus the usual summary stats."""
+    tally = TallyCounter(values)
+    total = len(values) or 1
+    ordered = sorted(values)
+    return {
+        "count": len(values),
+        "min": ordered[0] if ordered else 0,
+        "max": ordered[-1] if ordered else 0,
+        "mean": sum(values) / total,
+        "p50": ordered[len(ordered) // 2] if ordered else 0,
+        "p99": ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)]
+        if ordered else 0,
+        "buckets": {str(k): tally[k] for k in sorted(tally)},
+    }
+
+
+def _profile_algorithm(algorithm: str, ruleset: str, *,
+                       max_packets: int, lookup_limit: int | None,
+                       out_dir: Path) -> dict:
+    """Trace, cache-model and simulate one algorithm; return its report."""
+    clf = get_classifier(ruleset, algorithm)
+    trace = get_trace(ruleset)
+    headers = list(trace.headers())
+    if lookup_limit is not None:
+        headers = headers[:lookup_limit]
+
+    depths: list[int] = []
+    accesses: list[int] = []
+    words: list[int] = []
+    linear: list[int] = []
+    hot: TallyCounter = TallyCounter()
+    samples: list[DecisionTrace] = []
+    for header in headers:
+        dtrace = DecisionTrace()
+        result = clf.classify(header, trace=dtrace)
+        assert dtrace.result == result
+        depths.append(dtrace.depth)
+        accesses.append(dtrace.total_accesses)
+        words.append(dtrace.total_words)
+        linear.append(dtrace.linear_search_length)
+        for step in dtrace.steps:
+            if step.kind == "node":
+                hot[(step.region, step.addr)] += 1
+        samples.append(dtrace)
+
+    samples.sort(key=lambda t: t.depth)
+    picks = {0, len(samples) // 2, len(samples) - 1}
+    sample_dumps = [samples[i].to_dict()
+                    for i in sorted(picks)][:SAMPLE_TRACES]
+
+    timeline = TimelineRecorder()
+    sim = simulate_throughput(clf, trace, num_threads=71,
+                              max_packets=max_packets, timeline=timeline)
+    trace_path = out_dir / f"profile_{algorithm}_{ruleset}.trace.json"
+    timeline.write_chrome_trace(trace_path)
+
+    report = {
+        "algorithm": algorithm,
+        "ruleset": ruleset,
+        "lookups_traced": len(headers),
+        "depth_histogram": _histogram(depths),
+        "access_histogram": _histogram(accesses),
+        "words_histogram": _histogram(words),
+        "linear_search_histogram": _histogram(linear),
+        "worst_case_accesses": clf.worst_case_accesses(),
+        "hot_nodes": [
+            {"region": region, "addr": addr, "visits": visits}
+            for (region, addr), visits in hot.most_common(HOT_NODES)
+        ],
+        "flow_cache": {
+            "capacity": CACHE_CAPACITY,
+            "hit_rate": simulate_hit_rate(trace, CACHE_CAPACITY),
+        },
+        "simulated": {
+            "gbps": sim.gbps,
+            "mpps": sim.mpps,
+            "me_busy_fraction": sim.me_busy_fraction,
+            "chrome_trace": trace_path.name,
+            "channels": [
+                {
+                    "name": rep.name,
+                    "utilization": rep.utilization,
+                    "utilization_timeseries": rep.utilization_timeseries,
+                }
+                for rep in sim.channel_reports
+            ],
+        },
+        "sample_traces": sample_dumps,
+    }
+    return report
+
+
+def run_profile(quick: bool = False,
+                algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+                ruleset: str | None = None,
+                out_dir: str | Path = "results") -> ExperimentResult:
+    """Profile ``algorithms`` on ``ruleset`` and write reports to ``out_dir``."""
+    if ruleset is None:
+        ruleset = "CR01" if quick else RULESET
+    max_packets = 2_000 if quick else 8_000
+    lookup_limit = 300 if quick else None
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    # Record metrics for the duration of the profile without clobbering a
+    # registry the caller may already have enabled.
+    had_metrics = metrics_enabled()
+    if not had_metrics:
+        enable_metrics(MetricsRegistry())
+    try:
+        reports = [
+            _profile_algorithm(alg, ruleset, max_packets=max_packets,
+                               lookup_limit=lookup_limit, out_dir=out)
+            for alg in algorithms
+        ]
+    finally:
+        if not had_metrics:
+            disable_metrics()
+
+    report_path = out / f"profile_{ruleset}.json"
+    report_path.write_text(json.dumps(
+        {"ruleset": ruleset, "algorithms": reports}, indent=2))
+
+    rows = []
+    for rep in reports:
+        depth = rep["depth_histogram"]
+        acc = rep["access_histogram"]
+        lin = rep["linear_search_histogram"]
+        busiest = max(rep["simulated"]["channels"],
+                      key=lambda ch: ch["utilization"])
+        rows.append((
+            rep["algorithm"],
+            f"{depth['mean']:.1f}/{depth['max']}",
+            f"{acc['mean']:.1f}/{acc['max']}",
+            f"{lin['mean']:.1f}/{lin['max']}",
+            f"{rep['simulated']['gbps']:.2f}",
+            f"{busiest['name']} {busiest['utilization']:.0%}",
+        ))
+    text = render_table(
+        f"Lookup profile on {ruleset} "
+        f"({reports[0]['lookups_traced']} traced lookups, "
+        f"flow-cache hit rate "
+        f"{reports[0]['flow_cache']['hit_rate']:.0%} @ {CACHE_CAPACITY})",
+        ["Algorithm", "Depth avg/max", "Accesses avg/max",
+         "Linear avg/max", "Gbps", "Busiest channel"],
+        rows,
+    )
+    text += f"\n[profile report: {report_path}]"
+    for rep in reports:
+        text += (f"\n[chrome trace: "
+                 f"{out / rep['simulated']['chrome_trace']}]")
+    return ExperimentResult(
+        "profile", "Lookup and simulator profile", text,
+        {"ruleset": ruleset, "report_path": str(report_path),
+         "algorithms": reports},
+    )

@@ -13,6 +13,7 @@ from .faults import (
     LatencySpike,
     MicroengineStall,
     ResilienceReport,
+    emit_resilience_metrics,
 )
 from .flowcache import CacheOutcome, FlowCache, cached_program_set, simulate_hit_rate
 from .memory import ChannelReport, MemoryChannel
@@ -60,6 +61,7 @@ __all__ = [
     "allocation_table",
     "build_application",
     "cached_program_set",
+    "emit_resilience_metrics",
     "analyze_completion_order",
     "commit_latencies",
     "compile_programs",

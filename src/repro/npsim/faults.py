@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.errors import FaultPlanError
+from ..obs.metrics import metrics_enabled, metrics_scope
 from .memory import MemoryChannel
 
 #: Packet verdicts from :meth:`FaultInjector.packet_verdict`.
@@ -463,7 +464,7 @@ class FaultInjector:
                 [t for t in completion_times if t >= fail_at],
                 me_clock_mhz, packet_bytes,
             )
-        return ResilienceReport(
+        report = ResilienceReport(
             events=sorted(self.events, key=lambda e: e.time),
             packets_completed=packets_completed,
             packets_dropped=self.packets_dropped,
@@ -475,3 +476,29 @@ class FaultInjector:
             throughput_before_gbps=before,
             throughput_after_gbps=after,
         )
+        emit_resilience_metrics(report)
+        return report
+
+
+def emit_resilience_metrics(report: ResilienceReport) -> None:
+    """Re-emit a :class:`ResilienceReport` through the metrics registry.
+
+    Degraded runs then share one report surface with clean runs: the
+    ``faults.*`` scope carries the drop counters, failover/remap read
+    counts and one counter per degradation event kind next to the
+    ``npsim.*`` throughput aggregates.  No-op while metrics are disabled.
+    """
+    if not metrics_enabled():
+        return
+    scope = metrics_scope("faults")
+    scope.counter("packets_dropped").inc(report.packets_dropped)
+    scope.counter("packets_corrupted").inc(report.packets_corrupted)
+    scope.counter("packets_lost_to_regions").inc(report.packets_lost_to_regions)
+    scope.counter("replica_reads").inc(report.replica_reads)
+    scope.counter("remapped_reads").inc(report.remapped_reads)
+    scope.counter("stalled_me_cycles").inc(report.stalled_me_cycles)
+    scope.gauge("throughput_before_gbps").set(report.throughput_before_gbps)
+    scope.gauge("throughput_after_gbps").set(report.throughput_after_gbps)
+    scope.gauge("degradation_fraction").set(report.degradation_fraction)
+    for event in report.events:
+        scope.counter(f"events.{event.kind}").inc()

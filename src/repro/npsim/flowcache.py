@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..core.fields import stable_header_hash
+from ..obs.metrics import metrics_enabled, metrics_scope
 from ..traffic.trace import Trace
 from .program import PacketProgram, ProgramSet
 
@@ -121,6 +122,12 @@ def cached_program_set(
                 tail_compute=prog.tail_compute + INSERT_COMPUTE,
                 result=prog.result,
             ))
+    if metrics_enabled():
+        scope = metrics_scope("flowcache")
+        scope.counter("hits").inc(cache.hits)
+        scope.counter("misses").inc(cache.misses)
+        scope.gauge("hit_rate").set(cache.hit_rate)
+        scope.gauge("capacity").set(capacity)
     return CacheOutcome(
         program_set=ProgramSet(
             regions=regions, programs=programs,

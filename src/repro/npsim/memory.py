@@ -66,6 +66,9 @@ class MemoryChannel:
         self.stats = ChannelStats()
         #: (start, end, factor) latency multipliers (fault injection).
         self._latency_spikes: list[tuple[float, float, float]] = []
+        #: Optional :class:`repro.obs.timeline.TimelineRecorder`; attached
+        #: by the simulator for instrumented runs, ``None`` otherwise.
+        self.timeline = None
 
     # -- fault hooks -------------------------------------------------------
 
@@ -127,6 +130,11 @@ class MemoryChannel:
         stats.busy_cycles += service_time
         if len(completions) > stats.peak_outstanding:
             stats.peak_outstanding = len(completions)
+        if self.timeline is not None:
+            self.timeline.channel_read(
+                self.config.name, start, self.service_free, nwords,
+                stall_cycles=stall_until - now, issue_time=now,
+            )
         return stall_until, data_ready
 
     @property
@@ -146,9 +154,15 @@ class ChannelReport:
     stall_cycles: float
     peak_outstanding: int
     background_utilization: float
+    #: Bucketed ``(cycle, busy_fraction)`` series — populated only on
+    #: instrumented runs (a timeline recorder attached); ``None`` keeps
+    #: plain runs bit-identical to pre-telemetry output.
+    utilization_timeseries: list[tuple[float, float]] | None = None
 
     @classmethod
-    def from_channel(cls, channel: MemoryChannel, elapsed: float) -> "ChannelReport":
+    def from_channel(cls, channel: MemoryChannel, elapsed: float,
+                     timeseries: list[tuple[float, float]] | None = None,
+                     ) -> "ChannelReport":
         return cls(
             name=channel.config.name,
             commands=channel.stats.commands,
@@ -157,4 +171,5 @@ class ChannelReport:
             stall_cycles=channel.stats.stall_cycles,
             peak_outstanding=channel.stats.peak_outstanding,
             background_utilization=channel.config.background_utilization,
+            utilization_timeseries=timeseries,
         )

@@ -27,11 +27,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..core.errors import ConfigurationError, RegionUnmappedError
+from ..obs.metrics import metrics_enabled, metrics_scope
 from .chip import ChipConfig
 from .memory import MemoryChannel
 from .program import ProgramSet
 
 if TYPE_CHECKING:
+    from ..obs.timeline import TimelineRecorder
     from .faults import FaultInjector
 
 
@@ -117,6 +119,7 @@ class Simulator:
         per_packet_overhead: int = 0,
         replicas: dict[str, int] | None = None,
         injector: "FaultInjector | None" = None,
+        timeline: "TimelineRecorder | None" = None,
     ) -> None:
         """``placement`` maps region name -> index into ``channels``.
 
@@ -128,6 +131,12 @@ class Simulator:
         (the ``failover`` placement policy); ``injector`` activates fault
         injection — without one, the run takes the exact fault-free code
         path.
+
+        ``timeline`` attaches a :class:`repro.obs.timeline.TimelineRecorder`:
+        thread segments, channel service intervals and fault events are
+        recorded for Chrome-trace export and the channel reports carry a
+        utilization timeseries.  ``None`` (the default) records nothing
+        and adds no work to the hot loop.
         """
         if num_threads <= 0:
             raise ConfigurationError("need at least one thread")
@@ -157,6 +166,10 @@ class Simulator:
             self.threads.append(ThreadState(me_index=t // tpm, thread_index=t % tpm))
         self._next_packet = 0
         self.completions: list[float] = []
+        self.timeline = timeline
+        if timeline is not None:
+            for channel in channels:
+                channel.timeline = timeline
 
         self.injector = injector
         if injector is not None:
@@ -220,6 +233,7 @@ class Simulator:
         switch_cycles = chip.context_switch_cycles
         overhead = self.per_packet_overhead
         injector = self.injector
+        timeline = self.timeline
         validate_cycles = injector.plan.validate_cycles if injector is not None else 0
         total_discarded = 0
         # Safety valve for pathological fault plans (every region dead):
@@ -280,6 +294,9 @@ class Simulator:
                     # The ME pipeline is frozen: hold the ready queue and
                     # retry the service slot when the stall clears.
                     injector.stalled_me_cycles += stall_end - now
+                    if timeline is not None:
+                        timeline.instant("me_stalled", now, me=index,
+                                         until=stall_end)
                     svc_scheduled[index] = True
                     heapq.heappush(heap, (stall_end, seq, 1, index))
                     seq += 1
@@ -369,6 +386,9 @@ class Simulator:
                         break
             me.busy_cycles += t - busy_start
             me.busy_until = t
+            if timeline is not None:
+                timeline.thread_segment(index, run_tid, busy_start, t,
+                                        run_thread.packets_done)
             if give_up:
                 break
             if me.ready and not svc_scheduled[index]:
@@ -391,15 +411,42 @@ class Simulator:
         )
         from .memory import ChannelReport
 
+        channel_reports = []
+        for ch in self.channels:
+            series = (
+                timeline.channel_utilization(ch.config.name, elapsed)
+                if timeline is not None else None
+            )
+            channel_reports.append(
+                ChannelReport.from_channel(ch, elapsed, timeseries=series)
+            )
+        if timeline is not None and injector is not None:
+            # Surface the injector's degradation log on the same timeline
+            # (failovers, remaps, unreachable-region windows).
+            for event in injector.events:
+                timeline.instant(event.kind, event.time, detail=event.detail)
+        if metrics_enabled():
+            scope = metrics_scope("npsim")
+            scope.counter("packets_completed").inc(total_done)
+            scope.counter("packets_discarded").inc(total_discarded)
+            scope.counter("runs").inc()
+            scope.gauge("me_busy_fraction").set(me_busy)
+            scope.gauge("elapsed_cycles").set(elapsed)
+            for report in channel_reports:
+                cscope = scope.scope(f"channel.{report.name}")
+                cscope.counter("commands").inc(report.commands)
+                cscope.counter("words").inc(report.words)
+                cscope.counter("stall_cycles").inc(report.stall_cycles)
+                cscope.gauge("utilization").set(report.utilization)
+                cscope.gauge("peak_outstanding").set(report.peak_outstanding)
+
         return SimResult(
             packets=total_done,
             elapsed_cycles=elapsed,
             window_packets=window_packets,
             window_cycles=window_cycles,
             me_busy_fraction=me_busy,
-            channel_reports=[
-                ChannelReport.from_channel(ch, elapsed) for ch in self.channels
-            ],
+            channel_reports=channel_reports,
             completion_samples=completions[:: max(1, len(completions) // 256)],
             completion_order=completion_order,
             completion_times=list(completions),

@@ -9,6 +9,7 @@ per-resource breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..classifiers.base import PacketClassifier
 from ..core.errors import ConfigurationError
@@ -21,6 +22,9 @@ from .memory import ChannelReport, MemoryChannel
 from .microengine import SimResult, Simulator
 from .pipeline import APP_TAIL_SEGMENTS, per_packet_overhead
 from .program import ProgramSet, append_app_tail, compile_programs
+
+if TYPE_CHECKING:
+    from ..obs.timeline import TimelineRecorder
 
 
 @dataclass
@@ -69,6 +73,7 @@ def simulate_throughput(
     arrival_rate_gbps: float | None = None,
     burst_size: int = 1,
     fault_plan: FaultPlan | None = None,
+    timeline: "TimelineRecorder | None" = None,
 ) -> ThroughputResult:
     """Simulate classification throughput.
 
@@ -86,6 +91,11 @@ def simulate_throughput(
     :mod:`repro.npsim.faults`); the run degrades instead of raising, and
     the result carries a :class:`ResilienceReport`.  Pair it with
     ``placement_policy="failover"`` so hot regions have replicas.
+
+    ``timeline`` attaches a :class:`repro.obs.timeline.TimelineRecorder`
+    to the run: the DES event stream becomes exportable as Chrome-trace
+    JSON (``timeline.write_chrome_trace(...)``) and every
+    :class:`ChannelReport` carries a utilization timeseries.
     """
     if isinstance(classifier, ProgramSet):
         program_set = classifier
@@ -137,6 +147,8 @@ def simulate_throughput(
         for cfg in channel_configs
     ]
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    if timeline is not None:
+        timeline.me_clock_mhz = chip.me_clock_mhz
     simulator = Simulator(
         chip=chip,
         channels=channels,
@@ -145,6 +157,7 @@ def simulate_throughput(
         num_threads=num_threads,
         replicas=full_placement.replicas,
         injector=injector,
+        timeline=timeline,
     )
     packet_bytes = program_set.packet_bytes
     arrival_rate = None

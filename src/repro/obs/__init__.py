@@ -1,0 +1,49 @@
+"""Observability: metrics registry, lookup tracing, DES timeline export.
+
+Three independent instruments, all zero-overhead when idle:
+
+* :mod:`repro.obs.metrics` — process-wide counter/gauge/histogram
+  registry with named scopes; disabled by default.
+* :mod:`repro.obs.trace` — ``classify(header, trace=DecisionTrace())``
+  records the decision path of one lookup.
+* :mod:`repro.obs.timeline` — Chrome-trace-format export of a simulator
+  run (view in chrome://tracing or Perfetto) plus per-channel
+  utilization timeseries.
+
+``repro.obs.perf`` carries the ``BENCH_*.json`` perf-trajectory helpers.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricScope,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    metrics_scope,
+)
+from .perf import extract_throughput, read_bench_record, write_bench_record
+from .timeline import TimelineRecorder
+from .trace import DecisionTrace, TraceStep
+
+__all__ = [
+    "Counter",
+    "DecisionTrace",
+    "Gauge",
+    "Histogram",
+    "MetricScope",
+    "MetricsRegistry",
+    "TimelineRecorder",
+    "TraceStep",
+    "disable_metrics",
+    "enable_metrics",
+    "extract_throughput",
+    "get_registry",
+    "metrics_enabled",
+    "metrics_scope",
+    "read_bench_record",
+    "write_bench_record",
+]

@@ -1,0 +1,276 @@
+"""A lightweight counter/gauge/histogram metrics registry.
+
+Every layer of the library — classifiers, the NP simulator's
+microengines and memory channels, the flow cache, the fault injector —
+reports into one process-wide registry through named scopes
+(``npsim.packets_completed``, ``faults.packets_dropped``, …).
+
+The registry is **disabled by default** and costs nothing while it is:
+``get_registry()`` then returns a registry whose scopes hand out shared
+null instruments, so ``scope.counter("x").inc()`` is two attribute
+lookups and a no-op call.  Code on genuinely hot paths should guard with
+:func:`metrics_enabled` instead and skip instrument resolution entirely;
+everything wired in this repository emits at end-of-run aggregation
+points, where the disabled cost is unmeasurable.
+
+Enable around a region of interest::
+
+    from repro.obs import enable_metrics, get_registry
+
+    enable_metrics()
+    ...  # run experiments
+    print(get_registry().render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically increasing count (events, packets, reads)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-write-wins sample (utilization, occupancy, hit rate)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """An exact histogram over small integer-ish observations.
+
+    Observations are bucketed by their rounded value — the distributions
+    this library cares about (lookup depth, accesses per packet, linear
+    search length) are small integers, so exact counts beat fixed bucket
+    boundaries and keep percentile math trivial.
+    """
+
+    __slots__ = ("name", "counts", "total", "_sum", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: dict[int, int] = {}
+        self.total = 0
+        self._sum = 0.0
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        bucket = int(round(value))
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.total += 1
+        self._sum += value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.total if self.total else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile (0 <= q <= 1) over the recorded buckets."""
+        if not self.total:
+            return 0.0
+        need = q * self.total
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= need:
+                return float(bucket)
+        return float(max(self.counts))
+
+    def to_dict(self) -> dict:
+        return {
+            "counts": {str(k): v for k, v in sorted(self.counts.items())},
+            "total": self.total,
+            "mean": self.mean,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.total} mean={self.mean:.2f}>"
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class _NullScope:
+    """No-op scope: hands out the shared null instrument."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def scope(self, name: str) -> "_NullScope":
+        return self
+
+
+_NULL_SCOPE = _NullScope()
+
+
+@dataclass
+class MetricScope:
+    """A named prefix into a live registry (``npsim``, ``faults``, …)."""
+
+    registry: "MetricsRegistry"
+    prefix: str
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self._qualify(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(self._qualify(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self.registry.histogram(self._qualify(name))
+
+    def scope(self, name: str) -> "MetricScope":
+        return MetricScope(self.registry, self._qualify(name))
+
+
+@dataclass
+class MetricsRegistry:
+    """Flat name -> instrument store with scope views."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name)
+        return inst
+
+    def scope(self, name: str) -> MetricScope:
+        return MetricScope(self, name)
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump of every instrument, sorted by name."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.to_dict() for n, h in sorted(self.histograms.items())},
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def render(self) -> str:
+        """Human-readable one-line-per-instrument dump."""
+        lines = []
+        for name, counter in sorted(self.counters.items()):
+            lines.append(f"{name:44s} {counter.value}")
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append(f"{name:44s} {gauge.value:.4f}")
+        for name, hist in sorted(self.histograms.items()):
+            lines.append(
+                f"{name:44s} n={hist.total} mean={hist.mean:.2f} max={hist.max:.0f}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# -- process-wide registry ---------------------------------------------------
+
+_registry: MetricsRegistry | None = None
+
+
+def metrics_enabled() -> bool:
+    return _registry is not None
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install (or replace) the process-wide registry and return it."""
+    global _registry
+    _registry = registry if registry is not None else MetricsRegistry()
+    return _registry
+
+
+def disable_metrics() -> None:
+    """Return to the zero-overhead no-op state."""
+    global _registry
+    _registry = None
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The live registry, or ``None`` while metrics are disabled."""
+    return _registry
+
+
+def metrics_scope(name: str) -> MetricScope | _NullScope:
+    """A scope into the live registry, or the shared null scope.
+
+    The call-site idiom — resolve the scope once per aggregation point,
+    never per event::
+
+        scope = metrics_scope("npsim")
+        scope.counter("packets_completed").inc(done)
+    """
+    if _registry is None:
+        return _NULL_SCOPE
+    return _registry.scope(name)

@@ -1,0 +1,85 @@
+"""Perf-trajectory records: ``BENCH_<name>.json`` at the repo root.
+
+Each heavyweight benchmark writes one machine-readable record of what it
+measured — throughput figures, wall time, git revision, date — so the
+committed history of these files *is* the performance trajectory of the
+repository, and ``scripts/check_bench_regression.py`` can fail CI when a
+fresh run regresses against the last committed record.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_PREFIX = "BENCH_"
+
+
+def repo_root(start: Path | None = None) -> Path:
+    """The enclosing git work tree (fallback: two levels above here)."""
+    here = start if start is not None else Path(__file__).resolve()
+    for candidate in [here] + list(here.parents):
+        if (candidate / ".git").exists():
+            return candidate
+    return Path(__file__).resolve().parents[3]
+
+
+def git_sha(root: Path | None = None) -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root or repo_root(), capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def extract_throughput(data: object, _prefix: str = "",
+                       _out: dict | None = None) -> dict[str, float]:
+    """Recursively pull throughput-shaped numbers out of a result payload.
+
+    Any numeric leaf whose key path mentions gbps/mbps/mpps is kept,
+    flattened to a dotted key — enough to turn every experiment's
+    ``ExperimentResult.data`` into a comparable record without
+    per-benchmark schemas.
+    """
+    out: dict[str, float] = _out if _out is not None else {}
+    if isinstance(data, dict):
+        items = [(str(k), v) for k, v in data.items()]
+    elif isinstance(data, (list, tuple)):
+        items = [(str(i), v) for i, v in enumerate(data)]
+    else:
+        return out
+    for key, value in items:
+        path = f"{_prefix}.{key}" if _prefix else key
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            lowered = path.lower()
+            if any(unit in lowered for unit in ("gbps", "mbps", "mpps")):
+                out[path] = float(value)
+        else:
+            extract_throughput(value, path, out)
+    return out
+
+
+def write_bench_record(name: str, metrics: dict[str, float],
+                       wall_time_s: float, root: Path | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    root = root if root is not None else repo_root()
+    payload = {
+        "benchmark": name,
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+        "wall_time_s": round(wall_time_s, 3),
+        "git_sha": git_sha(root),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    path = root / f"{BENCH_PREFIX}{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def read_bench_record(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,200 @@
+"""DES timeline export — Chrome trace format + channel utilization series.
+
+Attach a :class:`TimelineRecorder` to a simulation run and every thread
+segment (context swap-in to memory-reference yield), every memory-channel
+service interval, every FIFO stall and every injected fault lands on a
+timeline that exports as Chrome-trace-format JSON — load it in
+``chrome://tracing`` or https://ui.perfetto.dev to *see* the latency
+masking, channel convoys and recovery windows the paper describes::
+
+    timeline = TimelineRecorder()
+    simulate_throughput(clf, trace, timeline=timeline)
+    timeline.write_chrome_trace("results/run.trace.json")
+
+Timestamps are ME cycles scaled to microseconds at the chip clock, so
+Perfetto's time ruler reads real time.  The recorder also buckets each
+channel's busy intervals into a utilization timeseries, which rides on
+:class:`~repro.npsim.memory.ChannelReport` for instrumented runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Stop recording beyond this many events so a long saturation run
+#: cannot balloon memory; the count of dropped events is reported.
+DEFAULT_MAX_EVENTS = 400_000
+
+
+class TimelineRecorder:
+    """Collects DES events and renders them as a Chrome trace."""
+
+    def __init__(self, me_clock_mhz: float = 1400.0,
+                 max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        #: ME cycles per microsecond (the IXP2850 runs at 1.4 GHz).
+        self.me_clock_mhz = me_clock_mhz
+        self.max_events = max_events
+        self.dropped_events = 0
+        # (me, thread, start, end, packets_done)
+        self._segments: list[tuple[int, int, float, float, int]] = []
+        # channel -> [(service_start, service_end, nwords)]
+        self._channel_busy: dict[str, list[tuple[float, float, int]]] = {}
+        # (channel, issue_time, stall_cycles)
+        self._stalls: list[tuple[str, float, float]] = []
+        # (name, time, args) instantaneous markers (faults, recoveries)
+        self._instants: list[tuple[str, float, dict]] = []
+        self.elapsed_cycles = 0.0
+
+    # -- recording hooks (called from the simulator hot loop) --------------
+
+    def _full(self) -> bool:
+        count = (len(self._segments) + len(self._stalls) + len(self._instants)
+                 + sum(len(v) for v in self._channel_busy.values()))
+        if count >= self.max_events:
+            self.dropped_events += 1
+            return True
+        return False
+
+    def thread_segment(self, me: int, thread: int, start: float, end: float,
+                       packets_done: int = 0) -> None:
+        """One run-to-memory-reference execution segment on an ME."""
+        if end <= start or self._full():
+            return
+        self._segments.append((me, thread, start, end, packets_done))
+        if end > self.elapsed_cycles:
+            self.elapsed_cycles = end
+
+    def channel_read(self, channel: str, service_start: float,
+                     service_end: float, nwords: int,
+                     stall_cycles: float = 0.0, issue_time: float = 0.0) -> None:
+        """One command's service interval on a memory channel."""
+        if self._full():
+            return
+        self._channel_busy.setdefault(channel, []).append(
+            (service_start, service_end, nwords)
+        )
+        if stall_cycles > 0:
+            self._stalls.append((channel, issue_time, stall_cycles))
+        if service_end > self.elapsed_cycles:
+            self.elapsed_cycles = service_end
+
+    def instant(self, name: str, time: float, **args) -> None:
+        """A point event (channel failure, failover, ME stall...)."""
+        if self._full():
+            return
+        self._instants.append((name, time, args))
+
+    # -- derived views ------------------------------------------------------
+
+    def channel_utilization(self, channel: str, elapsed: float | None = None,
+                            buckets: int = 64) -> list[tuple[float, float]]:
+        """Bucketed busy fraction: ``[(bucket_end_cycle, utilization)]``.
+
+        Busy intervals are clipped against equal-width buckets over
+        ``[0, elapsed]``; the result is the timeseries a dashboard plots
+        to spot convoys and post-failure shifts.
+        """
+        elapsed = elapsed if elapsed is not None else self.elapsed_cycles
+        if elapsed <= 0 or buckets < 1:
+            return []
+        width = elapsed / buckets
+        busy = [0.0] * buckets
+        for start, end, _words in self._channel_busy.get(channel, ()):
+            lo = max(0.0, start)
+            hi = min(elapsed, end)
+            if hi <= lo:
+                continue
+            first = min(buckets - 1, int(lo / width))
+            last = min(buckets - 1, int(hi / width))
+            for b in range(first, last + 1):
+                b_lo = b * width
+                b_hi = b_lo + width
+                busy[b] += max(0.0, min(hi, b_hi) - max(lo, b_lo))
+        return [((b + 1) * width, min(1.0, busy[b] / width)) for b in range(buckets)]
+
+    def channels(self) -> list[str]:
+        return sorted(self._channel_busy)
+
+    # -- Chrome trace export -------------------------------------------------
+
+    def _us(self, cycles: float) -> float:
+        return cycles / self.me_clock_mhz
+
+    def to_chrome_trace(self) -> dict:
+        """The run as a Chrome-trace-format JSON object.
+
+        Layout: one trace "process" per microengine (pid = ME index,
+        one row per hardware thread), one process for the memory
+        channels (one row per channel), instants pinned to the channel
+        process.  ``ph: "X"`` complete events carry durations; ``ph:
+        "M"`` metadata events name the rows.
+        """
+        events: list[dict] = []
+        mes = sorted({seg[0] for seg in self._segments})
+        for me in mes:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": me, "tid": 0,
+                "args": {"name": f"microengine {me}"},
+            })
+        threads = sorted({(seg[0], seg[1]) for seg in self._segments})
+        for me, tid in threads:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": me, "tid": tid,
+                "args": {"name": f"thread {tid}"},
+            })
+        for me, tid, start, end, packets in self._segments:
+            events.append({
+                "name": "run", "cat": "me", "ph": "X",
+                "ts": self._us(start), "dur": self._us(end - start),
+                "pid": me, "tid": tid,
+                "args": {"packets_done": packets},
+            })
+
+        chan_pid = (max(mes) + 1) if mes else 1000
+        events.append({
+            "name": "process_name", "ph": "M", "pid": chan_pid, "tid": 0,
+            "args": {"name": "memory channels"},
+        })
+        for row, channel in enumerate(self.channels()):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": chan_pid, "tid": row,
+                "args": {"name": channel},
+            })
+            for start, end, nwords in self._channel_busy[channel]:
+                events.append({
+                    "name": f"{nwords}w", "cat": "mem", "ph": "X",
+                    "ts": self._us(start), "dur": self._us(end - start),
+                    "pid": chan_pid, "tid": row,
+                    "args": {"words": nwords},
+                })
+        row_of = {c: r for r, c in enumerate(self.channels())}
+        for channel, when, cycles in self._stalls:
+            events.append({
+                "name": "fifo_stall", "cat": "mem", "ph": "I", "s": "t",
+                "ts": self._us(when),
+                "pid": chan_pid, "tid": row_of.get(channel, 0),
+                "args": {"stall_cycles": cycles},
+            })
+        for name, when, args in self._instants:
+            events.append({
+                "name": name, "cat": "fault", "ph": "I", "s": "g",
+                "ts": self._us(when), "pid": chan_pid, "tid": 0,
+                "args": args,
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "me_clock_mhz": self.me_clock_mhz,
+                "elapsed_cycles": self.elapsed_cycles,
+                "dropped_events": self.dropped_events,
+            },
+        }
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Serialise the timeline; the file loads directly in Perfetto."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace()))
+        return path

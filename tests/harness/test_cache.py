@@ -32,6 +32,15 @@ class TestCaching:
         assert a is not b
         assert a.params.binth == 4 and b.params.binth == 8
 
+    def test_telemetry_params_do_not_fragment_cache(self):
+        plain = cache.get_classifier("FW01", "hicuts", binth=4)
+        instrumented = cache.get_classifier("FW01", "hicuts", binth=4,
+                                            telemetry=True)
+        assert plain is instrumented
+        # ...while genuine build parameters still key separate entries.
+        other = cache.get_classifier("FW01", "hicuts", binth=8)
+        assert other is not plain
+
     def test_disk_roundtrip(self, tmp_path):
         built = cache.get_classifier("FW01", "hicuts")
         cache.clear_memory_cache()

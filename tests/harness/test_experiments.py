@@ -19,7 +19,7 @@ class TestRegistry:
     def test_every_paper_artifact_registered(self):
         expected = {"table1", "table2", "table3", "table4", "table5",
                     "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "resilience"}
+                    "resilience", "profile"}
         assert set(REGISTRY) == expected
 
     def test_list(self):
@@ -31,7 +31,9 @@ class TestRegistry:
             run_experiment("fig99")
 
 
-@pytest.mark.parametrize("name", sorted(REGISTRY))
+# "profile" is exercised in test_profile.py against a tmp directory —
+# running it here would drop artifacts into the committed results/.
+@pytest.mark.parametrize("name", sorted(set(REGISTRY) - {"profile"}))
 def test_quick_mode_runs(name):
     result = run_experiment(name, quick=True)
     assert isinstance(result, ExperimentResult)

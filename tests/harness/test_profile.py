@@ -1,0 +1,35 @@
+"""The profile experiment: histograms, hot nodes and timeline artifacts."""
+
+import json
+
+from repro.harness.profile import run_profile
+from repro.obs import metrics_enabled
+
+
+def test_profile_quick_writes_reports(tmp_path):
+    result = run_profile(quick=True, out_dir=tmp_path)
+
+    assert not metrics_enabled(), "profile must restore the disabled state"
+    assert result.experiment == "profile"
+    assert "expcuts" in result.text and "hicuts" in result.text
+
+    report = json.loads((tmp_path / "profile_CR01.json").read_text())
+    assert [a["algorithm"] for a in report["algorithms"]] == \
+        ["expcuts", "hicuts"]
+    for rep in report["algorithms"]:
+        depth = rep["depth_histogram"]
+        assert depth["count"] > 0 and depth["buckets"]
+        assert rep["hot_nodes"], "hot nodes must be ranked"
+        assert rep["sample_traces"]
+        assert 0.0 <= rep["flow_cache"]["hit_rate"] <= 1.0
+        for channel in rep["simulated"]["channels"]:
+            series = channel["utilization_timeseries"]
+            assert series and all(0.0 <= b <= 1.0 for _, b in series)
+        # The Chrome trace landed next to the report and is valid JSON.
+        trace_doc = json.loads(
+            (tmp_path / rep["simulated"]["chrome_trace"]).read_text())
+        assert trace_doc["traceEvents"]
+
+    expcuts = report["algorithms"][0]
+    assert expcuts["depth_histogram"]["max"] <= 13
+    assert expcuts["worst_case_accesses"] <= 26

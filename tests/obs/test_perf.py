@@ -1,0 +1,89 @@
+"""BENCH_*.json perf records and the regression checker's comparison."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+from repro.obs import extract_throughput, read_bench_record, write_bench_record
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression",
+        REPO_ROOT / "scripts" / "check_bench_regression.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExtractThroughput:
+    def test_flat_and_nested(self):
+        data = {
+            "gbps": 7.1,
+            "nested": {"analytic_gbps": 8.0, "threads": 71},
+            "label": "ignored",
+        }
+        assert extract_throughput(data) == {
+            "gbps": 7.1, "nested.analytic_gbps": 8.0,
+        }
+
+    def test_lists_of_points(self):
+        data = {"forced": [{"rules": 1, "mbps": 5400.0},
+                           {"rules": 8, "mbps": 2600.0}]}
+        assert extract_throughput(data) == {
+            "forced.0.mbps": 5400.0, "forced.1.mbps": 2600.0,
+        }
+
+    def test_bools_and_scalars_ignored(self):
+        assert extract_throughput({"gbps_ok": True, "x": 3}) == {}
+        assert extract_throughput(7.0) == {}
+
+
+class TestBenchRecords:
+    def test_roundtrip(self, tmp_path):
+        path = write_bench_record("fig9", {"cr04.gbps": 6.9}, 12.5,
+                                  root=tmp_path)
+        assert path == tmp_path / "BENCH_fig9.json"
+        record = read_bench_record(path)
+        assert record["benchmark"] == "fig9"
+        assert record["metrics"] == {"cr04.gbps": 6.9}
+        assert record["wall_time_s"] == 12.5
+        assert record["date"]  # ISO stamp present
+
+    def test_record_is_stable_json(self, tmp_path):
+        path = write_bench_record("x", {"b.gbps": 1.0, "a.gbps": 2.0}, 0.1,
+                                  root=tmp_path)
+        text = path.read_text()
+        # Sorted metric keys keep committed diffs minimal.
+        assert text.index('"a.gbps"') < text.index('"b.gbps"')
+        json.loads(text)
+
+
+class TestRegressionCompare:
+    def test_within_tolerance_passes(self):
+        checker = _load_checker()
+        fresh = {"metrics": {"gbps": 6.0}}
+        base = {"metrics": {"gbps": 6.5}}
+        assert checker.compare(fresh, base, threshold=0.15) == []
+
+    def test_large_drop_fails(self):
+        checker = _load_checker()
+        fresh = {"metrics": {"gbps": 4.0}}
+        base = {"metrics": {"gbps": 6.5}}
+        problems = checker.compare(fresh, base, threshold=0.15)
+        assert len(problems) == 1 and "gbps" in problems[0]
+
+    def test_improvements_and_new_metrics_pass(self):
+        checker = _load_checker()
+        fresh = {"metrics": {"gbps": 9.0, "new.mpps": 1.0}}
+        base = {"metrics": {"gbps": 6.0}}
+        assert checker.compare(fresh, base, threshold=0.15) == []
+
+    def test_zero_baseline_ignored(self):
+        checker = _load_checker()
+        fresh = {"metrics": {"gbps": 0.0}}
+        base = {"metrics": {"gbps": 0.0}}
+        assert checker.compare(fresh, base, threshold=0.15) == []

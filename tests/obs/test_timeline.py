@@ -1,0 +1,83 @@
+"""Timeline export: valid Chrome-trace JSON, utilization timeseries, and
+bit-identical plain runs."""
+
+import json
+
+import pytest
+
+from repro.classifiers import ExpCutsClassifier
+from repro.npsim import simulate_throughput
+from repro.obs import TimelineRecorder
+from repro.traffic import matched_trace
+
+
+@pytest.fixture(scope="module")
+def instrumented_run(request):
+    ruleset = request.getfixturevalue("small_fw_ruleset")
+    clf = ExpCutsClassifier.build(ruleset)
+    traffic = matched_trace(ruleset, 300, seed=17)
+    timeline = TimelineRecorder()
+    result = simulate_throughput(clf, traffic, num_threads=15,
+                                 max_packets=1_200, timeline=timeline)
+    return clf, traffic, timeline, result
+
+
+def test_plain_run_is_bit_identical(instrumented_run):
+    clf, traffic, _, instrumented = instrumented_run
+    plain = simulate_throughput(clf, traffic, num_threads=15,
+                                max_packets=1_200)
+    assert plain.gbps == instrumented.gbps
+    assert plain.mpps == instrumented.mpps
+    assert plain.me_busy_fraction == instrumented.me_busy_fraction
+    for rep in plain.channel_reports:
+        assert rep.utilization_timeseries is None
+
+
+def test_chrome_trace_is_valid(instrumented_run, tmp_path):
+    _, _, timeline, _ = instrumented_run
+    path = tmp_path / "run.trace.json"
+    timeline.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    for ev in events:
+        assert "ph" in ev and "pid" in ev
+        if ev["ph"] in ("X", "I"):
+            assert "ts" in ev and ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+    # Metadata names every process (microengines + the channel lane).
+    names = [ev for ev in events if ev["ph"] == "M"]
+    assert any(ev["name"] == "process_name" for ev in names)
+    assert doc["otherData"]["me_clock_mhz"] > 0
+
+
+def test_channel_utilization_timeseries(instrumented_run):
+    _, _, timeline, result = instrumented_run
+    assert timeline.channels()
+    for rep in result.channel_reports:
+        series = rep.utilization_timeseries
+        assert series is not None and len(series) > 0
+        cycles = [t for t, _ in series]
+        assert cycles == sorted(cycles)
+        assert all(0.0 <= busy <= 1.0 for _, busy in series)
+
+
+def test_busy_channel_shows_up_in_series(instrumented_run):
+    _, _, _, result = instrumented_run
+    busiest = max(result.channel_reports, key=lambda r: r.utilization)
+    assert busiest.utilization > 0
+    series = busiest.utilization_timeseries
+    assert max(busy for _, busy in series) > 0
+
+
+def test_event_cap_drops_instead_of_ballooning(instrumented_run):
+    clf, traffic, _, _ = instrumented_run
+    tiny = TimelineRecorder(max_events=50)
+    simulate_throughput(clf, traffic, num_threads=15, max_packets=1_200,
+                        timeline=tiny)
+    doc = tiny.to_chrome_trace()
+    assert doc["otherData"]["dropped_events"] > 0
+    # The cap bounds recorded events (metadata rows are added on export).
+    non_meta = [ev for ev in doc["traceEvents"] if ev["ph"] != "M"]
+    assert len(non_meta) <= 50
