@@ -74,7 +74,7 @@ class ABVClassifier(PacketClassifier):
         self.num_chunks = num_chunks
 
     @classmethod
-    def build(cls, ruleset: RuleSet, **params) -> "ABVClassifier":
+    def build(cls, ruleset: RuleSet, budget=None, **params) -> "ABVClassifier":
         if params:
             raise TypeError(f"unexpected parameters: {sorted(params)}")
         num_chunks = max(1, (len(ruleset) + CHUNK_BITS - 1) // CHUNK_BITS)
@@ -87,7 +87,12 @@ class ABVClassifier(PacketClassifier):
                 edges=edges, masks=masks,
                 aggregates=_aggregate(masks, num_chunks),
             ))
-        return cls(ruleset, fields, num_chunks)
+        built = cls(ruleset, fields, num_chunks)
+        if budget is not None:
+            # Per-segment bit vectors are sized only after segmentation,
+            # so the budget is enforced on the finished footprint.
+            budget.meter(cls.name).add_words(built.memory_words())
+        return built
 
     # -- helpers -------------------------------------------------------------
 

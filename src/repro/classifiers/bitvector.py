@@ -56,7 +56,8 @@ class BitVectorClassifier(PacketClassifier):
         self._vector_words32 = max(1, (len(ruleset) + 31) // 32)
 
     @classmethod
-    def build(cls, ruleset: RuleSet, **params) -> "BitVectorClassifier":
+    def build(cls, ruleset: RuleSet, budget=None,
+              **params) -> "BitVectorClassifier":
         if params:
             raise TypeError(f"unexpected parameters: {sorted(params)}")
         fields = []
@@ -64,7 +65,10 @@ class BitVectorClassifier(PacketClassifier):
             intervals = [rule.intervals[fld] for rule in ruleset.rules]
             edges, masks = segment_masks(intervals, FIELD_WIDTHS[fld], len(ruleset))
             fields.append(_FieldVectors(edges=edges, masks=masks))
-        return cls(ruleset, fields)
+        built = cls(ruleset, fields)
+        if budget is not None:
+            budget.meter(cls.name).add_words(built.memory_words())
+        return built
 
     def classify(self, header: Sequence[int], trace=None) -> int | None:
         if trace is not None:

@@ -6,6 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.budget import BuildBudget, meter_for
 from ..core.engine import ExpCutsEngine, LookupTrace
 from ..core.expcuts import ExpCutsConfig, ExpCutsTree, build_expcuts
 from ..core.layout import TreeImage, pack_tree
@@ -37,16 +38,25 @@ class ExpCutsClassifier(PacketClassifier):
         aggregated: bool = True,
         use_pop_count: bool = True,
         max_nodes: int = 4_000_000,
+        budget: BuildBudget | None = None,
     ) -> "ExpCutsClassifier":
         """Build the tree and pack its word image.
 
         ``aggregated=False`` and ``use_pop_count=False`` are the Figure 6
         and §5.4 ablation switches; both leave results unchanged.
+        ``budget`` bounds the build cooperatively (nodes, layout bytes,
+        wall clock) — see :mod:`repro.core.budget`.
         """
         config = ExpCutsConfig(stride=stride, habs_bits_log2=habs_bits_log2,
                                max_nodes=max_nodes)
-        tree = build_expcuts(ruleset, config)
-        image = pack_tree(tree, aggregated=aggregated)
+        meter = meter_for(budget, cls.name)
+        tree = build_expcuts(ruleset, config, meter=meter)
+        # The builder already charged the aggregated word estimate; the
+        # uncompressed ablation image is only sized during packing.
+        image = pack_tree(tree, aggregated=aggregated,
+                          meter=None if aggregated else meter_for(budget, cls.name))
+        if meter is not None:
+            meter.checkpoint()
         return cls(ruleset, tree, image, use_pop_count=use_pop_count)
 
     def classify(self, header: Sequence[int],

@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.budget import BudgetMeter, BuildBudget, meter_for
 from ..core.engine import LookupTrace, MemRead
 from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
 from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
@@ -78,8 +79,10 @@ class _Builder:
     once per uniform run.
     """
 
-    def __init__(self, params: HiCutsParams) -> None:
+    def __init__(self, params: HiCutsParams,
+                 meter: BudgetMeter | None = None) -> None:
         self.params = params
+        self.meter = meter
         self.nodes: list[_Internal | _Leaf] = []
         self.memo: dict[tuple, int] = {}
 
@@ -87,6 +90,13 @@ class _Builder:
         node_id = len(self.nodes)
         if node_id >= self.params.max_nodes:
             raise MemoryError(f"HiCuts build exceeded max_nodes={self.params.max_nodes}")
+        if self.meter is not None:
+            # Word cost mirrors _layout_words: header + pointers, or
+            # count word + inline 6-word rule entries.
+            if isinstance(node, _Internal):
+                self.meter.add_node(1 + (1 << node.log2_cuts))
+            else:
+                self.meter.add_node(1 + RULE_WORDS * len(node.rule_ids))
         self.nodes.append(node)
         return node_id
 
@@ -240,9 +250,10 @@ class HiCutsClassifier(PacketClassifier):
 
     @classmethod
     def build(cls, ruleset: RuleSet, binth: int = 8, spfac: float = 4.0,
-              max_nodes: int = 2_000_000) -> "HiCutsClassifier":
+              max_nodes: int = 2_000_000,
+              budget: BuildBudget | None = None) -> "HiCutsClassifier":
         params = HiCutsParams(binth=binth, spfac=spfac, max_nodes=max_nodes)
-        builder = _Builder(params)
+        builder = _Builder(params, meter_for(budget, cls.name))
         root = builder.build(flat_projection(ruleset), tuple(FIELD_WIDTHS))
         return cls(ruleset, builder.nodes, root, params)
 

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.budget import BuildBudget, meter_for
 from ..core.engine import LookupTrace, MemRead
 from ..core.fields import FIELD_WIDTHS, Field
 from ..core.rule import RuleSet
@@ -83,9 +84,16 @@ class HSMClassifier(PacketClassifier):
         self.x6_rule = x6_rule  # final stage already resolved to rule ids
 
     @classmethod
-    def build(cls, ruleset: RuleSet, **params) -> "HSMClassifier":
+    def build(cls, ruleset: RuleSet, budget: BuildBudget | None = None,
+              **params) -> "HSMClassifier":
+        """Cross-producting has no per-node loop, so the ``budget`` is
+        checked *between stages*: each segment structure and each
+        cross-product table charges its word footprint (and polls the
+        deadline) as soon as it materialises — a table explosion aborts
+        before the next, larger product is attempted."""
         if params:
             raise TypeError(f"unexpected parameters: {sorted(params)}")
+        meter = meter_for(budget, cls.name)
         num_rules = len(ruleset)
         fields: list[_FieldSearch] = []
         field_masks: list[np.ndarray] = []
@@ -95,13 +103,28 @@ class HSMClassifier(PacketClassifier):
             class_ids, class_masks = dedupe_masks(seg_mask)
             fields.append(_FieldSearch(edges=edges, class_ids=class_ids))
             field_masks.append(class_masks)
+            if meter is not None:
+                meter.add_node(len(edges) + _packed_words(class_ids))
+                meter.checkpoint()
 
         x12, masks12 = cross_product(field_masks[Field.SIP], field_masks[Field.DIP])
+        if meter is not None:
+            meter.add_node(_packed_words(x12))
+            meter.checkpoint()
         x34, masks34 = cross_product(field_masks[Field.SPORT], field_masks[Field.DPORT])
+        if meter is not None:
+            meter.add_node(_packed_words(x34))
+            meter.checkpoint()
         x5, masks5 = cross_product(masks12, masks34)
+        if meter is not None:
+            meter.add_node(_packed_words(x5))
+            meter.checkpoint()
         x6, masks6 = cross_product(masks5, field_masks[Field.PROTO])
         rule_of_class = masks_to_rule_ids(masks6)
         x6_rule = rule_of_class[x6]
+        if meter is not None:
+            meter.add_node(_packed_words(x6_rule))
+            meter.checkpoint()
         return cls(ruleset, fields, x12, x34, x5, x6_rule)
 
     # -- lookup -------------------------------------------------------------

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.budget import BudgetMeter, BuildBudget, meter_for
 from ..core.engine import LookupTrace, MemRead
 from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
 from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
@@ -75,8 +76,10 @@ class HyperCutsParams:
 
 
 class _Builder:
-    def __init__(self, params: HyperCutsParams) -> None:
+    def __init__(self, params: HyperCutsParams,
+                 meter: BudgetMeter | None = None) -> None:
         self.params = params
+        self.meter = meter
         self.nodes: list[_Internal | _Leaf] = []
         self.memo: dict[tuple, int] = {}
 
@@ -86,6 +89,13 @@ class _Builder:
             raise MemoryError(
                 f"HyperCuts build exceeded max_nodes={self.params.max_nodes}"
             )
+        if self.meter is not None:
+            # Mirrors _layout_words: header + pointer array, or count
+            # word + inline 6-word rule entries.
+            if isinstance(node, _Internal):
+                self.meter.add_node(1 + len(node.children))
+            else:
+                self.meter.add_node(1 + RULE_WORDS * len(node.rule_ids))
         self.nodes.append(node)
         return node_id
 
@@ -276,11 +286,12 @@ class HyperCutsClassifier(PacketClassifier):
     @classmethod
     def build(cls, ruleset: RuleSet, binth: int = 8, spfac: float = 4.0,
               max_log2_fanout: int = 6,
-              max_nodes: int = 2_000_000) -> "HyperCutsClassifier":
+              max_nodes: int = 2_000_000,
+              budget: BuildBudget | None = None) -> "HyperCutsClassifier":
         params = HyperCutsParams(binth=binth, spfac=spfac,
                                  max_log2_fanout=max_log2_fanout,
                                  max_nodes=max_nodes)
-        builder = _Builder(params)
+        builder = _Builder(params, meter_for(budget, cls.name))
         root = builder.build(flat_projection(ruleset), tuple(FIELD_WIDTHS))
         return cls(ruleset, builder.nodes, root, params)
 

@@ -42,9 +42,16 @@ class LinearSearchClassifier(PacketClassifier):
         ).reshape(len(ruleset), 5)
 
     @classmethod
-    def build(cls, ruleset: RuleSet, **params) -> "LinearSearchClassifier":
+    def build(cls, ruleset: RuleSet, budget=None,
+              **params) -> "LinearSearchClassifier":
         if params:
             raise TypeError(f"unexpected parameters: {sorted(params)}")
+        if budget is not None:
+            # The slow path must always be buildable: its table is linear
+            # in the rule count, so the only meaningful check is the
+            # layout wall (6 words per rule).
+            meter = budget.meter(cls.name)
+            meter.add_words(len(ruleset) * RULE_WORDS)
         return cls(ruleset)
 
     def classify(self, header: Sequence[int],

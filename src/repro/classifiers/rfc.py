@@ -40,6 +40,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.budget import BuildBudget, meter_for
 from ..core.engine import LookupTrace, MemRead
 from ..core.fields import Field
 from ..core.interval import Interval, interval_to_prefixes, prefix_to_interval
@@ -146,9 +147,14 @@ class RFCClassifier(PacketClassifier):
         self.f_rule = f_rule
 
     @classmethod
-    def build(cls, ruleset: RuleSet, **params) -> "RFCClassifier":
+    def build(cls, ruleset: RuleSet, budget: BuildBudget | None = None,
+              **params) -> "RFCClassifier":
+        """``budget`` is checked between reduction stages (RFC is the
+        memory-extreme algorithm here — the combination tables are
+        exactly what a Figure-6-style byte budget exists to catch)."""
         if params:
             raise TypeError(f"unexpected parameters: {sorted(params)}")
+        meter = meter_for(budget, cls.name)
         raw, owners = _chunk_masks(ruleset)
         chunk_tables: list[np.ndarray] = []
         chunk_cls_masks: list[np.ndarray] = []
@@ -156,13 +162,33 @@ class RFCClassifier(PacketClassifier):
             ids, cls_masks = dedupe_masks(masks)
             chunk_tables.append(ids)
             chunk_cls_masks.append(cls_masks)
+            if meter is not None:
+                meter.add_node(int(ids.size))
+                meter.checkpoint()
         m = dict(zip((c.label for c in CHUNKS), chunk_cls_masks))
+        stages = []
         a, ma = cross_product(m["sip_hi"], m["sip_lo"])
+        stages.append(a)
         b, mb = cross_product(m["dip_hi"], m["dip_lo"])
+        stages.append(b)
         c, mc = cross_product(m["sport"], m["dport"])
+        stages.append(c)
+        if meter is not None:
+            for table in stages:
+                meter.add_node(int(table.size))
+            meter.checkpoint()
         d, md = cross_product(ma, mb)
+        if meter is not None:
+            meter.add_node(int(d.size))
+            meter.checkpoint()
         e, me = cross_product(mc, m["proto"])
+        if meter is not None:
+            meter.add_node(int(e.size))
+            meter.checkpoint()
         f, mf = cross_product(md, me)
+        if meter is not None:
+            meter.add_node(int(f.size))
+            meter.checkpoint()
         sub_first = masks_to_rule_ids(mf)  # first-match *sub-rule* ids
         if len(owners):
             f_rule = np.where(sub_first >= 0, owners[sub_first], -1)[f]

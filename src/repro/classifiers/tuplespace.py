@@ -72,9 +72,11 @@ class TupleSpaceClassifier(PacketClassifier):
         self._entry_count = sum(len(t) for t in self.tables.values())
 
     @classmethod
-    def build(cls, ruleset: RuleSet, **params) -> "TupleSpaceClassifier":
+    def build(cls, ruleset: RuleSet, budget=None,
+              **params) -> "TupleSpaceClassifier":
         if params:
             raise TypeError(f"unexpected parameters: {sorted(params)}")
+        meter = None if budget is None else budget.meter(cls.name)
         tables: dict[Tuple5, dict[tuple[int, ...], int]] = {}
         for rule_id, rule in enumerate(ruleset.rules):
             covers = [
@@ -103,6 +105,10 @@ class TupleSpaceClassifier(PacketClassifier):
                 existing = table.get(key)
                 if existing is None or rule_id < existing:
                     table[key] = rule_id
+            if meter is not None:
+                # Prefix expansion is the tuple-space blow-up vector:
+                # charge per rule so a pathological set aborts early.
+                meter.add_node(total)
         return cls(ruleset, tables)
 
     @property

@@ -21,6 +21,17 @@ until further updates land.  A per-lookup **depth watchdog** catches a
 lookup that escapes the base structure's explicit bound (a corrupted
 image) and answers from the linear slow path instead of crashing.
 
+Rebuilds can additionally be bounded by a
+:class:`~repro.core.budget.BuildBudget` (node count, Figure-6 layout
+bytes, wall-clock deadline).  A build that exceeds it raises the typed
+:class:`~repro.core.errors.BuildBudgetExceeded`, which the **degradation
+chain** resolves instead of crashing: retry with coarser parameters
+(larger ``binth``/``stride``, from :data:`DEGRADATION_LADDERS`), else
+swap in the linear slow path over the live rules — still exact, just
+slow, and ``npsim`` charges it the modelled slow-path cycles because
+the served :meth:`access_trace` *is* the linear scan.  Every step is
+visible in :class:`UpdateStats` and the ``builds.*`` metrics scope.
+
 Semantics are always exact first-match over the *current* rule list —
 ``tests/classifiers/test_updates.py`` drives random update/lookup
 sequences against the linear oracle, including a hypothesis state
@@ -32,9 +43,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Type
 
-from ..core.errors import ConfigurationError, RebuildError, ReproError, UpdateError
+from ..core.budget import BuildBudget
+from ..core.errors import (
+    BuildBudgetExceeded,
+    ConfigurationError,
+    RebuildError,
+    ReproError,
+    UpdateError,
+)
 from ..core.rule import Rule, RuleSet
-from .base import PacketClassifier
+from ..obs import metrics_scope, obs_warn
+from .base import MemoryRegion, PacketClassifier
+
+#: Coarser-parameter retry ladders per base algorithm, tried left to
+#: right when a build blows its budget.  Larger ``binth`` leaves more
+#: rules per leaf (fewer nodes, more linear search); a larger ``stride``
+#: gives ExpCuts fewer, fatter levels.  Algorithms without tunable
+#: coarseness (HSM, RFC, ...) go straight to the linear fallback.
+DEGRADATION_LADDERS: dict[str, tuple[dict[str, object], ...]] = {
+    "expcuts": ({"stride": 12}, {"stride": 16}),
+    "hicuts": ({"binth": 32}, {"binth": 128}),
+    "hypercuts": ({"binth": 32}, {"binth": 128}),
+}
 
 
 @dataclass
@@ -50,6 +80,12 @@ class UpdateStats:
     overlay_hits: int = 0
     slow_path_lookups: int = 0
     watchdog_fallbacks: int = 0
+    #: Build attempts that raised BuildBudgetExceeded.
+    budget_exceeded: int = 0
+    #: Swaps that served a coarser-parameter structure.
+    degraded_rebuilds: int = 0
+    #: Swaps that fell all the way back to the linear slow path.
+    linear_fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -76,9 +112,17 @@ class UpdatableClassifier:
                  base_class: Type[PacketClassifier],
                  rebuild_threshold: int = 32,
                  spot_check_headers: int = 32,
+                 budget: BuildBudget | None = None,
+                 degrade: bool = True,
                  **build_params) -> None:
         """``spot_check_headers`` caps the validate-then-swap equivalence
-        check (0 disables it)."""
+        check (0 disables it).
+
+        ``budget`` bounds every (re)build; ``degrade`` enables the
+        coarser-params → linear-slow-path chain when it is exceeded.
+        With ``degrade=False`` a budget overrun is treated like any
+        failed rebuild: rolled back, the old snapshot keeps serving.
+        """
         if rebuild_threshold < 1:
             raise ConfigurationError("rebuild_threshold must be >= 1")
         if spot_check_headers < 0:
@@ -87,23 +131,25 @@ class UpdatableClassifier:
         self.build_params = build_params
         self.rebuild_threshold = rebuild_threshold
         self.spot_check_headers = spot_check_headers
+        self.budget = budget
+        self.degrade = degrade
         self.rules: list[Rule] = list(ruleset.rules)
         self.name = f"updatable({base_class.name})"
         self.stats = UpdateStats()
         self.failures: list[RebuildFailure] = []
+        #: How the *serving* structure was obtained: ``None`` for a
+        #: full-fidelity build, ``"params:..."`` for a coarser ladder
+        #: step, ``"linear"`` for the slow-path fallback.
+        self.degradation: str | None = None
         #: After a failed rebuild, retry only once pending grows past this.
         self._retry_after_pending: int | None = None
         self._rebuild()
 
     # -- structure maintenance ------------------------------------------------
 
-    def _build_and_validate(self) -> tuple[list[Rule], PacketClassifier]:
-        """Build a candidate structure and spot-check it against the
-        linear oracle; raises rather than swapping on any problem."""
-        snapshot = list(self.rules)
-        base = self.base_class.build(
-            RuleSet(snapshot, name="snapshot"), **self.build_params
-        )
+    def _validate(self, snapshot: list[Rule], base: PacketClassifier) -> None:
+        """Spot-check a candidate against the linear oracle; raises
+        :class:`RebuildError` on the first disagreement."""
         if self.spot_check_headers > 0 and snapshot:
             oracle = RuleSet(snapshot, name="oracle")
             for rule in snapshot[:self.spot_check_headers]:
@@ -115,13 +161,68 @@ class UpdatableClassifier:
                         f"candidate structure disagrees with the oracle at "
                         f"{header}: got {got}, oracle says {want}"
                     )
-        return snapshot, base
+
+    def _build_and_validate(self) -> tuple[list[Rule], PacketClassifier, str | None]:
+        """Build a candidate structure, degrading through the chain on
+        budget exhaustion; raises rather than swapping on any problem.
+
+        Returns ``(snapshot, base, degradation)``.  Each attempt gets a
+        fresh budget meter (``BuildBudget`` is declarative, so a retry's
+        deadline restarts); a :class:`BuildBudgetExceeded` from the last
+        permitted attempt propagates when degradation is disabled or
+        exhausted.
+        """
+        snapshot = list(self.rules)
+        ruleset = RuleSet(snapshot, name="snapshot")
+        attempts: list[tuple[dict, str | None]] = [(self.build_params, None)]
+        if self.degrade and self.budget is not None:
+            for step in DEGRADATION_LADDERS.get(self.base_class.name, ()):
+                merged = {**self.build_params, **step}
+                tag = "params:" + ",".join(
+                    f"{k}={v}" for k, v in sorted(step.items()))
+                attempts.append((merged, tag))
+        scope = metrics_scope("builds")
+        last_exc: BuildBudgetExceeded | None = None
+        for params, tag in attempts:
+            kwargs = dict(params)
+            if self.budget is not None:
+                kwargs["budget"] = self.budget
+            try:
+                base = self.base_class.build(ruleset, **kwargs)
+            except BuildBudgetExceeded as exc:
+                self.stats.budget_exceeded += 1
+                scope.counter("budget_exceeded").inc()
+                last_exc = exc
+                continue
+            self._validate(snapshot, base)
+            if tag is not None:
+                self.stats.degraded_rebuilds += 1
+                scope.counter("degraded_rebuilds").inc()
+                obs_warn(f"{self.name}: build budget exceeded "
+                         f"({last_exc.limit}); serving coarser structure "
+                         f"[{tag}]")
+            return snapshot, base, tag
+        if self.degrade and last_exc is not None:
+            # End of the ladder: serve the linear slow path over the live
+            # rules.  It is the oracle itself, so no spot check is needed,
+            # and npsim charges its modelled per-rule scan cycles.
+            from .linear import LinearSearchClassifier
+
+            base = LinearSearchClassifier(ruleset)
+            self.stats.linear_fallbacks += 1
+            scope.counter("linear_fallbacks").inc()
+            obs_warn(f"{self.name}: build budget exceeded on every ladder "
+                     f"step ({last_exc.limit}); serving linear slow path")
+            return snapshot, base, "linear"
+        if last_exc is not None:
+            raise last_exc
+        raise AssertionError("unreachable: no build attempt ran")
 
     def _rebuild(self) -> bool:
         """Atomic validate-then-swap; returns False on a rolled-back
         rebuild (the previous snapshot keeps serving)."""
         try:
-            snapshot, base = self._build_and_validate()
+            snapshot, base, degradation = self._build_and_validate()
         except Exception as exc:
             if not hasattr(self, "base"):
                 # No snapshot to fall back to: the initial build must work.
@@ -136,6 +237,7 @@ class UpdatableClassifier:
         # Swap: all serving state replaced in one step.
         self._snapshot = snapshot
         self.base = base
+        self.degradation = degradation
         # snapshot index -> current index (None once deleted).
         self._snapshot_to_current: list[int | None] = list(range(len(snapshot)))
         self._overlay: list[_OverlayEntry] = []
@@ -286,3 +388,20 @@ class UpdatableClassifier:
     def current_ruleset(self) -> RuleSet:
         """The live rule list as a RuleSet (the oracle's view)."""
         return RuleSet(list(self.rules), name="live")
+
+    # -- npsim delegation --------------------------------------------------------
+    # The simulator sees whatever structure is actually serving, so a
+    # budget-degraded swap (coarser tree, or the linear slow path) is
+    # automatically charged its modelled memory accesses and cycles.
+
+    def access_trace(self, header: Sequence[int]):
+        return self.base.access_trace(header)
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        return self.base.memory_regions()
+
+    def memory_words(self) -> int:
+        return self.base.memory_words()
+
+    def worst_case_accesses(self) -> int:
+        return self.base.worst_case_accesses()

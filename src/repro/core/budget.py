@@ -1,0 +1,161 @@
+"""Build budgets — Figure 6's SRAM wall as an enforced contract.
+
+On the paper's platform the XScale core builds the classifier structure
+and the microengines serve it out of four 8 MB QDR SRAM channels.  The
+measured ExpCuts image for the largest rule set is ~11.5 MB — well under
+the 32 MB ceiling, but that ceiling is a *hard wall*: an image that does
+not fit cannot be deployed, and a build that never terminates (or eats
+the control core's memory) blocks every subsequent rule update.
+
+:class:`BuildBudget` expresses those limits declaratively; a
+:class:`BudgetMeter` is threaded through each algorithm's build loop and
+checked *cooperatively* — builders charge nodes and layout words as they
+allocate them, and the meter raises a typed
+:class:`~repro.core.errors.BuildBudgetExceeded` the moment a limit is
+crossed, so a runaway build fails in bounded time instead of thrashing.
+The update layer (:mod:`repro.classifiers.updates`) resolves that error
+through its degradation chain (coarser parameters, then the linear slow
+path) rather than crashing the experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import BuildBudgetExceeded
+
+#: One QDR SRAM channel on the IXP2850 (Table 1): 8 MB.
+SRAM_CHANNEL_BYTES = 8 * 1024 * 1024
+#: Number of SRAM channels.
+SRAM_CHANNELS = 4
+#: Total SRAM — the hard deployment wall of Figure 6 / Table 4.
+SRAM_TOTAL_BYTES = SRAM_CHANNELS * SRAM_CHANNEL_BYTES
+#: The paper's measured ExpCuts image on the largest rule set (~11.5 MB).
+PAPER_IMAGE_BYTES = int(11.5 * 1024 * 1024)
+
+#: Bytes per 32-bit SRAM word (mirrors :data:`repro.core.layout.WORD_BYTES`,
+#: which cannot be imported here without a cycle).
+WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class BuildBudget:
+    """Limits for one classifier build; ``None`` disables a limit.
+
+    ``max_nodes``
+        Tree/table node allocations (protects control-core memory and
+        build time on pathological rule sets).
+    ``max_layout_bytes``
+        Estimated size of the packed structure image, per the Figure 6
+        SRAM model (words × 4 bytes).  Use :data:`SRAM_TOTAL_BYTES` for
+        the paper's deployment wall.
+    ``wall_seconds``
+        Cooperative build deadline, polled every
+        :data:`BudgetMeter.POLL_INTERVAL` charges.
+
+    The ``clock`` field exists so tests can drive the deadline
+    deterministically; it is excluded from ``repr`` so budgets key build
+    caches stably.
+    """
+
+    max_nodes: int | None = None
+    max_layout_bytes: int | None = None
+    wall_seconds: float | None = None
+    clock: Callable[[], float] | None = field(
+        default=None, repr=False, compare=False)
+
+    @classmethod
+    def paper_sram(cls, wall_seconds: float | None = None) -> "BuildBudget":
+        """The deployment budget: the structure must fit total SRAM."""
+        return cls(max_layout_bytes=SRAM_TOTAL_BYTES,
+                   wall_seconds=wall_seconds)
+
+    def meter(self, algorithm: str) -> "BudgetMeter":
+        """Start metering one build attempt (the deadline starts now)."""
+        return BudgetMeter(self, algorithm)
+
+
+class BudgetMeter:
+    """Mutable per-build-attempt accounting against one budget.
+
+    Builders call :meth:`add_node` / :meth:`add_words` as they allocate;
+    every charge re-checks the node and byte limits, and every
+    ``POLL_INTERVAL`` charges (plus every explicit :meth:`checkpoint`)
+    the wall-clock deadline — frequent enough to bound overrun, rare
+    enough that ``time.monotonic`` stays off the build's hot path.
+    """
+
+    #: Charges between deadline polls.
+    POLL_INTERVAL = 128
+
+    __slots__ = ("budget", "algorithm", "nodes", "words",
+                 "_clock", "_deadline", "_ticks")
+
+    def __init__(self, budget: BuildBudget, algorithm: str) -> None:
+        self.budget = budget
+        self.algorithm = algorithm
+        self.nodes = 0
+        self.words = 0
+        self._clock = budget.clock or time.monotonic
+        self._deadline = (
+            None if budget.wall_seconds is None
+            else self._clock() + budget.wall_seconds
+        )
+        self._ticks = 0
+
+    @property
+    def layout_bytes(self) -> int:
+        """Estimated packed-image size charged so far."""
+        return self.words * WORD_BYTES
+
+    def _exceeded(self, limit: str, observed: float, bound: float) -> None:
+        raise BuildBudgetExceeded(
+            f"{self.algorithm} build exceeded its {limit} budget "
+            f"({observed:.0f} > {bound:.0f})",
+            limit=limit, observed=observed, bound=bound,
+            algorithm=self.algorithm,
+        )
+
+    def add_node(self, words: int = 0) -> None:
+        """Charge one structure node (plus its layout words, if known)."""
+        self.nodes += 1
+        if (self.budget.max_nodes is not None
+                and self.nodes > self.budget.max_nodes):
+            self._exceeded("nodes", self.nodes, self.budget.max_nodes)
+        if words:
+            self.add_words(words)
+        else:
+            self._tick()
+
+    def add_words(self, words: int) -> None:
+        """Charge ``words`` 32-bit words of packed structure image."""
+        self.words += words
+        if (self.budget.max_layout_bytes is not None
+                and self.layout_bytes > self.budget.max_layout_bytes):
+            self._exceeded("layout_bytes", self.layout_bytes,
+                           self.budget.max_layout_bytes)
+        self._tick()
+
+    def _tick(self) -> None:
+        self._ticks += 1
+        if self._ticks >= self.POLL_INTERVAL:
+            self._ticks = 0
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Deadline poll — call explicitly between build stages."""
+        if self._deadline is not None:
+            now = self._clock()
+            if now > self._deadline:
+                self._exceeded(
+                    "wall_seconds",
+                    now - (self._deadline - (self.budget.wall_seconds or 0.0)),
+                    self.budget.wall_seconds or 0.0,
+                )
+
+
+def meter_for(budget: BuildBudget | None, algorithm: str) -> BudgetMeter | None:
+    """``budget.meter(...)`` that tolerates ``None`` (the common call)."""
+    return None if budget is None else budget.meter(algorithm)

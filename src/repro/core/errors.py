@@ -94,5 +94,42 @@ class DepthBoundExceededError(ReproError, RuntimeError):
     """
 
 
+class SnapshotError(ReproError, RuntimeError):
+    """Something is wrong with a persisted structure snapshot."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A snapshot file failed verification and must not be unpickled.
+
+    Carries ``path`` and ``reason`` (``"bad magic"``, ``"truncated
+    payload"``, ``"checksum mismatch"``, ``"version skew"``, ...) so the
+    cache layer can log one precise line and quarantine the file.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class BuildBudgetExceeded(ReproError, RuntimeError):
+    """A classifier build ran past its :class:`repro.core.budget.BuildBudget`.
+
+    ``limit`` names the exhausted resource (``"nodes"``, ``"layout_bytes"``
+    or ``"wall_seconds"``); ``observed`` is the value that crossed it.
+    The update layer's degradation chain catches this and retries with
+    coarser parameters or falls back to the linear slow path — seeing it
+    escape an experiment means the chain was explicitly disabled.
+    """
+
+    def __init__(self, message: str, *, limit: str, observed: float,
+                 bound: float, algorithm: str | None = None) -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.observed = observed
+        self.bound = bound
+        self.algorithm = algorithm
+
+
 class FaultPlanError(ConfigurationError):
     """A fault-injection plan is internally inconsistent."""

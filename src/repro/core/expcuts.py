@@ -48,6 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Sequence
 
+from .budget import BudgetMeter
 from .fields import CutStep, FIELD_WIDTHS, NUM_FIELDS, cut_schedule
 from .habs import HabsArray, compress
 from .rule import RuleSet
@@ -180,8 +181,10 @@ def _remaining_widths(schedule: Sequence[CutStep]) -> list[tuple[int, ...]]:
 class _Builder:
     """Recursive hash-consing builder (one instance per build call)."""
 
-    def __init__(self, config: ExpCutsConfig) -> None:
+    def __init__(self, config: ExpCutsConfig,
+                 meter: BudgetMeter | None = None) -> None:
         self.config = config
+        self.meter = meter
         self.schedule = cut_schedule(config.stride)
         self.widths = _remaining_widths(self.schedule)
         # Per level, per field: the "full range" (lo, hi) pair used by the
@@ -284,19 +287,27 @@ class _Builder:
             raise MemoryError(
                 f"ExpCuts build exceeded max_nodes={self.config.max_nodes}"
             )
-        self.nodes.append(InternalNode(level, compress(refs, v)))
+        children = compress(refs, v)
+        if self.meter is not None:
+            # Figure 4 word cost of this node in the aggregated image:
+            # one header word plus the compressed pointer array.
+            self.meter.add_node(1 + children.compressed_slots)
+        self.nodes.append(InternalNode(level, children))
         self.memo[key] = node_id
         return node_id
 
 
-def build_expcuts(ruleset: RuleSet, config: ExpCutsConfig | None = None) -> ExpCutsTree:
+def build_expcuts(ruleset: RuleSet, config: ExpCutsConfig | None = None,
+                  meter: BudgetMeter | None = None) -> ExpCutsTree:
     """Build an ExpCuts tree for ``ruleset``.
 
     Rules are taken in priority (list) order; returns the tree IR which
-    :mod:`repro.core.layout` packs into the SRAM word image.
+    :mod:`repro.core.layout` packs into the SRAM word image.  With a
+    ``meter`` the build charges nodes and Figure-4 layout words as it
+    allocates them and raises :class:`BuildBudgetExceeded` cooperatively.
     """
     config = config or ExpCutsConfig()
-    builder = _Builder(config)
+    builder = _Builder(config, meter)
     root = builder.build(0, flat_projection(ruleset))
     return ExpCutsTree(
         stride=config.stride,

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .budget import BudgetMeter
 from .expcuts import ExpCutsTree, REF_NO_MATCH
 
 #: Pointer-word leaf flag.
@@ -90,13 +91,19 @@ class TreeImage:
         return [len(seg) * WORD_BYTES for seg in self.levels]
 
 
-def pack_tree(tree: ExpCutsTree, aggregated: bool = True) -> TreeImage:
+def pack_tree(tree: ExpCutsTree, aggregated: bool = True,
+              meter: BudgetMeter | None = None) -> TreeImage:
     """Pack ``tree`` into per-level word segments.
 
     With ``aggregated=True`` each node is ``1 + len(CPA)`` words; without,
     ``1 + 2**step.width`` words.  The logical content is identical — the
     round-trip tests decompress both images and compare pointer by
     pointer.
+
+    ``meter`` charges the *exact* emitted words per level against a
+    :class:`~repro.core.budget.BuildBudget` — the builder's estimate
+    already bounded the aggregated image, but the uncompressed ablation
+    image is only sized here.
     """
     num_levels = len(tree.schedule)
     by_level: list[list[int]] = [[] for _ in range(num_levels)]
@@ -135,6 +142,8 @@ def pack_tree(tree: ExpCutsTree, aggregated: bool = True) -> TreeImage:
                 header = ((node.level & 0xFF) << 24) | (((ch.u + ch.v) & 0xF) << 20)
                 words.append(header)
                 words.extend(encode_ref(ref, offsets) for ref in ch.decompress())
+        if meter is not None:
+            meter.add_words(len(words))
         levels.append(np.array(words, dtype=np.uint32))
 
     root_ptr = encode_ref(tree.root_ref, offsets)

@@ -3,27 +3,37 @@
 Classifier construction dominates harness wall time (tens of seconds for
 ExpCuts/HSM on CR04), and every experiment wants the same seven builds.
 This module memoises builds in-process and, unless ``REPRO_CACHE=0``,
-pickles them under ``.repro_cache/`` next to the working directory so
+persists them under ``.repro_cache/`` next to the working directory so
 repeated harness/benchmark invocations start hot.
 
+Disk entries are **verified snapshots** (:mod:`repro.harness.snapshots`):
+a versioned header plus a SHA-256-checksummed pickle payload, written
+atomically.  A load that fails *any* check — bad magic, truncation,
+checksum mismatch, version skew — is logged with its path and reason,
+counted in the ``snapshots.load_failures`` metric, quarantined as
+``*.corrupt``, and falls through to a clean rebuild.  Unverified bytes
+never reach the unpickler, and a failure is never silent.
+
 Cache keys include a schema version — bump :data:`CACHE_VERSION` whenever
-a change alters built structures, or stale pickles would silently shadow
-new code.
+a change alters built structures, or stale snapshots would silently
+shadow new code.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 from pathlib import Path
 
 from ..classifiers import ALGORITHMS, PacketClassifier
+from ..core.errors import SnapshotIntegrityError
 from ..core.rule import RuleSet
+from ..obs import metrics_scope, obs_warn
 from ..rulesets import paper_ruleset
 from ..traffic import Trace, matched_trace
+from . import snapshots
 
-CACHE_VERSION = 4
+CACHE_VERSION = 5
 
 #: Telemetry knobs never change the built structure, so they are stripped
 #: before keying — a traced build and a plain build share one cache entry.
@@ -43,34 +53,38 @@ def _disk_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1") != "0"
 
 
-def _load(key: str):
+def _load(key: str, kind: str):
     if key in _memory_cache:
         return _memory_cache[key]
     if _disk_enabled():
-        path = cache_dir() / f"{key}.pkl"
+        path = cache_dir() / f"{key}{snapshots.SNAPSHOT_SUFFIX}"
         if path.exists():
             try:
-                with path.open("rb") as fh:
-                    value = pickle.load(fh)
-            except Exception:
-                path.unlink(missing_ok=True)
+                value = snapshots.read_snapshot(
+                    path, kind=kind, cache_version=CACHE_VERSION, digest=key)
+            except SnapshotIntegrityError as exc:
+                obs_warn(f"snapshot load failed: {path} ({exc.reason}); "
+                         f"rebuilding from source")
+                metrics_scope("snapshots").counter("load_failures").inc()
+                snapshots.quarantine(path, exc.reason)
                 return None
             _memory_cache[key] = value
             return value
     return None
 
 
-def _store(key: str, value) -> None:
+def _store(key: str, value, kind: str) -> None:
     _memory_cache[key] = value
     if _disk_enabled():
-        path = cache_dir() / f"{key}.pkl"
-        tmp = path.with_suffix(".tmp")
+        path = cache_dir() / f"{key}{snapshots.SNAPSHOT_SUFFIX}"
         try:
-            with tmp.open("wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
-        except Exception:
-            tmp.unlink(missing_ok=True)
+            snapshots.write_snapshot(
+                path, value, kind=kind, cache_version=CACHE_VERSION,
+                digest=key)
+        except Exception as exc:
+            # A failed store only costs a rebuild next run — but say so.
+            obs_warn(f"snapshot store failed: {path} ({exc!r})")
+            metrics_scope("snapshots").counter("store_failures").inc()
 
 
 def _key(*parts: object) -> str:
@@ -83,10 +97,10 @@ def get_ruleset(name: str) -> RuleSet:
     from ..rulesets import PROFILES
 
     key = _key("ruleset", name, repr(PROFILES[name]))
-    cached = _load(key)
+    cached = _load(key, "ruleset")
     if cached is None:
         cached = paper_ruleset(name)
-        _store(key, cached)
+        _store(key, cached, "ruleset")
     return cached
 
 
@@ -107,11 +121,11 @@ def get_trace(ruleset_name: str, count: int = 1500, seed: int = 42,
     """
     key = _key("trace", ruleset_name, _ruleset_digest(ruleset_name),
                count, seed, matched_fraction)
-    cached = _load(key)
+    cached = _load(key, "trace")
     if cached is None:
         cached = matched_trace(get_ruleset(ruleset_name), count, seed=seed,
                                matched_fraction=matched_fraction)
-        _store(key, cached)
+        _store(key, cached, "trace")
     return cached
 
 
@@ -127,11 +141,11 @@ def get_classifier(ruleset_name: str, algorithm: str,
                     if k not in _TELEMETRY_PARAMS}
     key = _key("classifier", ruleset_name, _ruleset_digest(ruleset_name),
                algorithm, tuple(sorted(build_params.items())))
-    cached = _load(key)
+    cached = _load(key, "classifier")
     if cached is None:
         ruleset = get_ruleset(ruleset_name)
         cached = ALGORITHMS[algorithm].build(ruleset, **build_params)
-        _store(key, cached)
+        _store(key, cached, "classifier")
     return cached
 
 

@@ -1,0 +1,334 @@
+"""Crash-safe, integrity-verified snapshot persistence.
+
+The build cache used to ``pickle.load`` whatever bytes it found under
+``.repro_cache/`` and silently swallow any failure — the exact failure
+mode that matters on the paper's platform, where the XScale core must
+hand the microengines a *valid* SRAM image every time: a torn write, a
+bit flip, or a stale structure from an older code version means
+classifying garbage at 7 Gbps.
+
+Every snapshot is now a self-describing file::
+
+    offset 0   MAGIC            8 bytes  b"RPSNAP01"
+    offset 8   header length    4 bytes  big-endian uint32
+    offset 12  header           JSON (utf-8), see SnapshotHeader
+    ...        payload          pickle bytes, exactly header.payload_bytes
+
+The header carries the snapshot format version, the library's
+:data:`~repro.harness.cache.CACHE_VERSION`, the kind of object stored, a
+params digest, build info (python version, library version, git
+describe) and the SHA-256 of the payload.  **Loads verify everything —
+magic, lengths, versions, checksum — before a single pickle byte is
+interpreted**; any mismatch raises
+:class:`~repro.core.errors.SnapshotIntegrityError` and callers
+quarantine the file (rename to ``*.corrupt``) and rebuild from source.
+
+Writes are atomic and durable: payload and header are written to a
+temp file in the same directory, ``fsync``\\ ed, then ``os.replace``\\ d
+over the destination, so a crash mid-write leaves either the old
+snapshot or none — never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import platform
+import struct
+import subprocess
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from ..core.errors import SnapshotIntegrityError
+from ..obs import metrics_scope, obs_warn
+
+#: File magic: 8 bytes, includes the binary format generation.
+MAGIC = b"RPSNAP01"
+#: On-disk snapshot container format version (the header schema).
+FORMAT_VERSION = 1
+#: Suffix of snapshot files.
+SNAPSHOT_SUFFIX = ".snap"
+#: Suffix quarantined files are renamed to.
+QUARANTINE_SUFFIX = ".corrupt"
+#: Sanity cap on the JSON header (a corrupt length field must not make
+#: the loader try to slurp gigabytes).
+_MAX_HEADER_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+@lru_cache(maxsize=1)
+def build_info() -> dict[str, str]:
+    """Provenance stamped into every snapshot header.
+
+    ``git`` is best-effort (``git describe --always --dirty``): absent
+    in tarball installs, but invaluable when a quarantined file needs to
+    be traced back to the build that wrote it.
+    """
+    info = {"python": platform.python_version()}
+    try:
+        import repro
+
+        info["repro"] = getattr(repro, "__version__", "unknown")
+    except Exception:  # pragma: no cover - repro is always importable here
+        info["repro"] = "unknown"
+    try:
+        described = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5,
+        )
+        if described.returncode == 0:
+            info["git"] = described.stdout.strip()
+    except Exception:
+        pass
+    return info
+
+
+@dataclass(frozen=True)
+class SnapshotHeader:
+    """The verified metadata preceding a snapshot payload."""
+
+    format_version: int
+    cache_version: int
+    kind: str
+    digest: str
+    build: dict
+    payload_bytes: int
+    sha256: str
+
+
+def _pack(header: SnapshotHeader) -> bytes:
+    blob = json.dumps(asdict(header), sort_keys=True).encode("utf-8")
+    return MAGIC + _LEN.pack(len(blob)) + blob
+
+
+def write_snapshot(path: Path, obj: object, *, kind: str,
+                   cache_version: int, digest: str = "") -> SnapshotHeader:
+    """Atomically persist ``obj`` as a verified snapshot at ``path``.
+
+    The temp file lives in the destination directory so ``os.replace``
+    is a same-filesystem atomic rename; both the file and (best-effort)
+    the directory are fsynced before the rename becomes visible.
+    """
+    path = Path(path)
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    header = SnapshotHeader(
+        format_version=FORMAT_VERSION,
+        cache_version=cache_version,
+        kind=kind,
+        digest=digest,
+        build=build_info(),
+        payload_bytes=len(payload),
+        sha256=hashlib.sha256(payload).hexdigest(),
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(_pack(header))
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        try:  # directory durability is best-effort (not all FS support it)
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
+    finally:
+        tmp.unlink(missing_ok=True)
+    metrics_scope("snapshots").counter("writes").inc()
+    return header
+
+
+def read_header(path: Path) -> tuple[SnapshotHeader, int]:
+    """Parse and sanity-check a snapshot's header (no payload read).
+
+    Returns the header and the payload's byte offset.  Raises
+    :class:`SnapshotIntegrityError` on any structural problem.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if len(magic) < len(MAGIC):
+                raise SnapshotIntegrityError(path, "truncated magic")
+            if magic != MAGIC:
+                raise SnapshotIntegrityError(path, "bad magic")
+            raw_len = fh.read(_LEN.size)
+            if len(raw_len) < _LEN.size:
+                raise SnapshotIntegrityError(path, "truncated header length")
+            (header_len,) = _LEN.unpack(raw_len)
+            if header_len > _MAX_HEADER_BYTES:
+                raise SnapshotIntegrityError(
+                    path, f"implausible header length {header_len}")
+            blob = fh.read(header_len)
+            if len(blob) < header_len:
+                raise SnapshotIntegrityError(path, "truncated header")
+    except OSError as exc:
+        raise SnapshotIntegrityError(path, f"unreadable: {exc}") from exc
+    try:
+        fields = json.loads(blob.decode("utf-8"))
+        header = SnapshotHeader(**fields)
+    except (ValueError, TypeError) as exc:
+        raise SnapshotIntegrityError(path, f"undecodable header: {exc}") from exc
+    if header.format_version != FORMAT_VERSION:
+        raise SnapshotIntegrityError(
+            path, f"format version skew (file {header.format_version}, "
+                  f"library {FORMAT_VERSION})")
+    if not isinstance(header.payload_bytes, int) or header.payload_bytes < 0:
+        raise SnapshotIntegrityError(path, "invalid payload length")
+    return header, len(MAGIC) + _LEN.size + header_len
+
+
+def read_snapshot(path: Path, *, kind: str | None = None,
+                  cache_version: int | None = None,
+                  digest: str | None = None) -> object:
+    """Verify and load one snapshot; the only unpickle point.
+
+    Verification order: container structure (magic, lengths, format
+    version), then expectations (``cache_version`` skew, ``kind``,
+    ``digest``), then the payload SHA-256.  ``pickle.loads`` runs only
+    after every check passes — a file failing *any* of them never
+    reaches the unpickler.
+    """
+    path = Path(path)
+    header, offset = read_header(path)
+    if cache_version is not None and header.cache_version != cache_version:
+        raise SnapshotIntegrityError(
+            path, f"cache version skew (file {header.cache_version}, "
+                  f"library {cache_version})")
+    if kind is not None and header.kind != kind:
+        raise SnapshotIntegrityError(
+            path, f"kind mismatch (file {header.kind!r}, wanted {kind!r})")
+    if digest is not None and header.digest != digest:
+        raise SnapshotIntegrityError(
+            path, f"params digest mismatch (file {header.digest!r}, "
+                  f"wanted {digest!r})")
+    try:
+        with path.open("rb") as fh:
+            fh.seek(offset)
+            payload = fh.read(header.payload_bytes + 1)
+    except OSError as exc:
+        raise SnapshotIntegrityError(path, f"unreadable: {exc}") from exc
+    if len(payload) < header.payload_bytes:
+        raise SnapshotIntegrityError(path, "truncated payload")
+    if len(payload) > header.payload_bytes:
+        raise SnapshotIntegrityError(path, "trailing bytes after payload")
+    if hashlib.sha256(payload).hexdigest() != header.sha256:
+        raise SnapshotIntegrityError(path, "payload checksum mismatch")
+    try:
+        value = pickle.loads(payload)
+    except Exception as exc:
+        # Checksummed bytes that still fail to unpickle mean the writer's
+        # object graph no longer matches the code (e.g. a renamed class).
+        raise SnapshotIntegrityError(path, f"unpickle failed: {exc}") from exc
+    metrics_scope("snapshots").counter("loads").inc()
+    return value
+
+
+def quarantine(path: Path, reason: str = "corrupt") -> Path | None:
+    """Move a failed snapshot aside as ``*.corrupt`` for post-mortems.
+
+    Never raises: quarantine runs on the failure path, where a second
+    error must not mask the first.  Returns the new path, or ``None``
+    when the rename itself failed.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
+    serial = 0
+    while target.exists():
+        serial += 1
+        target = path.with_name(f"{path.name}{QUARANTINE_SUFFIX}.{serial}")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    scope = metrics_scope("snapshots")
+    scope.counter("quarantined").inc()
+    obs_warn(f"snapshot quarantined: {path} -> {target.name} ({reason})")
+    return target
+
+
+@dataclass
+class StoreReport:
+    """Outcome of :func:`verify_store` / :func:`gc_store` over one dir."""
+
+    directory: Path
+    ok: list[Path]
+    corrupt: list[tuple[Path, str]]
+    quarantined: list[Path]
+    removed: list[Path]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.corrupt
+
+    def summary(self) -> str:
+        return (f"{self.directory}: {len(self.ok)} ok, "
+                f"{len(self.corrupt)} corrupt, "
+                f"{len(self.quarantined)} quarantined file(s) present, "
+                f"{len(self.removed)} removed")
+
+
+def verify_store(directory: Path, *, cache_version: int | None = None,
+                 full: bool = True) -> StoreReport:
+    """Check every ``*.snap`` under ``directory``.
+
+    ``full=True`` verifies payload checksums (reads every byte);
+    ``full=False`` checks headers only.  Nothing is modified — pair with
+    :func:`gc_store` to act on the findings.
+    """
+    directory = Path(directory)
+    report = StoreReport(directory, [], [], [], [])
+    for path in sorted(directory.glob(f"*{SNAPSHOT_SUFFIX}")):
+        try:
+            if full:
+                read_snapshot(path, cache_version=cache_version)
+            else:
+                header, _ = read_header(path)
+                if (cache_version is not None
+                        and header.cache_version != cache_version):
+                    raise SnapshotIntegrityError(
+                        path, f"cache version skew (file "
+                              f"{header.cache_version}, library {cache_version})")
+            report.ok.append(path)
+        except SnapshotIntegrityError as exc:
+            report.corrupt.append((path, exc.reason))
+    report.quarantined = sorted(directory.glob(f"*{QUARANTINE_SUFFIX}*"))
+    return report
+
+
+def gc_store(directory: Path, *, cache_version: int | None = None) -> StoreReport:
+    """Garbage-collect one snapshot directory.
+
+    Quarantines corrupt/version-skewed ``*.snap`` files, then deletes
+    all quarantined files and stray ``*.tmp``/legacy ``*.pkl`` debris.
+    Healthy current-version snapshots are untouched.
+    """
+    directory = Path(directory)
+    report = verify_store(directory, cache_version=cache_version)
+    for path, reason in report.corrupt:
+        moved = quarantine(path, reason)
+        if moved is not None:
+            report.quarantined.append(moved)
+    removed: list[Path] = []
+    debris = (list(report.quarantined)
+              + sorted(directory.glob("*.tmp"))
+              + sorted(directory.glob("*.pkl")))
+    for path in debris:
+        try:
+            path.unlink()
+            removed.append(path)
+        except OSError:
+            pass
+    report.removed = removed
+    report.quarantined = sorted(directory.glob(f"*{QUARANTINE_SUFFIX}*"))
+    metrics_scope("snapshots").counter("gc_removed").inc(len(removed))
+    return report

@@ -48,6 +48,11 @@ class ThroughputResult:
     sim: SimResult | None = None
     #: Degradation accounting, present when a fault plan was injected.
     resilience: ResilienceReport | None = None
+    #: How the serving structure was obtained when the classifier degraded
+    #: under a build budget (see ``UpdatableClassifier.degradation``):
+    #: ``None`` full fidelity, ``"params:..."`` coarser build, ``"linear"``
+    #: the slow path — whose scan cycles this run then modelled.
+    degradation: str | None = None
 
     def __str__(self) -> str:
         return (
@@ -194,4 +199,5 @@ def simulate_throughput(
         analytic_gbps=bounds.gbps(chip.me_clock_mhz, packet_bytes),
         sim=result,
         resilience=resilience,
+        degradation=getattr(classifier, "degradation", None),
     )

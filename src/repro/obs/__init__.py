@@ -24,6 +24,7 @@ from .metrics import (
     get_registry,
     metrics_enabled,
     metrics_scope,
+    obs_warn,
 )
 from .perf import extract_throughput, read_bench_record, write_bench_record
 from .timeline import TimelineRecorder
@@ -44,6 +45,7 @@ __all__ = [
     "get_registry",
     "metrics_enabled",
     "metrics_scope",
+    "obs_warn",
     "read_bench_record",
     "write_bench_record",
 ]

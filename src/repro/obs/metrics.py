@@ -24,7 +24,25 @@ Enable around a region of interest::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+
+#: Operational warnings (snapshot quarantines, degraded builds, ...) go
+#: through one library logger.  With no handler configured, Python's
+#: last-resort handler still prints WARNING-level records to stderr, so
+#: a corrupted cache file is never silently swallowed again.
+_log = logging.getLogger("repro")
+
+
+def obs_warn(message: str) -> None:
+    """Emit a one-line operational warning (works with metrics disabled).
+
+    This is deliberately *not* a metric: metrics are off by default, but
+    an integrity event (a quarantined snapshot, a budget-degraded build)
+    must reach the operator even on an uninstrumented run.  Callers pair
+    it with a counter in the relevant scope for the instrumented case.
+    """
+    _log.warning(message)
 
 
 class Counter:

@@ -1,0 +1,239 @@
+"""Budget-guarded rebuilds racing live updates.
+
+The scenarios the paper's platform actually hits: a rule-update burst
+triggers a rebuild whose wall-clock deadline (or node budget) fires
+mid-build.  With degradation disabled the swap must roll back and the
+old snapshot keeps serving; with degradation enabled the chain walks
+coarser parameters down to the linear slow path.  In every case lookups
+stay exact against the linear oracle over the *current* rule list.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.classifiers import ExpCutsClassifier, HiCutsClassifier
+from repro.classifiers.updates import DEGRADATION_LADDERS, UpdatableClassifier
+from repro.core.budget import BuildBudget
+from repro.core.rule import Rule, RuleSet
+from repro.obs import disable_metrics, enable_metrics, get_registry
+
+
+class SteppingClock:
+    """A monotonic clock advancing ``step`` per read.
+
+    ``step = 0`` freezes time (deadlines never fire); a large ``step``
+    makes the deadline fire at the first poll *inside* a build — the
+    deterministic stand-in for a wedged build thread.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.step = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def rules(n):
+    return [Rule.from_prefixes(sip=f"{10 + i}.0.0.0/8") for i in range(n)]
+
+
+HEADERS = [((10 + i) << 24, 0, 0, 0, 0) for i in range(12)]
+
+
+class TestDegradationChain:
+    def test_ladder_step_recorded_in_stats_and_metrics(self):
+        from repro.rulesets import generate
+
+        ruleset = generate("CR01", size=200, seed=7)
+        enable_metrics()
+        try:
+            clf = UpdatableClassifier(ruleset, HiCutsClassifier,
+                                      budget=BuildBudget(max_nodes=200))
+            counters = get_registry().snapshot()["counters"]
+        finally:
+            disable_metrics()
+        assert clf.degradation is not None
+        assert clf.degradation.startswith("params:")
+        assert clf.stats.degraded_rebuilds == 1
+        assert clf.stats.budget_exceeded >= 1
+        assert counters["builds.degraded_rebuilds"] == 1
+        assert counters["builds.budget_exceeded"] >= 1
+
+    def test_linear_fallback_is_exact_and_costed(self):
+        from repro.npsim.runner import simulate_throughput
+        from repro.rulesets import generate
+        from repro.traffic import matched_trace
+
+        ruleset = generate("CR01", size=150, seed=3)
+        clf = UpdatableClassifier(ruleset, HiCutsClassifier,
+                                  budget=BuildBudget(max_nodes=5))
+        assert clf.degradation == "linear"
+        assert clf.stats.linear_fallbacks == 1
+        trace = matched_trace(ruleset, 200, seed=1)
+        for header in trace.headers():
+            assert clf.classify(header) == ruleset.first_match(header)
+        # The DES charges the slow path's modelled scan, and the result
+        # carries the degradation so figures can annotate it.
+        degraded = simulate_throughput(clf, trace, max_packets=300,
+                                       trace_limit=80)
+        assert degraded.degradation == "linear"
+        full = UpdatableClassifier(ruleset, HiCutsClassifier)
+        healthy = simulate_throughput(full, trace, max_packets=300,
+                                      trace_limit=80)
+        assert healthy.degradation is None
+        assert degraded.gbps < healthy.gbps  # the slow path costs cycles
+
+    def test_degrade_false_rolls_back_to_old_snapshot(self):
+        clock = SteppingClock()
+        budget = BuildBudget(wall_seconds=5.0, clock=clock)
+        clf = UpdatableClassifier(RuleSet(rules(8)), ExpCutsClassifier,
+                                  budget=budget, degrade=False,
+                                  rebuild_threshold=100)
+        clf.insert(Rule.any("deny"), position=0)
+        clock.step = 100.0  # deadline now fires inside every build
+        assert clf.rebuild() is False
+        assert clf.degradation is None
+        assert clf.stats.budget_exceeded == 1
+        assert clf.stats.failed_rebuilds == 1
+        assert "budget" in clf.failures[0].error
+        oracle = clf.current_ruleset()
+        for header in HEADERS:
+            assert clf.classify(header) == oracle.first_match(header)
+        clock.step = 0.0  # build un-wedges; the next rebuild recovers
+        assert clf.rebuild() is True
+        assert clf.pending_updates == 0
+
+    def test_recovery_clears_degradation(self):
+        from repro.rulesets import generate
+
+        ruleset = generate("CR01", size=150, seed=5)
+        clf = UpdatableClassifier(ruleset, HiCutsClassifier,
+                                  budget=BuildBudget(max_nodes=5))
+        assert clf.degradation == "linear"
+        clf.budget = None  # operator lifts the limit (or memory freed)
+        assert clf.rebuild() is True
+        assert clf.degradation is None
+
+    def test_ladders_only_name_real_params(self):
+        from repro.classifiers import ALGORITHMS
+
+        for name in DEGRADATION_LADDERS:
+            assert name in ALGORITHMS
+
+
+class BudgetRaceMachine(RuleBasedStateMachine):
+    """Random updates while the rebuild deadline comes and goes.
+
+    ``degrade=False``: a deadline firing mid-rebuild must leave the old
+    snapshot serving with answers still exact over the *current* rules.
+    """
+
+    @initialize()
+    def setup(self):
+        self.clock = SteppingClock()
+        self.clf = UpdatableClassifier(
+            RuleSet(rules(4)), ExpCutsClassifier,
+            budget=BuildBudget(wall_seconds=5.0, clock=self.clock),
+            degrade=False, rebuild_threshold=3,
+        )
+
+    @rule(octet=st.integers(1, 12), head=st.booleans())
+    def insert(self, octet, head):
+        self.clf.insert(Rule.from_prefixes(sip=f"{octet}.0.0.0/8"),
+                        position=0 if head else None)
+
+    @rule(frac=st.floats(0, 0.999))
+    def remove(self, frac):
+        if len(self.clf) > 1:
+            self.clf.remove(int(frac * len(self.clf)))
+
+    @rule()
+    def wedge_builds(self):
+        self.clock.step = 100.0
+
+    @rule()
+    def unwedge_builds(self):
+        self.clock.step = 0.0
+
+    @rule()
+    def force_rebuild(self):
+        self.clf.rebuild()
+
+    @invariant()
+    def agrees_with_oracle(self):
+        oracle = self.clf.current_ruleset()
+        for header in HEADERS[:6]:
+            assert self.clf.classify(header) == oracle.first_match(header)
+
+    @invariant()
+    def rollbacks_are_accounted(self):
+        # Every budget-aborted rebuild is visible, never silent.
+        assert self.clf.stats.budget_exceeded == len([
+            f for f in self.clf.failures if "budget" in f.error
+        ])
+        assert self.clf.degradation is None  # degrade=False never swaps one in
+
+
+BudgetRaceMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=14, deadline=None,
+)
+TestBudgetRaceMachine = BudgetRaceMachine.TestCase
+
+
+class DegradingRaceMachine(RuleBasedStateMachine):
+    """Same race with the degradation chain enabled: budget exhaustion
+    may swap in a coarser structure or the linear slow path — lookups
+    must stay exact through every swap."""
+
+    @initialize()
+    def setup(self):
+        self.clock = SteppingClock()
+        self.clf = UpdatableClassifier(
+            RuleSet(rules(4)), ExpCutsClassifier,
+            budget=BuildBudget(wall_seconds=5.0, clock=self.clock),
+            rebuild_threshold=3,
+        )
+
+    @rule(octet=st.integers(1, 12))
+    def insert(self, octet):
+        self.clf.insert(Rule.from_prefixes(sip=f"{octet}.0.0.0/8"))
+
+    @rule(frac=st.floats(0, 0.999))
+    def remove(self, frac):
+        if len(self.clf) > 1:
+            self.clf.remove(int(frac * len(self.clf)))
+
+    @rule()
+    def wedge_builds(self):
+        self.clock.step = 100.0
+
+    @rule()
+    def unwedge_builds(self):
+        self.clock.step = 0.0
+
+    @rule()
+    def force_rebuild(self):
+        self.clf.rebuild()
+
+    @invariant()
+    def agrees_with_oracle(self):
+        oracle = self.clf.current_ruleset()
+        for header in HEADERS[:6]:
+            assert self.clf.classify(header) == oracle.first_match(header)
+
+    @invariant()
+    def degradation_tag_is_wellformed(self):
+        tag = self.clf.degradation
+        assert tag is None or tag == "linear" or tag.startswith("params:")
+        if self.clf.stats.linear_fallbacks or self.clf.stats.degraded_rebuilds:
+            assert self.clf.stats.budget_exceeded >= 1
+
+
+DegradingRaceMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=14, deadline=None,
+)
+TestDegradingRaceMachine = DegradingRaceMachine.TestCase

@@ -1,0 +1,154 @@
+"""BuildBudget / BudgetMeter unit tests (limits, deadline, repr)."""
+
+import pytest
+
+from repro.core.budget import (
+    PAPER_IMAGE_BYTES,
+    SRAM_TOTAL_BYTES,
+    WORD_BYTES,
+    BudgetMeter,
+    BuildBudget,
+    meter_for,
+)
+from repro.core.errors import BuildBudgetExceeded, ReproError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBuildBudget:
+    def test_unlimited_by_default(self):
+        meter = BuildBudget().meter("x")
+        for _ in range(1000):
+            meter.add_node(50)
+        meter.checkpoint()  # nothing raises
+
+    def test_node_limit(self):
+        meter = BuildBudget(max_nodes=3).meter("hicuts")
+        meter.add_node()
+        meter.add_node()
+        meter.add_node()
+        with pytest.raises(BuildBudgetExceeded) as info:
+            meter.add_node()
+        assert info.value.limit == "nodes"
+        assert info.value.observed == 4
+        assert info.value.bound == 3
+        assert info.value.algorithm == "hicuts"
+
+    def test_layout_limit_in_bytes(self):
+        meter = BuildBudget(max_layout_bytes=100 * WORD_BYTES).meter("x")
+        meter.add_words(100)
+        with pytest.raises(BuildBudgetExceeded) as info:
+            meter.add_words(1)
+        assert info.value.limit == "layout_bytes"
+        assert meter.layout_bytes == 101 * WORD_BYTES
+
+    def test_deadline_polled_every_interval(self):
+        clock = FakeClock()
+        meter = BuildBudget(wall_seconds=5.0, clock=clock).meter("x")
+        clock.now = 10.0  # already past the deadline...
+        for _ in range(BudgetMeter.POLL_INTERVAL - 1):
+            meter.add_node()  # ...but not yet polled
+        with pytest.raises(BuildBudgetExceeded) as info:
+            meter.add_node()  # POLL_INTERVAL-th charge polls the clock
+        assert info.value.limit == "wall_seconds"
+
+    def test_checkpoint_polls_immediately(self):
+        clock = FakeClock()
+        meter = BuildBudget(wall_seconds=1.0, clock=clock).meter("x")
+        meter.checkpoint()  # within budget
+        clock.now = 2.0
+        with pytest.raises(BuildBudgetExceeded):
+            meter.checkpoint()
+
+    def test_paper_sram_wall(self):
+        budget = BuildBudget.paper_sram()
+        assert budget.max_layout_bytes == SRAM_TOTAL_BYTES
+        # The paper's measured image fits comfortably under the wall.
+        assert PAPER_IMAGE_BYTES < SRAM_TOTAL_BYTES
+        meter = budget.meter("expcuts")
+        meter.add_words(PAPER_IMAGE_BYTES // WORD_BYTES)
+        with pytest.raises(BuildBudgetExceeded):
+            meter.add_words(SRAM_TOTAL_BYTES // WORD_BYTES)
+
+    def test_meter_for_none(self):
+        assert meter_for(None, "x") is None
+        assert meter_for(BuildBudget(), "x") is not None
+
+    def test_repr_stable_under_clock(self):
+        # Budgets key build caches by repr: the injected clock must not
+        # leak into it (lambdas repr their memory address).
+        a = BuildBudget(max_nodes=5)
+        b = BuildBudget(max_nodes=5, clock=FakeClock())
+        assert repr(a) == repr(b)
+        assert a == b
+
+    def test_typed_error(self):
+        assert issubclass(BuildBudgetExceeded, ReproError)
+        assert issubclass(BuildBudgetExceeded, RuntimeError)
+
+
+class TestBudgetedBuilds:
+    """Every algorithm's build respects the budget parameter."""
+
+    @pytest.fixture(scope="class")
+    def ruleset(self):
+        from repro.rulesets import generate
+
+        return generate("FW01", seed=11)
+
+    @pytest.mark.parametrize("algorithm", [
+        "linear", "expcuts", "hicuts", "hypercuts", "hsm", "rfc",
+        "bitvector", "abv", "tuplespace",
+    ])
+    def test_generous_budget_accepts(self, ruleset, algorithm):
+        from repro.classifiers import ALGORITHMS
+
+        clf = ALGORITHMS[algorithm].build(
+            ruleset, budget=BuildBudget.paper_sram())
+        header = tuple(iv.lo for iv in ruleset.rules[0].intervals)
+        assert clf.classify(header) == ruleset.first_match(header)
+
+    @pytest.mark.parametrize("algorithm", [
+        "expcuts", "hicuts", "hypercuts", "hsm", "rfc",
+    ])
+    def test_tiny_budget_raises(self, ruleset, algorithm):
+        from repro.classifiers import ALGORITHMS
+
+        with pytest.raises(BuildBudgetExceeded) as info:
+            ALGORITHMS[algorithm].build(
+                ruleset, budget=BuildBudget(max_layout_bytes=8))
+        assert info.value.algorithm == algorithm
+
+    def test_deadline_aborts_build(self, ruleset):
+        from repro.classifiers import ALGORITHMS
+
+        clock = FakeClock()
+        ticking = BuildBudget(wall_seconds=0.5, clock=clock)
+
+        # Make the clock jump past the deadline after a few reads, as a
+        # wedged build would see.
+        class Jumpy:
+            reads = 0
+
+            def __call__(self):
+                Jumpy.reads += 1
+                return 10.0 if Jumpy.reads > 2 else 0.0
+
+        ticking = BuildBudget(wall_seconds=0.5, clock=Jumpy())
+        with pytest.raises(BuildBudgetExceeded) as info:
+            ALGORITHMS["expcuts"].build(ruleset, budget=ticking)
+        assert info.value.limit == "wall_seconds"
+
+    def test_budget_none_is_default_path(self, ruleset):
+        from repro.classifiers import ALGORITHMS
+
+        a = ALGORITHMS["hicuts"].build(ruleset)
+        b = ALGORITHMS["hicuts"].build(ruleset, budget=None)
+        header = tuple(iv.lo for iv in ruleset.rules[0].intervals)
+        assert a.classify(header) == b.classify(header)

@@ -57,10 +57,46 @@ class TestCaching:
         clf = cache.get_classifier("FW01", "hicuts")
         assert clf.classify((0, 0, 0, 0, 0)) is not None or True
 
-    def test_corrupt_pickle_recovers(self):
+    def test_corrupt_snapshot_recovers_and_quarantines(self):
         cache.get_classifier("FW01", "hicuts")
-        for path in cache.cache_dir().glob("*.pkl"):
+        snaps = list(cache.cache_dir().glob("*.snap"))
+        assert snaps, "disk cache should hold .snap files"
+        for path in snaps:
             path.write_bytes(b"garbage")
         cache.clear_memory_cache()
         clf = cache.get_classifier("FW01", "hicuts")
         assert clf is not None
+        header = (0x0A000001, 1, 2, 80, 6)
+        oracle = cache.get_ruleset("FW01").first_match(header)
+        assert clf.classify(header) == oracle
+        # The garbage files were quarantined, not silently reused/deleted.
+        assert list(cache.cache_dir().glob("*.corrupt*"))
+
+    def test_load_failures_counted_and_logged(self, caplog):
+        import logging
+
+        from repro.obs import disable_metrics, enable_metrics, get_registry
+
+        cache.get_ruleset("FW01")
+        for path in cache.cache_dir().glob("*.snap"):
+            path.write_bytes(path.read_bytes()[:-2])  # truncate payload
+        cache.clear_memory_cache()
+        enable_metrics()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro"):
+                cache.get_ruleset("FW01")
+            counters = get_registry().snapshot()["counters"]
+        finally:
+            disable_metrics()
+        assert counters.get("snapshots.load_failures") == 1
+        assert any("snapshot load failed" in rec.message
+                   for rec in caplog.records)
+
+    def test_stale_cache_version_rebuilds(self, monkeypatch):
+        cache.get_ruleset("FW01")
+        cache.clear_memory_cache()
+        monkeypatch.setattr(cache, "CACHE_VERSION", cache.CACHE_VERSION + 1)
+        # Old-version snapshots must never load: keys differ AND any file
+        # claiming the stale version fails verification at read time.
+        rs = cache.get_ruleset("FW01")
+        assert len(rs) == 69

@@ -19,6 +19,51 @@ class TestCli:
     def test_unknown_experiment(self, capsys):
         assert main(["fig99"]) == 2
 
+    def test_unknown_experiment_did_you_mean(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "fig9" in err
+        assert "valid experiments" in err
+
+    def test_unknown_algorithm_exit_2(self, capsys):
+        assert main(["profile", "--algorithms", "expcutz"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm 'expcutz'" in err
+        assert "expcuts" in err
+
+    def test_unknown_ruleset_exit_2(self, capsys):
+        assert main(["profile", "--ruleset", "CR99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown ruleset 'CR99'" in err
+        assert "CR04" in err
+
+
+class TestSnapshotsCommand:
+    def test_verify_and_gc(self, tmp_path, monkeypatch, capsys):
+        from repro.harness import snapshots
+        from repro.harness.cache import CACHE_VERSION
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        good = tmp_path / "good.snap"
+        snapshots.write_snapshot(good, [1, 2, 3], kind="ruleset",
+                                 cache_version=CACHE_VERSION, digest="good")
+        assert main(["snapshots", "verify"]) == 0
+
+        bad = tmp_path / "bad.snap"
+        snapshots.write_snapshot(bad, [4], kind="ruleset",
+                                 cache_version=CACHE_VERSION, digest="bad")
+        raw = bytearray(bad.read_bytes())
+        raw[-1] ^= 0xFF
+        bad.write_bytes(bytes(raw))
+        assert main(["snapshots", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "checksum mismatch" in out
+
+        assert main(["snapshots", "gc"]) == 0
+        assert main(["snapshots", "verify"]) == 0
+        assert good.exists() and not bad.exists()
+        assert not list(tmp_path.glob("*.corrupt*"))
+
     def test_runs_config_table(self, capsys):
         assert main(["table1"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,315 @@
+"""Corruption-injection tests for the snapshot store.
+
+Every way a cache file can rot — bit flips, truncation, bad magic,
+version skew, checksum mismatch, header damage — must be *detected at
+load*, quarantined, and recovered by a rebuild.  A corrupted payload
+must never reach the unpickler, and a load must never silently return
+stale or wrong data.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SnapshotIntegrityError
+from repro.harness import snapshots
+from repro.harness.snapshots import (
+    FORMAT_VERSION,
+    MAGIC,
+    gc_store,
+    quarantine,
+    read_header,
+    read_snapshot,
+    verify_store,
+    write_snapshot,
+)
+
+PAYLOAD = {"rules": list(range(64)), "name": "FW01"}
+
+
+@pytest.fixture
+def snap(tmp_path):
+    path = tmp_path / "entry.snap"
+    write_snapshot(path, PAYLOAD, kind="ruleset", cache_version=5,
+                   digest="abc123")
+    return path
+
+
+# -- corruption helpers -------------------------------------------------------
+
+def flip_bit(path, offset, bit=0):
+    raw = bytearray(path.read_bytes())
+    raw[offset % len(raw)] ^= 1 << bit
+    path.write_bytes(bytes(raw))
+
+
+def truncate(path, keep):
+    path.write_bytes(path.read_bytes()[:keep])
+
+
+def skew_version(path, *, format_version=None, cache_version=None):
+    """Rewrite the header with different version fields (payload intact)."""
+    header, offset = read_header(path)
+    payload = path.read_bytes()[offset:]
+    fields = dict(header.__dict__)
+    if format_version is not None:
+        fields["format_version"] = format_version
+    if cache_version is not None:
+        fields["cache_version"] = cache_version
+    import json
+    import struct
+
+    blob = json.dumps(fields, sort_keys=True).encode()
+    path.write_bytes(MAGIC + struct.pack(">I", len(blob)) + blob + payload)
+
+
+# -- detection ----------------------------------------------------------------
+
+class TestCorruptionDetected:
+    def test_roundtrip(self, snap):
+        assert read_snapshot(snap, kind="ruleset", cache_version=5,
+                             digest="abc123") == PAYLOAD
+
+    def test_bad_magic(self, snap):
+        flip_bit(snap, 0)
+        with pytest.raises(SnapshotIntegrityError, match="bad magic"):
+            read_snapshot(snap)
+
+    def test_payload_bit_flip(self, snap):
+        flip_bit(snap, snap.stat().st_size - 1)
+        with pytest.raises(SnapshotIntegrityError, match="checksum mismatch"):
+            read_snapshot(snap)
+
+    def test_truncated_payload(self, snap):
+        truncate(snap, snap.stat().st_size - 3)
+        with pytest.raises(SnapshotIntegrityError, match="truncated payload"):
+            read_snapshot(snap)
+
+    def test_truncated_to_nothing(self, snap):
+        truncate(snap, 3)
+        with pytest.raises(SnapshotIntegrityError, match="truncated magic"):
+            read_snapshot(snap)
+
+    def test_truncated_header(self, snap):
+        truncate(snap, len(MAGIC) + 6)
+        with pytest.raises(SnapshotIntegrityError, match="truncated header"):
+            read_snapshot(snap)
+
+    def test_trailing_garbage(self, snap):
+        snap.write_bytes(snap.read_bytes() + b"xx")
+        with pytest.raises(SnapshotIntegrityError, match="trailing bytes"):
+            read_snapshot(snap)
+
+    def test_format_version_skew(self, snap):
+        skew_version(snap, format_version=FORMAT_VERSION + 1)
+        with pytest.raises(SnapshotIntegrityError, match="format version skew"):
+            read_snapshot(snap)
+
+    def test_cache_version_skew(self, snap):
+        skew_version(snap, cache_version=4)
+        with pytest.raises(SnapshotIntegrityError, match="cache version skew"):
+            read_snapshot(snap, cache_version=5)
+
+    def test_kind_mismatch(self, snap):
+        with pytest.raises(SnapshotIntegrityError, match="kind mismatch"):
+            read_snapshot(snap, kind="classifier")
+
+    def test_digest_mismatch(self, snap):
+        with pytest.raises(SnapshotIntegrityError, match="digest mismatch"):
+            read_snapshot(snap, digest="other")
+
+    def test_implausible_header_length(self, snap):
+        raw = bytearray(snap.read_bytes())
+        raw[len(MAGIC):len(MAGIC) + 4] = b"\xff\xff\xff\xff"
+        snap.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotIntegrityError, match="implausible header"):
+            read_snapshot(snap)
+
+    def test_non_json_header(self, snap):
+        header, offset = read_header(snap)
+        raw = bytearray(snap.read_bytes())
+        raw[len(MAGIC) + 4] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotIntegrityError, match="undecodable header"):
+            read_snapshot(snap)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotIntegrityError, match="unreadable"):
+            read_snapshot(tmp_path / "absent.snap")
+
+
+class TestPickleNeverReachedUnverified:
+    """A tampered payload must fail the checksum *before* unpickling."""
+
+    def test_malicious_payload_not_unpickled(self, tmp_path):
+        class Boom:
+            def __reduce__(self):
+                return (pytest.fail, ("pickle.loads ran on unverified bytes",))
+
+        path = tmp_path / "evil.snap"
+        write_snapshot(path, PAYLOAD, kind="k", cache_version=1)
+        header, offset = read_header(path)
+        evil = pickle.dumps(Boom())
+        # Splice in the hostile payload without fixing the checksum, as
+        # an attacker (or rotting disk) would.
+        raw = path.read_bytes()[:offset] + evil + b"\0" * max(
+            0, header.payload_bytes - len(evil))
+        path.write_bytes(raw[:offset + header.payload_bytes])
+        with pytest.raises(SnapshotIntegrityError):
+            read_snapshot(path)  # Boom.__reduce__ never runs
+
+    def test_checksummed_unpicklable_payload_is_typed_error(self, tmp_path):
+        # Valid container, valid checksum, but bytes that are not a
+        # pickle (e.g. written by a future serializer): still the typed
+        # error, so callers quarantine instead of crashing.
+        import hashlib
+        import json
+        import struct
+
+        payload = b"\x00not a pickle"
+        fields = {
+            "format_version": FORMAT_VERSION, "cache_version": 1,
+            "kind": "k", "digest": "", "build": {},
+            "payload_bytes": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        blob = json.dumps(fields, sort_keys=True).encode()
+        path = tmp_path / "odd.snap"
+        path.write_bytes(MAGIC + struct.pack(">I", len(blob)) + blob + payload)
+        with pytest.raises(SnapshotIntegrityError, match="unpickle failed"):
+            read_snapshot(path)
+
+
+# -- quarantine and store maintenance ----------------------------------------
+
+class TestQuarantine:
+    def test_quarantine_moves_file(self, snap):
+        moved = quarantine(snap, "test")
+        assert moved is not None and moved.exists()
+        assert not snap.exists()
+        assert moved.name.endswith(".corrupt")
+
+    def test_quarantine_serials(self, tmp_path):
+        for i in range(3):
+            path = tmp_path / "x.snap"
+            path.write_bytes(b"junk%d" % i)
+            assert quarantine(path) is not None
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["x.snap.corrupt", "x.snap.corrupt.1",
+                         "x.snap.corrupt.2"]
+
+    def test_quarantine_missing_file_returns_none(self, tmp_path):
+        assert quarantine(tmp_path / "absent.snap") is None
+
+
+class TestStoreMaintenance:
+    def test_verify_reports_mixed_store(self, tmp_path):
+        good = tmp_path / "good.snap"
+        bad = tmp_path / "bad.snap"
+        write_snapshot(good, [1], kind="k", cache_version=1)
+        write_snapshot(bad, [2], kind="k", cache_version=1)
+        flip_bit(bad, bad.stat().st_size - 1)
+        report = verify_store(tmp_path, cache_version=1)
+        assert report.ok == [good]
+        assert [p for p, _ in report.corrupt] == [bad]
+        assert not report.healthy
+        assert "1 ok" in report.summary() and "1 corrupt" in report.summary()
+
+    def test_verify_headers_only_skips_payload(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, [1], kind="k", cache_version=1)
+        flip_bit(path, path.stat().st_size - 1)
+        assert verify_store(tmp_path, full=False).healthy
+        assert not verify_store(tmp_path, full=True).healthy
+
+    def test_gc_quarantines_and_sweeps(self, tmp_path):
+        good = tmp_path / "good.snap"
+        bad = tmp_path / "bad.snap"
+        write_snapshot(good, [1], kind="k", cache_version=1)
+        write_snapshot(bad, [2], kind="k", cache_version=1)
+        flip_bit(bad, bad.stat().st_size - 1)
+        (tmp_path / "stale.tmp").write_bytes(b"torn write")
+        (tmp_path / "legacy.pkl").write_bytes(b"old format")
+        report = gc_store(tmp_path, cache_version=1)
+        survivors = sorted(p.name for p in tmp_path.iterdir())
+        assert survivors == ["good.snap"]
+        assert len(report.removed) == 3  # bad (quarantined), .tmp, .pkl
+        assert verify_store(tmp_path, cache_version=1).healthy
+
+    def test_gc_quarantines_version_skew(self, tmp_path):
+        path = tmp_path / "old.snap"
+        write_snapshot(path, [1], kind="k", cache_version=1)
+        gc_store(tmp_path, cache_version=2)
+        assert not path.exists()
+
+
+class TestAtomicWrite:
+    def test_no_tmp_residue(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, PAYLOAD, kind="k", cache_version=1)
+        assert [p.name for p in tmp_path.iterdir()] == ["a.snap"]
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, {"v": 1}, kind="k", cache_version=1)
+        write_snapshot(path, {"v": 2}, kind="k", cache_version=1)
+        assert read_snapshot(path) == {"v": 2}
+
+    def test_header_readable_without_payload(self, snap):
+        header, offset = read_header(snap)
+        assert header.kind == "ruleset"
+        assert header.cache_version == 5
+        assert header.digest == "abc123"
+        assert "python" in header.build
+        assert offset + header.payload_bytes == snap.stat().st_size
+
+
+# -- fuzzing ------------------------------------------------------------------
+
+class TestFuzz:
+    """Arbitrary single-site damage is always detected or harmless.
+
+    The invariant: a read either returns the exact original object or
+    raises SnapshotIntegrityError.  There is no third outcome — no wrong
+    data, no stale data, no unpickle crash, no hang.
+    """
+
+    @settings(max_examples=120, deadline=None)
+    @given(offset=st.integers(0, 10_000), bit=st.integers(0, 7))
+    def test_bit_flip_anywhere(self, tmp_path_factory, offset, bit):
+        tmp = tmp_path_factory.mktemp("fuzz")
+        path = tmp / "f.snap"
+        write_snapshot(path, PAYLOAD, kind="k", cache_version=3, digest="d")
+        flip_bit(path, offset, bit)
+        try:
+            value = read_snapshot(path, kind="k", cache_version=3, digest="d")
+        except SnapshotIntegrityError:
+            return
+        assert value == PAYLOAD  # flipped a byte the checksum ignores? no:
+        # every byte is covered, so reaching here means the flip landed
+        # on... nothing. The only valid success is exact equality anyway.
+
+    @settings(max_examples=60, deadline=None)
+    @given(keep=st.integers(0, 5_000))
+    def test_truncation_anywhere(self, tmp_path_factory, keep):
+        tmp = tmp_path_factory.mktemp("fuzz")
+        path = tmp / "f.snap"
+        write_snapshot(path, PAYLOAD, kind="k", cache_version=3)
+        size = path.stat().st_size
+        truncate(path, min(keep, size))
+        if keep >= size:
+            assert read_snapshot(path) == PAYLOAD
+        else:
+            with pytest.raises(SnapshotIntegrityError):
+                read_snapshot(path)
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.binary(min_size=0, max_size=200))
+    def test_arbitrary_bytes_never_unpickled(self, tmp_path_factory, junk):
+        tmp = tmp_path_factory.mktemp("fuzz")
+        path = tmp / "junk.snap"
+        path.write_bytes(junk)
+        with pytest.raises(SnapshotIntegrityError):
+            read_snapshot(path)
