@@ -14,7 +14,8 @@ Usage::
     python scripts/check_bench_regression.py [--baseline HEAD] [--threshold 0.15]
 
 Exit status: 0 = no regressions (including "nothing to compare"),
-1 = at least one metric regressed, 2 = usage/environment error.
+1 = at least one metric regressed, 2 = usage/environment error or a
+malformed record (invalid JSON or schema violations — see ``validate``).
 """
 
 from __future__ import annotations
@@ -46,6 +47,37 @@ def committed_record(root: Path, rev: str, name: str) -> dict | None:
         return json.loads(out.stdout)
     except json.JSONDecodeError:
         return None
+
+
+def validate(record: object) -> list[str]:
+    """Schema problems in one BENCH record (empty when well-formed).
+
+    The schema is what :func:`repro.obs.perf.write_bench_record` emits:
+    ``benchmark`` (str), ``metrics`` (str -> number, higher-is-better),
+    ``wall_time_s`` (number), ``date`` (str), optional ``extra`` (dict).
+    A malformed committed record would otherwise make every future
+    comparison silently vacuous, so the checker refuses it outright.
+    """
+    problems = []
+    if not isinstance(record, dict):
+        return [f"  record is {type(record).__name__}, expected object"]
+    if not isinstance(record.get("benchmark"), str):
+        problems.append("  'benchmark' missing or not a string")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("  'metrics' missing or not an object")
+    else:
+        for key, value in sorted(metrics.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                problems.append(f"  metric {key!r} is not a number")
+    if isinstance(record.get("wall_time_s"), bool) or not isinstance(
+            record.get("wall_time_s"), (int, float)):
+        problems.append("  'wall_time_s' missing or not a number")
+    if not isinstance(record.get("date"), str):
+        problems.append("  'date' missing or not a string")
+    if "extra" in record and not isinstance(record["extra"], dict):
+        problems.append("  'extra' present but not an object")
+    return problems
 
 
 def compare(fresh: dict, baseline: dict, threshold: float) -> list[str]:
@@ -82,11 +114,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failed = False
+    malformed = False
     for path in records:
         try:
             fresh = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            print(f"{path.name}: unreadable (skipped)")
+        except json.JSONDecodeError as exc:
+            malformed = True
+            print(f"{path.name}: MALFORMED (not valid JSON: {exc})")
+            continue
+        schema_problems = validate(fresh)
+        if schema_problems:
+            malformed = True
+            print(f"{path.name}: MALFORMED (schema violations)")
+            print("\n".join(schema_problems))
             continue
         baseline = committed_record(root, args.baseline, path.name)
         if baseline is None:
@@ -103,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
             n = len(fresh.get("metrics", {}))
             print(f"{path.name}: ok ({n} metric(s) within "
                   f"{args.threshold:.0%} of {args.baseline})")
+    if malformed:
+        return 2
     return 1 if failed else 0
 
 

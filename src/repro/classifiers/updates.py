@@ -17,7 +17,9 @@ built and spot-checked against the linear oracle *before* it replaces
 the serving snapshot.  A rebuild that raises, or whose structure
 disagrees with the oracle, is rolled back — the old snapshot keeps
 serving, the failure is recorded in ``failures``, and retry is deferred
-until further updates land.  A per-lookup **depth watchdog** catches a
+until further updates land *or*, with ``rebuild_retry_seconds`` set, a
+wall-clock interval elapses (observed on the next update or
+:meth:`~UpdatableClassifier.poll`).  A per-lookup **depth watchdog** catches a
 lookup that escapes the base structure's explicit bound (a corrupted
 image) and answers from the linear slow path instead of crashing.
 
@@ -40,8 +42,9 @@ machine.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Sequence, Type
+from typing import Callable, Sequence, Type
 
 from ..core.budget import BuildBudget
 from ..core.errors import (
@@ -114,6 +117,8 @@ class UpdatableClassifier:
                  spot_check_headers: int = 32,
                  budget: BuildBudget | None = None,
                  degrade: bool = True,
+                 rebuild_retry_seconds: float | None = None,
+                 clock: Callable[[], float] | None = None,
                  **build_params) -> None:
         """``spot_check_headers`` caps the validate-then-swap equivalence
         check (0 disables it).
@@ -122,17 +127,30 @@ class UpdatableClassifier:
         coarser-params → linear-slow-path chain when it is exceeded.
         With ``degrade=False`` a budget overrun is treated like any
         failed rebuild: rolled back, the old snapshot keeps serving.
+
+        ``rebuild_retry_seconds`` arms a second, wall-clock retry
+        trigger after a failed rebuild: the retry fires when pending
+        updates grow past the failure point **or** once that interval
+        elapses (checked on the next update or :meth:`poll`).  Without
+        it, a low-write-rate deployment that failed one rebuild stays
+        on the overlay slow path indefinitely.  ``clock`` is injectable
+        for deterministic tests (like :class:`~repro.core.budget.BuildBudget`).
         """
         if rebuild_threshold < 1:
             raise ConfigurationError("rebuild_threshold must be >= 1")
         if spot_check_headers < 0:
             raise ConfigurationError("spot_check_headers must be non-negative")
+        if rebuild_retry_seconds is not None and rebuild_retry_seconds < 0:
+            raise ConfigurationError(
+                "rebuild_retry_seconds must be non-negative")
         self.base_class = base_class
         self.build_params = build_params
         self.rebuild_threshold = rebuild_threshold
         self.spot_check_headers = spot_check_headers
         self.budget = budget
         self.degrade = degrade
+        self.rebuild_retry_seconds = rebuild_retry_seconds
+        self._clock = clock or time.monotonic
         self.rules: list[Rule] = list(ruleset.rules)
         self.name = f"updatable({base_class.name})"
         self.stats = UpdateStats()
@@ -143,6 +161,8 @@ class UpdatableClassifier:
         self.degradation: str | None = None
         #: After a failed rebuild, retry only once pending grows past this.
         self._retry_after_pending: int | None = None
+        #: ...or once the wall clock passes this (when the interval is set).
+        self._retry_at: float | None = None
         self._rebuild()
 
     # -- structure maintenance ------------------------------------------------
@@ -233,6 +253,8 @@ class UpdatableClassifier:
                 pending_updates=self.pending_updates,
             ))
             self._retry_after_pending = self.pending_updates
+            if self.rebuild_retry_seconds is not None:
+                self._retry_at = self._clock() + self.rebuild_retry_seconds
             return False
         # Swap: all serving state replaced in one step.
         self._snapshot = snapshot
@@ -243,6 +265,7 @@ class UpdatableClassifier:
         self._overlay: list[_OverlayEntry] = []
         self._tombstones = 0
         self._retry_after_pending = None
+        self._retry_at = None
         self.stats.rebuilds += 1
         return True
 
@@ -251,9 +274,32 @@ class UpdatableClassifier:
         if pending < self.rebuild_threshold:
             return
         if (self._retry_after_pending is not None
-                and pending <= self._retry_after_pending):
-            return  # back off until more updates land
+                and pending <= self._retry_after_pending
+                and not self._retry_interval_elapsed()):
+            return  # back off until more updates land or the clock says go
         self._rebuild()
+
+    def _retry_interval_elapsed(self) -> bool:
+        return self._retry_at is not None and self._clock() >= self._retry_at
+
+    def poll(self) -> bool:
+        """Health tick: run any rebuild the backoff rules now permit.
+
+        Updates trigger :meth:`_maybe_rebuild` themselves, but a
+        deployment whose write rate dropped to zero after a failed
+        rebuild would otherwise never retry — the wall-clock trigger
+        needs *something* to observe the clock.  Serving layers call
+        this periodically.  Returns True when a rebuild was attempted.
+        """
+        pending = self.pending_updates
+        if pending < self.rebuild_threshold:
+            return False
+        if (self._retry_after_pending is not None
+                and pending <= self._retry_after_pending
+                and not self._retry_interval_elapsed()):
+            return False
+        self._rebuild()
+        return True
 
     @property
     def pending_updates(self) -> int:

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from .errors import BuildBudgetExceeded
+from .errors import BuildBudgetExceeded, DeadlineExceeded
 
 #: One QDR SRAM channel on the IXP2850 (Table 1): 8 MB.
 SRAM_CHANNEL_BYTES = 8 * 1024 * 1024
@@ -159,3 +159,48 @@ class BudgetMeter:
 def meter_for(budget: BuildBudget | None, algorithm: str) -> BudgetMeter | None:
     """``budget.meter(...)`` that tolerates ``None`` (the common call)."""
     return None if budget is None else budget.meter(algorithm)
+
+
+class Deadline:
+    """A per-request wall-clock deadline (the lookup-side analogue of
+    :class:`BudgetMeter`'s build deadline).
+
+    The serving layer (:mod:`repro.serve`) starts one per admitted
+    request and checks it between retry attempts and before returning an
+    answer, so a request that cannot be answered in time fails with the
+    typed :class:`~repro.core.errors.DeadlineExceeded` instead of
+    returning late (and, to the caller's SLO, stale) data.  Like
+    :class:`BuildBudget`, the clock is injectable so tests and the
+    simulated soak drive it deterministically.  ``budget_s=None`` means
+    "no deadline": :meth:`expired` is always False.
+    """
+
+    __slots__ = ("budget_s", "_clock", "_start", "_deadline")
+
+    def __init__(self, budget_s: float | None,
+                 clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or time.monotonic
+        self.budget_s = budget_s
+        self._start = self._clock()
+        self._deadline = None if budget_s is None else self._start + budget_s
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` without a deadline; never negative)."""
+        if self._deadline is None:
+            return float("inf")
+        return max(0.0, self._deadline - self._clock())
+
+    def expired(self) -> bool:
+        return self._deadline is not None and self._clock() > self._deadline
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget_s * 1e3:.3f} ms deadline "
+                f"after {self.elapsed() * 1e3:.3f} ms",
+                elapsed_s=self.elapsed(), budget_s=self.budget_s,
+            )

@@ -3,13 +3,20 @@
 Every error the library raises deliberately derives from
 :class:`ReproError`, so callers can catch "anything this library
 objects to" with one clause while the graceful-degradation machinery
-(:mod:`repro.npsim.faults`, :class:`repro.classifiers.updates.UpdatableClassifier`)
-distinguishes recoverable conditions from programming mistakes.
+(:mod:`repro.npsim.faults`, :class:`repro.classifiers.updates.UpdatableClassifier`,
+:mod:`repro.serve`) distinguishes recoverable conditions from
+programming mistakes.
 
 Each concrete class also inherits the builtin exception the same
 condition used to raise (``ValueError``, ``IndexError``, ``KeyError``),
 so pre-existing ``except ValueError`` call sites and tests keep working
 across the migration.
+
+Every class carries a stable machine-readable ``code`` string.  The
+harness CLI prints it on failure (``error[serve.deadline]: ...``) so
+scripts and CI can branch on the condition without parsing prose, and
+the string is a compatibility contract: renaming a class must not
+change its code.
 """
 
 from __future__ import annotations
@@ -18,17 +25,35 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for every deliberate error raised by this library."""
 
+    #: Stable, machine-readable identifier for the error condition,
+    #: surfaced in CLI exit messages as ``error[<code>]: <message>``.
+    code = "repro"
+
 
 class ConfigurationError(ReproError, ValueError):
     """A constructor or function was given an invalid parameter value."""
+
+    code = "config"
+
+
+class GenerationError(ReproError, RuntimeError):
+    """A synthetic generator could not satisfy its target (e.g. the
+    requested number of distinct rules or routes is unreachable for the
+    profile's value distributions)."""
+
+    code = "generation"
 
 
 class SimulationError(ReproError):
     """Something went wrong inside the NP discrete-event simulation."""
 
+    code = "sim"
+
 
 class ChannelError(SimulationError, ValueError):
     """A memory channel was misconfigured or misused."""
+
+    code = "sim.channel"
 
 
 class ChannelOfflineError(ChannelError):
@@ -39,6 +64,8 @@ class ChannelOfflineError(ChannelError):
     channels, so seeing this escape means a routing bug, not a fault.
     """
 
+    code = "sim.channel_offline"
+
     def __init__(self, channel: str, at: float) -> None:
         super().__init__(f"channel {channel} is offline at cycle {at:.0f}")
         self.channel = channel
@@ -48,9 +75,13 @@ class ChannelOfflineError(ChannelError):
 class PlacementError(SimulationError, ValueError):
     """No valid region-to-channel placement exists (or policy unknown)."""
 
+    code = "sim.placement"
+
 
 class RegionUnmappedError(SimulationError, KeyError):
     """A program references a region with no channel placement."""
+
+    code = "sim.region_unmapped"
 
 
 class RuleParseError(ReproError, ValueError):
@@ -59,6 +90,8 @@ class RuleParseError(ReproError, ValueError):
     Carries ``source`` (file name or ruleset name) and ``line_no`` so
     batch loaders can report exactly where the bad line sits.
     """
+
+    code = "rule.parse"
 
     def __init__(self, message: str, source: str | None = None,
                  line_no: int | None = None) -> None:
@@ -75,14 +108,20 @@ class RuleParseError(ReproError, ValueError):
 class RuleFormatError(ReproError, ValueError):
     """A rule cannot be serialised to the textual format."""
 
+    code = "rule.format"
+
 
 class UpdateError(ReproError, IndexError):
     """An insert/remove targeted an invalid rule position."""
+
+    code = "update"
 
 
 class RebuildError(ReproError, RuntimeError):
     """A classifier rebuild failed or produced a structure that
     disagrees with the linear oracle (validate-then-swap rejected it)."""
+
+    code = "rebuild"
 
 
 class DepthBoundExceededError(ReproError, RuntimeError):
@@ -93,9 +132,13 @@ class DepthBoundExceededError(ReproError, RuntimeError):
     linear slow path when they see this.
     """
 
+    code = "depth_bound"
+
 
 class SnapshotError(ReproError, RuntimeError):
     """Something is wrong with a persisted structure snapshot."""
+
+    code = "snapshot"
 
 
 class SnapshotIntegrityError(SnapshotError):
@@ -105,6 +148,8 @@ class SnapshotIntegrityError(SnapshotError):
     payload"``, ``"checksum mismatch"``, ``"version skew"``, ...) so the
     cache layer can log one precise line and quarantine the file.
     """
+
+    code = "snapshot.integrity"
 
     def __init__(self, path, reason: str) -> None:
         super().__init__(f"{path}: {reason}")
@@ -122,6 +167,8 @@ class BuildBudgetExceeded(ReproError, RuntimeError):
     escape an experiment means the chain was explicitly disabled.
     """
 
+    code = "budget.build"
+
     def __init__(self, message: str, *, limit: str, observed: float,
                  bound: float, algorithm: str | None = None) -> None:
         super().__init__(message)
@@ -133,3 +180,91 @@ class BuildBudgetExceeded(ReproError, RuntimeError):
 
 class FaultPlanError(ConfigurationError):
     """A fault-injection plan is internally inconsistent."""
+
+    code = "faults.plan"
+
+
+# -- serving layer (repro.serve) ---------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for every error the serving layer returns to a caller."""
+
+    code = "serve"
+
+
+class AdmissionRejected(ServiceError):
+    """A request was shed at admission instead of being queued.
+
+    ``reason`` is one of the stable shed-reason strings
+    (``"rate_limited"``, ``"queue_full"``, ``"stopping"``, ``"stopped"``)
+    and doubles as the metrics key ``serve.shed.<reason>``.
+    """
+
+    code = "serve.shed"
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"request shed at admission: {reason}")
+        self.reason = reason
+
+
+class ServiceStopped(AdmissionRejected):
+    """The service is stopped (or draining) and accepts no new requests."""
+
+    code = "serve.stopped"
+
+    def __init__(self, reason: str = "stopped") -> None:
+        super().__init__(reason)
+
+
+class DeadlineExceeded(ServiceError, TimeoutError):
+    """A request's deadline expired before a verified answer was ready.
+
+    The service raises this instead of returning a stale or partial
+    answer; ``elapsed_s`` and ``budget_s`` record how far past the
+    deadline the request ran.
+    """
+
+    code = "serve.deadline"
+
+    def __init__(self, message: str, *, elapsed_s: float | None = None,
+                 budget_s: float | None = None) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.budget_s = budget_s
+
+
+class TransientServiceError(ServiceError):
+    """A retryable failure: the replica is expected to recover.
+
+    Wraps snapshot-load failures, rebuild-in-progress windows and
+    injected SRAM channel faults; the retry policy backs off and tries
+    again (or fails over) instead of surfacing these to the caller.
+    """
+
+    code = "serve.transient"
+
+
+class CircuitOpenError(ServiceError):
+    """Every replica's circuit breaker is open: nothing can serve.
+
+    Callers treat this like a shed (retry later); the breakers will
+    probe half-open after their cool-down.
+    """
+
+    code = "serve.breaker_open"
+
+
+class RetriesExhausted(ServiceError):
+    """The retry budget ran out before any replica answered.
+
+    ``attempts`` counts tries; ``last`` is the final failure.
+    """
+
+    code = "serve.retries_exhausted"
+
+    def __init__(self, message: str, *, attempts: int,
+                 last: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.errors import GenerationError
 from ..core.interval import prefix_to_interval
 
 
@@ -112,7 +113,7 @@ def generate_fib(num_routes: int, seed: int = 7, num_next_hops: int = 16,
     while len(fib) < num_routes:
         attempts += 1
         if attempts > num_routes * 60:
-            raise RuntimeError("cannot reach the requested route count")
+            raise GenerationError("cannot reach the requested route count")
         plen = int(rng.choice(lens, p=probs))
         base = pool[int(rng.integers(len(pool)))]
         span = 32 - plen

@@ -13,6 +13,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..core.errors import ReproError
 from .experiments import REGISTRY, list_experiments, run_experiment
 
 ORDER = ("table1", "table2", "table3", "table4", "table5",
@@ -73,6 +74,12 @@ def main(argv: list[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except ReproError as exc:
+        # Every library failure carries a stable machine-readable code
+        # (``repro.core.errors``); surface it instead of a stack trace so
+        # scripts can branch on the class of failure.
+        print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+        return 1
 
 
 def _main(argv: list[str] | None = None) -> int:

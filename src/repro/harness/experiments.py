@@ -49,6 +49,9 @@ REGISTRY: dict[str, tuple[str, str]] = {
              "Figure 9: ExpCuts vs HiCuts vs HSM on all rule sets"),
     "resilience": ("repro.harness.resilience",
                    "Resilience: throughput under injected SRAM channel loss"),
+    "serve-soak": ("repro.harness.serve_soak",
+                   "Serve-soak: the serving layer under bursty overload, "
+                   "faults and live updates (writes BENCH_serve_soak.json)"),
     "profile": ("repro.harness.profile",
                 "Profile: lookup depth/access histograms, hot nodes and "
                 "DES timeline export (writes results/profile_*.json)"),

@@ -1,0 +1,271 @@
+"""Serve-soak — the serving layer under bursty overload and faults.
+
+Not a paper figure: this experiment drives a
+:class:`~repro.serve.service.ClassificationService` (two
+``UpdatableClassifier(ExpCuts)`` replicas, ``sram0``/``sram1``) with the
+full robustness gauntlet at once:
+
+* **bursty traffic** from :func:`repro.traffic.burst_arrivals` whose
+  burst peaks overrun the admission token bucket (sheds, by reason);
+* a seeded :class:`~repro.npsim.faults.FaultPlan` replayed against the
+  replicas (1 simulated cycle ≡ 1 µs of serving time): a latency spike
+  makes the primary miss its deadline until the slow-call breaker trips,
+  and a channel outage makes it raise transient errors until the
+  recovery window ends — both exercising retry, failover and the
+  half-open probe cycle;
+* **mid-soak updates** (inserts/removes through the service, plus
+  periodic :meth:`~repro.serve.service.ClassificationService.poll`
+  ticks) so rebuilds happen while traffic flows;
+* a per-request **linear-oracle audit** proving every answer actually
+  returned was exact — the acceptance criterion is *zero* divergences.
+
+The run is fully simulated time (:class:`~repro.serve.ManualClock`,
+seeded jitter, seeded arrivals), so its numbers reproduce bit-for-bit;
+the full run emits ``BENCH_serve_soak.json`` with goodput in
+``metrics`` (rate-compared by ``scripts/check_bench_regression.py``)
+and latency percentiles / shed rates in ``extra`` (recorded, never
+rate-compared — lower is better there).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..classifiers import ALGORITHMS
+from ..classifiers.updates import UpdatableClassifier
+from ..core.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ReproError,
+    TransientServiceError,
+)
+from ..npsim import ChannelFailure, FaultPlan, LatencySpike
+from ..obs.perf import write_bench_record
+from ..serve import ClassificationService, ManualClock, Replica, RetryPolicy, ServicePolicy
+from ..traffic import burst_arrivals
+from .cache import cache_dir, get_ruleset, get_trace
+from .experiments import ExperimentResult
+from .report import render_table
+
+#: Serving-time convention for FaultPlan replay: 1 cycle ≡ 1 µs.
+CYCLE_S = 1e-6
+
+#: Base service time per replica lookup (seconds of simulated time).
+PRIMARY_SERVICE_S = 60e-6
+STANDBY_SERVICE_S = 90e-6
+
+POLICY = ServicePolicy(
+    max_in_flight=64,
+    rate_limit_per_s=8_000.0,
+    burst=48,
+    default_deadline_s=300e-6,
+    retry=RetryPolicy(max_attempts=3, base_s=100e-6, max_backoff_s=2e-3,
+                      jitter=0.5, seed=2007),
+    breaker_window=32,
+    breaker_min_calls=8,
+    failure_rate_threshold=0.5,
+    slow_call_rate_threshold=0.8,
+    slow_call_s=200e-6,
+    open_s=50e-3,
+    half_open_probes=3,
+    shadow=False,  # the oracle audit below is the stronger check
+    oracle_check=True,
+)
+
+
+def _fault_plan(quick: bool) -> FaultPlan:
+    """The soak's seeded hazard schedule (cycles, i.e. µs of serving)."""
+    if quick:
+        return FaultPlan(
+            seed=2007,
+            latency_spikes=(LatencySpike("sram0", 30_000.0, 70_000.0, 6.0),),
+            channel_failures=(ChannelFailure("sram0", 90_000.0),),
+            recovery_cycles=30_000.0,
+        )
+    return FaultPlan(
+        seed=2007,
+        latency_spikes=(LatencySpike("sram0", 250_000.0, 450_000.0, 6.0),),
+        channel_failures=(ChannelFailure("sram0", 650_000.0),),
+        recovery_cycles=150_000.0,
+    )
+
+
+def _replica_hook(clock: ManualClock, plan: FaultPlan, channel: str,
+                  base_service_s: float):
+    """Replay one channel's faults against a replica.
+
+    Called with the current simulated time before every lookup: inside
+    an outage window the lookup fails fast with a retryable error (the
+    SRAM image is gone until the control plane re-places it); otherwise
+    the hook charges the lookup's service time, stretched by any active
+    latency spike.
+    """
+    outages = [(s * CYCLE_S, e * CYCLE_S) for s, e in plan.outage_windows(channel)]
+    spikes = [(s * CYCLE_S, e * CYCLE_S, f)
+              for s, e, f in plan.slow_windows(channel)]
+
+    def hook(now: float) -> None:
+        for start, end in outages:
+            if start <= now < end:
+                raise TransientServiceError(
+                    f"{channel} offline until t={end * 1e3:.0f}ms "
+                    f"(injected channel failure)")
+        service_s = base_service_s
+        for start, end, factor in spikes:
+            if start <= now < end:
+                service_s *= factor
+        clock.advance(service_s)
+
+    return hook
+
+
+def run_serve_soak(quick: bool = False) -> ExperimentResult:
+    wall_start = time.time()
+    ruleset_name = "FW01" if quick else "CR01"
+    packets = 1_200 if quick else 8_000
+    ruleset = get_ruleset(ruleset_name)
+    trace = get_trace(ruleset_name, count=packets, seed=7)
+    arrivals = burst_arrivals(packets, base_rate_per_s=3_000.0,
+                              burst_factor=8.0, period_s=0.05,
+                              burst_fraction=0.25, seed=7)
+
+    clock = ManualClock()
+    plan = _fault_plan(quick)
+    expcuts = ALGORITHMS["expcuts"]
+    replicas = [
+        Replica(name, UpdatableClassifier(ruleset, expcuts,
+                                          rebuild_threshold=8),
+                fault_hook=_replica_hook(clock, plan, name, service_s))
+        for name, service_s in (("sram0", PRIMARY_SERVICE_S),
+                                ("sram1", STANDBY_SERVICE_S))
+    ]
+    service = ClassificationService(replicas, policy=POLICY, clock=clock,
+                                    sleep=clock.sleep)
+
+    # Churn source: re-insert clones of existing rules and remove them
+    # again, so the live rule count oscillates and rebuilds trigger.
+    update_every = 120 if quick else 400
+    poll_every = 500 if quick else 1_000
+    inserted_positions: list[int] = []
+    outcomes = {"served": 0, "shed": 0, "deadline": 0, "error": 0}
+    for idx in range(packets):
+        if arrivals[idx] > clock.now:
+            clock.advance(arrivals[idx] - clock.now)
+        if idx and idx % update_every == 0:
+            if len(inserted_positions) >= 8:
+                service.remove(inserted_positions.pop())
+            else:
+                rule = ruleset[(idx // update_every) % len(ruleset)]
+                inserted_positions.append(service.insert(rule))
+        if idx and idx % poll_every == 0:
+            service.poll()
+        header = trace.header(idx)
+        try:
+            service.classify(header)
+        except AdmissionRejected:
+            outcomes["shed"] += 1
+        except DeadlineExceeded:
+            outcomes["deadline"] += 1
+        except ReproError:
+            outcomes["error"] += 1
+        else:
+            outcomes["served"] += 1
+
+    snapshot_path = cache_dir() / "serve_soak_state.snap"
+    state = service.stop(drain=True, snapshot_path=snapshot_path)
+    report = service.report()
+    counters = report["metrics"]["counters"]
+    latency = service.metrics.histogram("serve.latency_us")
+
+    span_s = clock.now
+    served = outcomes["served"]
+    shed = sum(v for k, v in counters.items() if k.startswith("serve.shed."))
+    divergences = counters.get("serve.oracle.divergences", 0)
+    breaker_opens = sum(report["replicas"][r]["open_count"]
+                       for r in report["replicas"])
+    transitions = sum(len(report["replicas"][r]["transitions"])
+                      for r in report["replicas"])
+
+    # Acceptance criteria — fail the experiment loudly, not quietly.
+    if divergences:
+        raise AssertionError(
+            f"serve-soak returned {divergences} wrong answers "
+            f"(oracle divergences); the service must never serve stale "
+            f"or incorrect results")
+    if not shed:
+        raise AssertionError("serve-soak shed nothing; the burst traffic "
+                             "no longer overruns admission")
+    if not breaker_opens:
+        raise AssertionError("serve-soak never opened a breaker; the "
+                             "fault plan no longer degrades the primary")
+
+    goodput_kpps = served / span_s / 1e3 if span_s > 0 else 0.0
+    metrics = {
+        "goodput_kpps": round(goodput_kpps, 3),
+        "served_fraction": round(served / packets, 4),
+    }
+    extra = {
+        "packets_offered": packets,
+        "served": served,
+        "shed": shed,
+        "shed_rate": round(shed / packets, 4),
+        "shed_reasons": {k.removeprefix("serve.shed."): v
+                         for k, v in sorted(counters.items())
+                         if k.startswith("serve.shed.")},
+        "deadline_exceeded": counters.get("serve.deadline_exceeded", 0),
+        "transient_failures": counters.get("serve.transient_failures", 0),
+        "retries": counters.get("serve.retries", 0),
+        "failovers": counters.get("serve.failovers", 0),
+        "latency_us_p50": latency.percentile(0.50),
+        "latency_us_p99": latency.percentile(0.99),
+        "latency_us_p999": latency.percentile(0.999),
+        "breaker_opens": breaker_opens,
+        "breaker_transitions": transitions,
+        "oracle_checks": counters.get("serve.oracle.checks", 0),
+        "oracle_divergences": divergences,
+        "drained": state["drained"],
+        "sim_span_s": round(span_s, 6),
+    }
+
+    rows = [
+        ("offered / served / shed",
+         f"{packets} / {served} / {shed}", ""),
+        ("goodput", f"{goodput_kpps:.1f} kpps",
+         f"{served / packets * 100:.1f}% of offered"),
+        ("latency p50 / p99 / p99.9",
+         f"{latency.percentile(0.5):.0f} / {latency.percentile(0.99):.0f} / "
+         f"{latency.percentile(0.999):.0f} µs",
+         f"deadline {POLICY.default_deadline_s * 1e6:.0f} µs"),
+        ("deadline misses", str(extra["deadline_exceeded"]),
+         "late answers dropped, never returned"),
+        ("retries / failovers",
+         f"{extra['retries']} / {extra['failovers']}", ""),
+        ("breaker opens / transitions",
+         f"{breaker_opens} / {transitions}", "primary spiked then lost"),
+        ("oracle divergences", str(divergences), "must be 0"),
+    ]
+    text = render_table(
+        f"Serve-soak: bursty overload + fault plan ({ruleset_name}, "
+        f"2 replicas, simulated {span_s:.2f}s)",
+        ["Quantity", "Value", "Note"],
+        rows,
+    )
+    text += ("\nEvery answer audited against the linear oracle; "
+             f"final state snapshot: {snapshot_path.name} "
+             f"(drained={state['drained']})")
+
+    wall = time.time() - wall_start
+    if not quick:
+        write_bench_record("serve_soak", metrics, wall, extra=extra)
+    return ExperimentResult(
+        "serve-soak", "Serving-layer soak under overload and faults", text,
+        {"metrics": metrics, "extra": extra, "outcomes": outcomes,
+         "fault_plan": plan.to_dict(),
+         "replicas": {name: {"state": rep["state"],
+                             "open_count": rep["open_count"]}
+                      for name, rep in report["replicas"].items()}},
+    )
+
+
+#: Registry-compatible alias (the registry falls back to ``run``).
+run = run_serve_soak

@@ -14,6 +14,7 @@ from .faults import (
     MicroengineStall,
     ResilienceReport,
     emit_resilience_metrics,
+    seeded_uniform,
 )
 from .flowcache import CacheOutcome, FlowCache, cached_program_set, simulate_hit_rate
 from .memory import ChannelReport, MemoryChannel
@@ -72,6 +73,7 @@ __all__ = [
     "place",
     "run_application",
     "saturation_bounds",
+    "seeded_uniform",
     "simulate_hit_rate",
     "simulate_throughput",
     "synthetic_program_set",

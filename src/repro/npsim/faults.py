@@ -41,11 +41,14 @@ PACKET_CORRUPT = 2
 _MASK64 = (1 << 64) - 1
 
 
-def _uniform(seed: int, seq: int) -> float:
-    """Deterministic uniform in [0, 1) per (seed, packet sequence).
+def seeded_uniform(seed: int, seq: int) -> float:
+    """Deterministic uniform in [0, 1) per (seed, sequence number).
 
     A splitmix64 finalizer — order-independent, so the drop schedule does
-    not change when threads interleave differently.
+    not change when threads interleave differently.  Shared with the
+    serving layer (:mod:`repro.serve`), whose retry jitter must likewise
+    be reproducible per (seed, request, attempt) regardless of thread
+    interleaving.
     """
     x = (seq * 0x9E3779B97F4A7C15 + (seed + 1) * 0xBF58476D1CE4E5B9) & _MASK64
     x ^= x >> 30
@@ -54,6 +57,10 @@ def _uniform(seed: int, seq: int) -> float:
     x = (x * 0x94D049BB133111EB) & _MASK64
     x ^= x >> 31
     return x / 2.0 ** 64
+
+
+#: Backwards-compatible internal alias.
+_uniform = seeded_uniform
 
 
 @dataclass(frozen=True)
@@ -140,6 +147,30 @@ class FaultPlan:
         return (not self.channel_failures and not self.latency_spikes
                 and not self.me_stalls
                 and self.drop_rate == 0.0 and self.corrupt_rate == 0.0)
+
+    # -- serving-layer projections ----------------------------------------
+    # The serving layer (repro.serve) replays a FaultPlan against replica
+    # endpoints rather than DES channels: a channel failure makes the
+    # replica backed by that channel raise transient errors until the
+    # control plane re-places its image (the recovery window), and a
+    # latency spike stretches its service time (slow calls, which trip
+    # the circuit breaker).  These projections keep one seeded plan as
+    # the single source of truth for both layers.
+
+    def outage_windows(self, channel: str) -> tuple[tuple[float, float], ...]:
+        """``(start, end)`` windows during which ``channel`` is down but
+        recoverable for the serving layer (failure + recovery window)."""
+        return tuple(
+            (f.at_cycle, f.at_cycle + self.recovery_cycles)
+            for f in self.channel_failures if f.channel == channel
+        )
+
+    def slow_windows(self, channel: str) -> tuple[tuple[float, float, float], ...]:
+        """``(start, end, factor)`` latency-spike windows for ``channel``."""
+        return tuple(
+            (s.start_cycle, s.end_cycle, s.factor)
+            for s in self.latency_spikes if s.channel == channel
+        )
 
     def to_dict(self) -> dict:
         """A JSON-friendly rendering (the documented schema)."""

@@ -226,6 +226,30 @@ class MetricsRegistry:
     def scope(self, name: str) -> MetricScope:
         return MetricScope(self, name)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Subsystems that must observe themselves even while process-wide
+        metrics are disabled (the serving layer's shed/breaker counters
+        feed its acceptance criteria) run on a private registry and fold
+        it into the global one at their aggregation point.  Counters
+        add, gauges take the other's last write, histograms merge their
+        exact bucket counts.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name)
+            for bucket, count in hist.counts.items():
+                mine.counts[bucket] = mine.counts.get(bucket, 0) + count
+            mine.total += hist.total
+            mine._sum += hist._sum
+            if hist._max is not None and (mine._max is None
+                                          or hist._max > mine._max):
+                mine._max = hist._max
+
     def snapshot(self) -> dict:
         """A JSON-friendly dump of every instrument, sorted by name."""
         return {

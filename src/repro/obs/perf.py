@@ -66,8 +66,15 @@ def extract_throughput(data: object, _prefix: str = "",
 
 
 def write_bench_record(name: str, metrics: dict[str, float],
-                       wall_time_s: float, root: Path | None = None) -> Path:
-    """Write ``BENCH_<name>.json`` and return its path."""
+                       wall_time_s: float, root: Path | None = None,
+                       extra: dict | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``metrics`` holds only higher-is-better numbers — the regression
+    checker flags any metric that *drops*, so a latency percentile or a
+    shed rate (where lower is better) belongs in ``extra``, which is
+    recorded for the trajectory but never rate-compared.
+    """
     root = root if root is not None else repo_root()
     payload = {
         "benchmark": name,
@@ -76,6 +83,8 @@ def write_bench_record(name: str, metrics: dict[str, float],
         "git_sha": git_sha(root),
         "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+    if extra:
+        payload["extra"] = {k: extra[k] for k in sorted(extra)}
     path = root / f"{BENCH_PREFIX}{name}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.errors import GenerationError
 from ..core.interval import Interval, full_interval, prefix_to_interval
 from ..core.rule import ACTION_DENY, ACTION_PERMIT, Rule, RuleSet
 from .model import PortIdiom, RuleSetProfile, WELL_KNOWN_PORTS
@@ -171,7 +172,7 @@ def generate(profile: RuleSetProfile | str, size: int | None = None,
     while len(rules) < size:
         attempts += 1
         if attempts > size * 50:
-            raise RuntimeError(
+            raise GenerationError(
                 f"generator for {profile.name} cannot reach {size} distinct rules"
             )
         if profile.kind == "firewall":

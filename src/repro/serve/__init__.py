@@ -1,0 +1,28 @@
+"""Overload-safe serving layer for classifier replicas.
+
+``ClassificationService`` fronts one or more classifiers (typically
+:class:`~repro.classifiers.updates.UpdatableClassifier` replicas) and
+enforces end-to-end robustness policy on every request: bounded
+admission with load shedding, per-request deadlines, retry with
+deterministic backoff, per-replica circuit breakers with failover, and
+graceful drain/stop.  See ``docs/serving.md``.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
+from .policy import ManualClock, RetryPolicy, ServicePolicy, TokenBucket
+from .service import RETRYABLE_ERRORS, ClassificationService, Replica
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "ClassificationService",
+    "ManualClock",
+    "RETRYABLE_ERRORS",
+    "Replica",
+    "RetryPolicy",
+    "ServicePolicy",
+    "TokenBucket",
+]

@@ -1,0 +1,191 @@
+"""Admission and retry policy for the serving layer.
+
+Everything here is deterministic under an injectable clock and a seed:
+
+* :class:`ManualClock` — a hand-advanced clock for tests and the
+  ``serve-soak`` simulation (the serving analogue of the injectable
+  ``BuildBudget.clock``).
+* :class:`TokenBucket` — the admission rate limiter: ``rate_per_s``
+  sustained, ``burst`` tokens of headroom.
+* :class:`RetryPolicy` — exponential backoff with **deterministic
+  seeded jitter**: the delay for (request, attempt) is a pure function
+  of the seed, so a soak run is reproducible bit-for-bit regardless of
+  thread interleaving.
+* :class:`ServicePolicy` — the one bundle of knobs a
+  :class:`~repro.serve.service.ClassificationService` is configured
+  with (admission, deadlines, retries, breaker thresholds, shadowing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.errors import ConfigurationError
+from ..npsim.faults import seeded_uniform
+
+
+class ManualClock:
+    """A monotonically advancing fake clock (seconds).
+
+    ``sleep`` advances the clock rather than blocking, so it doubles as
+    the service's injectable ``sleep`` in simulated runs: retry backoff
+    then consumes *simulated* time, which the deadline sees.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError("clock cannot go backwards")
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_per_s`` refill, ``burst`` capacity.
+
+    Deterministic under an injectable clock; refill is computed lazily
+    on each acquire, so an idle bucket costs nothing.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "_tokens", "_clock", "_last")
+
+    def __init__(self, rate_per_s: float, burst: float,
+                 clock: Callable[[], float] | None = None) -> None:
+        if rate_per_s <= 0:
+            raise ConfigurationError("rate_per_s must be positive")
+        if burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock or time.monotonic
+        self._last = self._clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+            self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``delay(request, attempt)`` is a pure function: base × mult^attempt,
+    capped, then jittered by ±``jitter`` of itself using
+    :func:`repro.npsim.faults.seeded_uniform` over (seed, request,
+    attempt) — full reproducibility without shared RNG state between
+    threads.
+    """
+
+    max_attempts: int = 3
+    base_s: float = 100e-6
+    multiplier: float = 2.0
+    max_backoff_s: float = 10e-3
+    jitter: float = 0.5
+    seed: int = 2007
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be within [0, 1]")
+
+    def delay(self, request_seq: int, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of a request."""
+        raw = min(self.max_backoff_s,
+                  self.base_s * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0:
+            return raw
+        u = seeded_uniform(self.seed, request_seq * 97 + attempt)
+        return raw * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Every knob of one :class:`ClassificationService`.
+
+    Grouped by concern; see ``docs/serving.md`` for the tuning guide.
+    """
+
+    # -- admission ---------------------------------------------------------
+    #: Maximum concurrently admitted (in-flight) requests; beyond this
+    #: the request is shed with reason ``queue_full``.
+    max_in_flight: int = 64
+    #: Sustained admission rate; ``None`` disables the token bucket.
+    rate_limit_per_s: float | None = None
+    #: Token-bucket burst capacity.
+    burst: int = 32
+
+    # -- deadlines ---------------------------------------------------------
+    #: Deadline applied when the caller does not pass one; ``None``
+    #: means no default deadline.
+    default_deadline_s: float | None = None
+
+    # -- retries -----------------------------------------------------------
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    # -- circuit breaker ---------------------------------------------------
+    #: Rolling window length (completed calls) per replica.
+    breaker_window: int = 32
+    #: Calls required in the window before rates are trusted.
+    breaker_min_calls: int = 8
+    #: Failure fraction that opens the breaker.
+    failure_rate_threshold: float = 0.5
+    #: Slow-call fraction that opens the breaker.
+    slow_call_rate_threshold: float = 0.8
+    #: A call at or above this duration counts as slow.
+    slow_call_s: float = 1e-3
+    #: Time the breaker stays open before probing half-open.
+    open_s: float = 50e-3
+    #: Successful half-open probes required to close again.
+    half_open_probes: int = 3
+
+    # -- differential checking --------------------------------------------
+    #: Shadow every answered request on the standby replica and count
+    #: divergences (a runtime differential check).
+    shadow: bool = False
+    #: Check every answered request against the linear oracle over the
+    #: serving replica's live rules (exactness audit; costs a scan).
+    oracle_check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1")
+        if self.rate_limit_per_s is not None and self.rate_limit_per_s <= 0:
+            raise ConfigurationError("rate_limit_per_s must be positive")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ConfigurationError("default_deadline_s must be positive")
+        if self.breaker_window < 1 or self.breaker_min_calls < 1:
+            raise ConfigurationError("breaker window/min_calls must be >= 1")
+        if not 0.0 < self.failure_rate_threshold <= 1.0:
+            raise ConfigurationError("failure_rate_threshold must be in (0, 1]")
+        if not 0.0 < self.slow_call_rate_threshold <= 1.0:
+            raise ConfigurationError("slow_call_rate_threshold must be in (0, 1]")
+        if self.slow_call_s <= 0 or self.open_s <= 0:
+            raise ConfigurationError("slow_call_s and open_s must be positive")
+        if self.half_open_probes < 1:
+            raise ConfigurationError("half_open_probes must be >= 1")

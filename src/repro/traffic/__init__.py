@@ -1,11 +1,19 @@
 """Packet-header trace containers and generators."""
 
-from .generator import corner_case_trace, flow_trace, matched_trace, uniform_trace, zipf_weights
+from .generator import (
+    burst_arrivals,
+    corner_case_trace,
+    flow_trace,
+    matched_trace,
+    uniform_trace,
+    zipf_weights,
+)
 from .trace import PACKET_BYTES, Trace
 
 __all__ = [
     "PACKET_BYTES",
     "Trace",
+    "burst_arrivals",
     "corner_case_trace",
     "flow_trace",
     "matched_trace",

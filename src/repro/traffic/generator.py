@@ -93,6 +93,44 @@ def flow_trace(
     )
 
 
+def burst_arrivals(
+    count: int,
+    base_rate_per_s: float,
+    burst_factor: float = 8.0,
+    period_s: float = 0.05,
+    burst_fraction: float = 0.25,
+    seed: int = 1,
+) -> np.ndarray:
+    """Seeded Poisson arrival times (seconds) with periodic bursts.
+
+    Real gateway load is bursty, and bursts are what admission control
+    exists for: the first ``burst_fraction`` of every ``period_s`` window
+    arrives at ``burst_factor``× the base rate, the rest at the base
+    rate.  Inter-arrivals are exponential, so the burst peaks genuinely
+    overrun a token bucket sized for the sustained rate.  Used by the
+    ``serve-soak`` experiment to drive a
+    :class:`~repro.serve.service.ClassificationService` into overload.
+    """
+    if count < 1:
+        raise ValueError("need at least one arrival")
+    if base_rate_per_s <= 0 or period_s <= 0:
+        raise ValueError("rates and period must be positive")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1.0")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError("burst_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    times = np.empty(count, dtype=float)
+    t = 0.0
+    for idx in range(count):
+        phase = (t % period_s) / period_s
+        rate = base_rate_per_s * (burst_factor if phase < burst_fraction
+                                  else 1.0)
+        t += rng.exponential(1.0 / rate)
+        times[idx] = t
+    return times
+
+
 def uniform_trace(count: int, seed: int = 1,
                   packet_bytes: int = PACKET_BYTES) -> Trace:
     """Uniformly random headers (worst case for any caching effect)."""

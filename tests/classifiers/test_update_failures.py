@@ -8,7 +8,11 @@ from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, ru
 
 from repro.classifiers import ExpCutsClassifier, LinearSearchClassifier
 from repro.classifiers.updates import UpdatableClassifier
-from repro.core.errors import DepthBoundExceededError, RebuildError
+from repro.core.errors import (
+    ConfigurationError,
+    DepthBoundExceededError,
+    RebuildError,
+)
 from repro.core.rule import Rule, RuleSet
 
 
@@ -130,6 +134,100 @@ class TestRebuildRollback:
 
     def test_rebuild_error_is_runtime_error(self):
         assert issubclass(RebuildError, RuntimeError)
+
+
+class FakeClock:
+    """Injectable monotonic clock for the wall-clock retry trigger."""
+
+    def __init__(self, start=0.0):
+        self.t = start
+
+    def advance(self, dt):
+        self.t += dt
+
+    def __call__(self):
+        return self.t
+
+
+class TestWallClockRetry:
+    """After a failed rebuild, retry fires on pending *growth* OR once
+    ``rebuild_retry_seconds`` of wall clock elapses — both triggers."""
+
+    def _flaky(self, ruleset, clock, retry_s=30.0):
+        return UpdatableClassifier(ruleset, FlakyClassifier,
+                                   rebuild_threshold=2,
+                                   rebuild_retry_seconds=retry_s,
+                                   clock=clock)
+
+    def test_growth_trigger_needs_no_clock(self, tiny_ruleset):
+        clock = FakeClock()
+        clf = self._flaky(tiny_ruleset, clock)
+        FlakyClassifier.fail_builds = 1
+        clf.insert(Rule.from_prefixes(sip="30.0.0.0/8"))
+        clf.insert(Rule.from_prefixes(sip="31.0.0.0/8"))  # threshold: fails
+        assert clf.stats.failed_rebuilds == 1
+        assert clf.pending_updates == 2
+        # Pending growth past the failure point retries with the clock idle.
+        clf.insert(Rule.from_prefixes(sip="32.0.0.0/8"))
+        assert clf.pending_updates == 0
+        assert clf.stats.failed_rebuilds == 1
+
+    def test_poll_fires_after_interval(self, tiny_ruleset):
+        clock = FakeClock()
+        clf = self._flaky(tiny_ruleset, clock)
+        FlakyClassifier.fail_builds = 1
+        clf.insert(Rule.from_prefixes(sip="30.0.0.0/8"))
+        clf.insert(Rule.from_prefixes(sip="31.0.0.0/8"))  # threshold: fails
+        assert clf.stats.failed_rebuilds == 1
+        assert clf.poll() is False      # interval not elapsed, no growth
+        clock.advance(29.0)
+        assert clf.poll() is False      # still inside the interval
+        # Answers stay exact (overlay + old base) while backed off.
+        oracle = clf.current_ruleset()
+        header = (30 << 24, 0, 0, 0, 0)
+        assert clf.classify(header) == oracle.first_match(header)
+        clock.advance(1.0)
+        assert clf.poll() is True       # wall-clock trigger fires
+        assert clf.pending_updates == 0
+
+    def test_update_path_observes_the_clock(self, tiny_ruleset):
+        clock = FakeClock()
+        clf = self._flaky(tiny_ruleset, clock)
+        FlakyClassifier.fail_builds = 2
+        clf.insert(Rule.from_prefixes(sip="30.0.0.0/8"))
+        clf.insert(Rule.from_prefixes(sip="31.0.0.0/8"))    # fail #1
+        clf.insert(Rule.from_prefixes(sip="32.0.0.0/8"),
+                   position=0)                              # growth: fail #2
+        assert clf.stats.failed_rebuilds == 2
+        builds = FlakyClassifier.builds
+        clf.remove(0)           # pending back at the failure point: no try
+        assert FlakyClassifier.builds == builds
+        clock.advance(31.0)
+        clf.insert(Rule.from_prefixes(sip="33.0.0.0/8"))    # clock elapsed
+        assert FlakyClassifier.builds == builds + 1
+        assert clf.pending_updates == 0
+
+    def test_poll_noop_below_threshold(self, tiny_ruleset):
+        clock = FakeClock()
+        clf = self._flaky(tiny_ruleset, clock, retry_s=1.0)
+        clf.insert(Rule.from_prefixes(sip="30.0.0.0/8"))
+        clock.advance(100.0)
+        assert clf.poll() is False      # 1 pending < threshold: nothing due
+
+    def test_without_interval_poll_never_retries(self, tiny_ruleset):
+        clf = UpdatableClassifier(tiny_ruleset, FlakyClassifier,
+                                  rebuild_threshold=2)
+        FlakyClassifier.fail_builds = 1
+        clf.insert(Rule.from_prefixes(sip="30.0.0.0/8"))
+        clf.insert(Rule.from_prefixes(sip="31.0.0.0/8"))  # threshold: fails
+        assert clf.poll() is False
+        assert clf.poll() is False      # no clock trigger armed: stays put
+        assert clf.pending_updates == 2
+
+    def test_negative_interval_rejected(self, tiny_ruleset):
+        with pytest.raises(ConfigurationError):
+            UpdatableClassifier(tiny_ruleset, LinearSearchClassifier,
+                                rebuild_retry_seconds=-1.0)
 
 
 class TestTombstoneHeavyWorkload:

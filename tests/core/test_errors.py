@@ -1,0 +1,118 @@
+"""The typed error hierarchy: stable codes, builtin compatibility, and
+the no-bare-exceptions rule over the library source."""
+
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import errors
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: The compatibility contract: class -> stable machine-readable code.
+#: Renaming a class must not change its code; changing a code here is a
+#: breaking change for every script branching on CLI ``error[<code>]``.
+EXPECTED_CODES = {
+    errors.ReproError: "repro",
+    errors.ConfigurationError: "config",
+    errors.GenerationError: "generation",
+    errors.SimulationError: "sim",
+    errors.ChannelError: "sim.channel",
+    errors.ChannelOfflineError: "sim.channel_offline",
+    errors.PlacementError: "sim.placement",
+    errors.RegionUnmappedError: "sim.region_unmapped",
+    errors.RuleParseError: "rule.parse",
+    errors.RuleFormatError: "rule.format",
+    errors.UpdateError: "update",
+    errors.RebuildError: "rebuild",
+    errors.DepthBoundExceededError: "depth_bound",
+    errors.SnapshotError: "snapshot",
+    errors.SnapshotIntegrityError: "snapshot.integrity",
+    errors.BuildBudgetExceeded: "budget.build",
+    errors.FaultPlanError: "faults.plan",
+    errors.ServiceError: "serve",
+    errors.AdmissionRejected: "serve.shed",
+    errors.ServiceStopped: "serve.stopped",
+    errors.DeadlineExceeded: "serve.deadline",
+    errors.TransientServiceError: "serve.transient",
+    errors.CircuitOpenError: "serve.breaker_open",
+    errors.RetriesExhausted: "serve.retries_exhausted",
+}
+
+
+def all_error_classes():
+    return [obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+            if issubclass(obj, Exception)]
+
+
+class TestHierarchy:
+    def test_every_class_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, errors.ReproError), cls.__name__
+
+    def test_codes_are_the_documented_contract(self):
+        assert {c: c.code for c in all_error_classes()} == EXPECTED_CODES
+
+    def test_codes_are_unique(self):
+        codes = [cls.code for cls in all_error_classes()]
+        assert len(codes) == len(set(codes))
+
+    def test_instances_carry_their_class_code(self):
+        assert errors.AdmissionRejected("rate_limited").code == "serve.shed"
+        assert errors.DeadlineExceeded("late").code == "serve.deadline"
+
+    @pytest.mark.parametrize("cls,builtin", [
+        (errors.ConfigurationError, ValueError),
+        (errors.GenerationError, RuntimeError),
+        (errors.ChannelError, ValueError),
+        (errors.RegionUnmappedError, KeyError),
+        (errors.RuleParseError, ValueError),
+        (errors.UpdateError, IndexError),
+        (errors.RebuildError, RuntimeError),
+        (errors.SnapshotError, RuntimeError),
+        (errors.DeadlineExceeded, TimeoutError),
+    ])
+    def test_builtin_compatibility(self, cls, builtin):
+        assert issubclass(cls, builtin)
+
+
+class TestServingErrorPayloads:
+    def test_admission_rejected_carries_reason(self):
+        err = errors.AdmissionRejected("queue_full")
+        assert err.reason == "queue_full"
+        assert "queue_full" in str(err)
+
+    def test_service_stopped_is_a_shed(self):
+        err = errors.ServiceStopped()
+        assert isinstance(err, errors.AdmissionRejected)
+        assert err.reason == "stopped"
+
+    def test_deadline_exceeded_payload(self):
+        err = errors.DeadlineExceeded("late", elapsed_s=2.0, budget_s=1.0)
+        assert err.elapsed_s == 2.0 and err.budget_s == 1.0
+
+    def test_retries_exhausted_payload(self):
+        last = errors.TransientServiceError("boom")
+        err = errors.RetriesExhausted("gone", attempts=3, last=last)
+        assert err.attempts == 3 and err.last is last
+
+
+class TestNoBareRaises:
+    """The library must never raise an untyped Exception/RuntimeError —
+    callers are promised that everything deliberate is a ReproError with
+    a stable code (``GenerationError`` covers the old RuntimeErrors)."""
+
+    PATTERN = re.compile(r"\braise\s+(Exception|RuntimeError)\b")
+
+    def test_no_bare_exception_or_runtime_error_in_src(self):
+        offenders = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            for line_no, line in enumerate(path.read_text().splitlines(), 1):
+                stripped = line.split("#", 1)[0]
+                if self.PATTERN.search(stripped):
+                    offenders.append(f"{path.relative_to(SRC_ROOT)}:{line_no}")
+        assert offenders == [], (
+            "bare Exception/RuntimeError raised in library source "
+            f"(use a typed ReproError subclass): {offenders}")

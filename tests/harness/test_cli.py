@@ -37,6 +37,21 @@ class TestCli:
         assert "unknown ruleset 'CR99'" in err
         assert "CR04" in err
 
+    def test_library_errors_surface_their_code(self, monkeypatch, capsys):
+        """Any ReproError escaping an experiment exits 1 with its stable
+        ``error[<code>]`` prefix — no stack trace, no bare message."""
+        from repro.core.errors import DeadlineExceeded
+
+        def boom(name, quick=False):
+            raise DeadlineExceeded("request ran 2.1ms past a 300us budget")
+
+        monkeypatch.setattr("repro.harness.cli.run_experiment", boom)
+        assert main(["fig6", "--quick"]) == 1
+        err = capsys.readouterr().err
+        assert "error[serve.deadline]:" in err
+        assert "300us budget" in err
+        assert "Traceback" not in err
+
 
 class TestSnapshotsCommand:
     def test_verify_and_gc(self, tmp_path, monkeypatch, capsys):

@@ -2,6 +2,7 @@
 
 import importlib.util
 import json
+import sys
 from pathlib import Path
 
 from repro.obs import extract_throughput, read_bench_record, write_bench_record
@@ -15,7 +16,14 @@ def _load_checker():
         REPO_ROOT / "scripts" / "check_bench_regression.py",
     )
     module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
+    # Importing a script by path must not drop scripts/__pycache__ into
+    # the tree — CI fails on stray build artifacts.
+    was = sys.dont_write_bytecode
+    sys.dont_write_bytecode = True
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.dont_write_bytecode = was
     return module
 
 
@@ -61,6 +69,15 @@ class TestBenchRecords:
         assert text.index('"a.gbps"') < text.index('"b.gbps"')
         json.loads(text)
 
+    def test_extra_section_recorded_but_optional(self, tmp_path):
+        bare = read_bench_record(
+            write_bench_record("bare", {"gbps": 1.0}, 0.1, root=tmp_path))
+        assert "extra" not in bare
+        rich = read_bench_record(write_bench_record(
+            "rich", {"gbps": 1.0}, 0.1, root=tmp_path,
+            extra={"p99_us": 90.0, "shed_rate": 0.3}))
+        assert rich["extra"] == {"p99_us": 90.0, "shed_rate": 0.3}
+
 
 class TestRegressionCompare:
     def test_within_tolerance_passes(self):
@@ -87,3 +104,67 @@ class TestRegressionCompare:
         fresh = {"metrics": {"gbps": 0.0}}
         base = {"metrics": {"gbps": 0.0}}
         assert checker.compare(fresh, base, threshold=0.15) == []
+
+    def test_no_bytecode_dropped_next_to_the_script(self):
+        _load_checker()
+        assert not (REPO_ROOT / "scripts" / "__pycache__").exists()
+
+
+class TestRecordValidation:
+    def test_well_formed_record_passes(self, tmp_path):
+        checker = _load_checker()
+        path = write_bench_record("ok", {"gbps": 1.0}, 0.2, root=tmp_path,
+                                  extra={"p99_us": 12.0})
+        assert checker.validate(read_bench_record(path)) == []
+
+    def test_missing_fields_flagged(self):
+        checker = _load_checker()
+        problems = checker.validate({})
+        joined = "\n".join(problems)
+        for name in ("benchmark", "metrics", "wall_time_s", "date"):
+            assert name in joined
+
+    def test_non_object_record_flagged(self):
+        checker = _load_checker()
+        assert checker.validate([1, 2]) != []
+        assert checker.validate("nope") != []
+
+    def test_non_numeric_metric_flagged(self):
+        checker = _load_checker()
+        record = {"benchmark": "x", "wall_time_s": 1.0, "date": "d",
+                  "metrics": {"gbps": "fast", "flag": True}}
+        problems = checker.validate(record)
+        assert any("'gbps'" in p for p in problems)
+        assert any("'flag'" in p for p in problems)
+
+    def test_extra_must_be_object(self):
+        checker = _load_checker()
+        record = {"benchmark": "x", "wall_time_s": 1.0, "date": "d",
+                  "metrics": {}, "extra": [1]}
+        assert any("extra" in p for p in checker.validate(record))
+
+    def test_cli_exits_2_on_malformed_record(self, tmp_path):
+        import subprocess
+
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "BENCH_broken.json").write_text('{"metrics": "nope"}')
+        out = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts"
+                                 / "check_bench_regression.py")],
+            cwd=tmp_path, capture_output=True, text=True,
+        )
+        assert out.returncode == 2
+        assert "MALFORMED" in out.stdout
+
+    def test_cli_exits_2_on_invalid_json(self, tmp_path):
+        import subprocess
+
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        out = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts"
+                                 / "check_bench_regression.py")],
+            cwd=tmp_path, capture_output=True, text=True,
+        )
+        assert out.returncode == 2
+        assert "MALFORMED" in out.stdout

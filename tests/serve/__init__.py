@@ -1,0 +1,1 @@
+"""Tests for the overload-safe serving layer (:mod:`repro.serve`)."""

@@ -1,0 +1,131 @@
+"""Circuit-breaker state machine: trip, cool-down, half-open probes."""
+
+import pytest
+
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ManualClock,
+    ServicePolicy,
+)
+
+POLICY = ServicePolicy(
+    breaker_window=8, breaker_min_calls=4,
+    failure_rate_threshold=0.5, slow_call_rate_threshold=0.75,
+    slow_call_s=1e-3, open_s=1.0, half_open_probes=2,
+)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(POLICY, clock=clock, name="sram0")
+
+
+def fail_until_open(breaker):
+    while breaker.state == CLOSED:
+        breaker.record_failure()
+
+
+class TestTripping:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_needs_min_calls_before_tripping(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED  # 3 < breaker_min_calls
+
+    def test_failure_rate_trips(self, breaker):
+        breaker.record_success(elapsed_s=1e-5)
+        breaker.record_success(elapsed_s=1e-5)
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 1/3 below threshold (and < min)
+        breaker.record_failure()        # 2/4 hits 0.5
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert "failure rate" in breaker.transitions[-1].reason
+
+    def test_slow_call_rate_trips(self, breaker):
+        breaker.record_success(elapsed_s=1e-5)
+        for _ in range(3):
+            breaker.record_success(elapsed_s=5e-3)  # >= slow_call_s
+        assert breaker.state == OPEN
+        assert "slow-call rate" in breaker.transitions[-1].reason
+
+    def test_degraded_answer_counts_as_slow(self, breaker):
+        for _ in range(4):
+            breaker.record_success(elapsed_s=1e-6, degraded=True)
+        assert breaker.state == OPEN
+
+    def test_rolling_window_forgets_old_failures(self, breaker):
+        breaker.record_failure()
+        for _ in range(8):  # a full window of successes evicts the failure
+            breaker.record_success(elapsed_s=1e-5)
+        for _ in range(3):
+            breaker.record_failure()  # 3/8 stays under the 0.5 threshold
+        assert breaker.state == CLOSED
+
+
+class TestHalfOpen:
+    def test_cooldown_then_probe(self, breaker, clock):
+        fail_until_open(breaker)
+        assert not breaker.allow()
+        clock.advance(POLICY.open_s + 0.01)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_concurrency_capped(self, breaker, clock):
+        fail_until_open(breaker)
+        clock.advance(POLICY.open_s + 0.01)
+        assert breaker.allow() and breaker.allow()  # half_open_probes = 2
+        assert not breaker.allow()
+
+    def test_successful_probes_close(self, breaker, clock):
+        fail_until_open(breaker)
+        clock.advance(POLICY.open_s + 0.01)
+        for _ in range(POLICY.half_open_probes):
+            assert breaker.allow()
+            breaker.record_success(elapsed_s=1e-5)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self, breaker, clock):
+        fail_until_open(breaker)
+        clock.advance(POLICY.open_s + 0.01)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_slow_probe_reopens(self, breaker, clock):
+        """A latency-spiked replica must not re-close its breaker just
+        because the probe eventually answered."""
+        fail_until_open(breaker)
+        clock.advance(POLICY.open_s + 0.01)
+        assert breaker.allow()
+        breaker.record_success(elapsed_s=5e-3)  # slow
+        assert breaker.state == OPEN
+        assert "probe slow" in breaker.transitions[-1].reason
+
+
+class TestHistory:
+    def test_transitions_are_timestamped(self, breaker, clock):
+        clock.advance(2.5)
+        fail_until_open(breaker)
+        first = breaker.transitions[0]
+        assert (first.at, first.from_state, first.to_state) == (2.5, CLOSED, OPEN)
+
+    def test_open_count(self, breaker, clock):
+        fail_until_open(breaker)
+        clock.advance(POLICY.open_s + 0.01)
+        breaker.allow()
+        breaker.record_failure()  # reopen
+        assert breaker.open_count() == 2

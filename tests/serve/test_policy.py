@@ -1,0 +1,114 @@
+"""ManualClock, TokenBucket, RetryPolicy and ServicePolicy validation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve import ManualClock, RetryPolicy, ServicePolicy, TokenBucket
+
+
+class TestManualClock:
+    def test_advances_and_reads(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = ManualClock(start=10.0)
+        clock.sleep(0.25)
+        assert clock() == 10.25
+        clock.sleep(-1.0)  # clamped, never goes backwards
+        assert clock() == 10.25
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ConfigurationError):
+            ManualClock().advance(-0.1)
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_s=100.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_s=100.0, burst=2, clock=clock)
+        bucket.try_acquire(), bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.01)  # exactly one token at 100/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_s=1000.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_acquire() for _ in range(3)] == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=10.0, burst=0)
+
+
+class TestRetryPolicy:
+    def test_deterministic_per_request_and_attempt(self):
+        policy = RetryPolicy(seed=42)
+        assert policy.delay(7, 2) == policy.delay(7, 2)
+        assert policy.delay(7, 2) != policy.delay(8, 2)
+        assert policy.delay(7, 2) != policy.delay(7, 3)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_s=1e-3, multiplier=2.0, max_backoff_s=1.0,
+                             jitter=0.0)
+        assert policy.delay(1, 1) == pytest.approx(1e-3)
+        assert policy.delay(1, 2) == pytest.approx(2e-3)
+        assert policy.delay(1, 3) == pytest.approx(4e-3)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(base_s=1e-3, multiplier=10.0, max_backoff_s=5e-3,
+                             jitter=0.0)
+        assert policy.delay(1, 9) == 5e-3
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_s=1e-3, multiplier=1.0, max_backoff_s=1.0,
+                             jitter=0.5)
+        for seq in range(50):
+            delay = policy.delay(seq, 1)
+            assert 0.5e-3 <= delay <= 1.5e-3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_s=-1.0)
+
+
+class TestServicePolicy:
+    def test_defaults_are_valid(self):
+        ServicePolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_in_flight": 0},
+        {"rate_limit_per_s": 0.0},
+        {"burst": 0},
+        {"default_deadline_s": 0.0},
+        {"breaker_window": 0},
+        {"breaker_min_calls": 0},
+        {"failure_rate_threshold": 0.0},
+        {"failure_rate_threshold": 1.5},
+        {"slow_call_rate_threshold": 0.0},
+        {"slow_call_s": 0.0},
+        {"open_s": 0.0},
+        {"half_open_probes": 0},
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServicePolicy(**kwargs)

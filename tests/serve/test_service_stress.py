@@ -1,0 +1,98 @@
+"""Concurrency stress: many threads classify while rules churn.
+
+Satellite of the serving-layer issue: N worker threads hammer
+:meth:`ClassificationService.classify` while the main thread inserts,
+removes and force-rebuilds rules through the service.  The per-request
+oracle audit runs inside the same lock as the lookup, so every answer is
+checked against the linear oracle over the *exact* rule list it was
+served from — the assertion at the end is zero divergences, every
+request answered, and every thread finished (no deadlock).  Bounded and
+seeded: fixed worker/request counts, seeded header generators.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.classifiers import LinearSearchClassifier
+from repro.classifiers.updates import UpdatableClassifier
+from repro.core.fields import FIELD_WIDTHS
+from repro.core.rule import Rule
+from repro.serve import ClassificationService, Replica, ServicePolicy
+
+N_WORKERS = 8
+REQUESTS_PER_WORKER = 120
+UPDATE_ROUNDS = 30
+JOIN_TIMEOUT_S = 60.0
+
+
+def _service(ruleset):
+    policy = ServicePolicy(
+        max_in_flight=N_WORKERS * 2,
+        oracle_check=True,  # audit every answer under the serving lock
+    )
+    replicas = [
+        Replica(name, UpdatableClassifier(ruleset, LinearSearchClassifier,
+                                          rebuild_threshold=4))
+        for name in ("sram0", "sram1")
+    ]
+    return ClassificationService(replicas, policy=policy)
+
+
+def _headers(seed, count):
+    rng = np.random.default_rng(seed)
+    return [tuple(int(rng.integers(0, 1 << width)) for width in FIELD_WIDTHS)
+            for _ in range(count)]
+
+
+def test_concurrent_classify_during_updates(small_fw_ruleset):
+    svc = _service(small_fw_ruleset)
+    errors = []
+    barrier = threading.Barrier(N_WORKERS + 1)
+
+    def worker(worker_id):
+        headers = _headers(1000 + worker_id, REQUESTS_PER_WORKER)
+        barrier.wait()
+        try:
+            for header in headers:
+                svc.classify(header)
+        except Exception as exc:  # surfaced below; keep other threads going
+            errors.append((worker_id, repr(exc)))
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(N_WORKERS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+
+    # Main thread churns rules through the service while workers run:
+    # inserts at the head (changes every answer), removes, forced
+    # rebuilds (hot-swaps both replicas' structures).
+    rng = np.random.default_rng(2007)
+    inserted = 0
+    for round_no in range(UPDATE_ROUNDS):
+        action = round_no % 3
+        if action == 0:
+            octet = int(rng.integers(1, 200))
+            svc.insert(Rule.from_prefixes(sip=f"{octet}.0.0.0/8"),
+                       position=0)
+            inserted += 1
+        elif action == 1 and inserted:
+            svc.remove(0)
+            inserted -= 1
+        else:
+            svc.rebuild()
+
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT_S)
+    assert not any(thread.is_alive() for thread in threads), \
+        "worker threads did not finish: deadlock in the serving lock"
+    assert errors == []
+
+    total = N_WORKERS * REQUESTS_PER_WORKER
+    assert svc.counter("served") == total
+    assert svc.counter("oracle.checks") == total
+    assert svc.counter("oracle.divergences") == 0
+
+    state = svc.stop(drain=True)
+    assert state["drained"] is True
