@@ -66,6 +66,10 @@ def validate(record: object) -> list[str]:
     metrics = record.get("metrics")
     if not isinstance(metrics, dict):
         problems.append("  'metrics' missing or not an object")
+    elif not metrics:
+        # An empty dict means the benchmark's extractor silently broke:
+        # the record would pass every future comparison vacuously.
+        problems.append("  'metrics' is empty (benchmark records nothing)")
     else:
         for key, value in sorted(metrics.items()):
             if isinstance(value, bool) or not isinstance(value, (int, float)):

@@ -217,6 +217,49 @@ class ServiceStopped(AdmissionRejected):
         super().__init__(reason)
 
 
+class ShardUnavailable(AdmissionRejected):
+    """The shard owning a request's flow cannot serve right now.
+
+    Raised by the fabric when the worker process that owns the routed
+    shard is dead, restarting, or parked by the crash-loop budget.  The
+    fabric *sheds* instead of blocking behind the restart — the caller
+    is expected to retry after the supervision layer brings the shard
+    back.  ``shard`` names the worker; ``phase`` says why it cannot
+    serve (``"down"``, ``"restarting"``, ``"parked"``,
+    ``"breaker_open"``).  The shed reason is always ``"shard_down"``
+    (metrics key ``fabric.shed.shard_down``).
+    """
+
+    code = "serve.shard_down"
+
+    def __init__(self, shard: str, phase: str = "down") -> None:
+        super().__init__("shard_down")
+        self.shard = shard
+        self.phase = phase
+        self.args = (f"shard {shard} cannot serve: {phase}",)
+
+
+class WorkerCrashLoop(ServiceError):
+    """A supervised worker exhausted its crash-loop restart budget.
+
+    The supervisor parks the shard (no further automatic restarts)
+    rather than burn CPU respawning a worker that dies on arrival;
+    requests routed to a parked shard shed with
+    :class:`ShardUnavailable`.  ``shard`` names the worker and
+    ``restarts`` counts the restarts inside the budget window.
+    """
+
+    code = "serve.crash_loop"
+
+    def __init__(self, shard: str, restarts: int, window_s: float) -> None:
+        super().__init__(
+            f"shard {shard} crash-looping: {restarts} restarts within "
+            f"{window_s:g}s; parking (manual intervention required)")
+        self.shard = shard
+        self.restarts = restarts
+        self.window_s = window_s
+
+
 class DeadlineExceeded(ServiceError, TimeoutError):
     """A request's deadline expired before a verified answer was ready.
 

@@ -52,6 +52,10 @@ REGISTRY: dict[str, tuple[str, str]] = {
     "serve-soak": ("repro.harness.serve_soak",
                    "Serve-soak: the serving layer under bursty overload, "
                    "faults and live updates (writes BENCH_serve_soak.json)"),
+    "chaos-soak": ("repro.harness.chaos_soak",
+                   "Chaos-soak: the multi-process fabric under worker "
+                   "kills, hangs and snapshot corruption "
+                   "(writes BENCH_chaos_soak.json)"),
     "profile": ("repro.harness.profile",
                 "Profile: lookup depth/access histograms, hot nodes and "
                 "DES timeline export (writes results/profile_*.json)"),

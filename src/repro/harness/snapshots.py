@@ -42,6 +42,8 @@ from dataclasses import asdict, dataclass
 from functools import lru_cache
 from pathlib import Path
 
+from itertools import count
+
 from ..core.errors import SnapshotIntegrityError
 from ..obs import metrics_scope, obs_warn
 
@@ -106,13 +108,22 @@ def _pack(header: SnapshotHeader) -> bytes:
     return MAGIC + _LEN.pack(len(blob)) + blob
 
 
+#: Per-process serial for temp-file names (see :func:`write_snapshot`).
+_TMP_SERIAL = count()
+
+
 def write_snapshot(path: Path, obj: object, *, kind: str,
                    cache_version: int, digest: str = "") -> SnapshotHeader:
     """Atomically persist ``obj`` as a verified snapshot at ``path``.
 
     The temp file lives in the destination directory so ``os.replace``
     is a same-filesystem atomic rename; both the file and (best-effort)
-    the directory are fsynced before the rename becomes visible.
+    the directory are fsynced before the rename becomes visible.  The
+    temp name embeds the writer's pid and a per-process serial: the
+    fabric's supervisor and worker processes may republish the same
+    shard snapshot concurrently, and two writers sharing one ``.tmp``
+    path would interleave into a torn file.  (The ``.tmp`` suffix is
+    load-bearing — :func:`gc_store` sweeps the debris by that glob.)
     """
     path = Path(path)
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
@@ -125,7 +136,8 @@ def write_snapshot(path: Path, obj: object, *, kind: str,
         payload_bytes=len(payload),
         sha256=hashlib.sha256(payload).hexdigest(),
     )
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp")
     try:
         with tmp.open("wb") as fh:
             fh.write(_pack(header))

@@ -13,6 +13,8 @@ from .faults import (
     LatencySpike,
     MicroengineStall,
     ResilienceReport,
+    WORKER_FAULT_KINDS,
+    WorkerFault,
     emit_resilience_metrics,
     seeded_uniform,
 )
@@ -59,6 +61,8 @@ __all__ = [
     "StagedResult",
     "StagedSimulator",
     "ThroughputResult",
+    "WORKER_FAULT_KINDS",
+    "WorkerFault",
     "allocation_table",
     "build_application",
     "cached_program_set",

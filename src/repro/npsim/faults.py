@@ -90,6 +90,37 @@ class MicroengineStall:
     duration_cycles: float
 
 
+#: Valid :attr:`WorkerFault.kind` values (the process-level hazards the
+#: serving fabric's chaos soak injects).
+WORKER_FAULT_KINDS = ("kill", "hang", "slow_start", "corrupt_snapshot")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """A process-level fault against one fabric shard worker.
+
+    Injected deterministically *just before* request ``at_packet`` is
+    offered (request indices, not cycles: the fabric soak is request
+    driven, so indexing by packet keeps the schedule bit-reproducible
+    regardless of wall-clock timing).  Kinds:
+
+    * ``kill`` — SIGKILL the worker process (abrupt death; the
+      supervisor detects it and restarts warm from the shard snapshot).
+    * ``hang`` — the worker stops replying but stays alive (liveness
+      deadline, not EOF, must catch it).
+    * ``slow_start`` — the worker's *next* restart costs ``factor``×
+      the normal restart time (a cold cache, a slow disk).
+    * ``corrupt_snapshot`` — the shard's on-disk snapshot is corrupted
+      and the worker killed, so the restart must detect the corruption,
+      quarantine the file and fall back to a budget-guarded rebuild.
+    """
+
+    shard: str
+    kind: str
+    at_packet: int
+    factor: float = 4.0
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A deterministic, seeded schedule of injected faults.
@@ -105,6 +136,7 @@ class FaultPlan:
     channel_failures: tuple[ChannelFailure, ...] = ()
     latency_spikes: tuple[LatencySpike, ...] = ()
     me_stalls: tuple[MicroengineStall, ...] = ()
+    worker_faults: tuple[WorkerFault, ...] = ()
     drop_rate: float = 0.0
     corrupt_rate: float = 0.0
     recovery_cycles: float = 25_000.0
@@ -135,6 +167,16 @@ class FaultPlan:
                 raise FaultPlanError("stall duration must be positive")
             if stall.me_index < 0:
                 raise FaultPlanError("stall ME index must be non-negative")
+        for fault in self.worker_faults:
+            if fault.kind not in WORKER_FAULT_KINDS:
+                raise FaultPlanError(
+                    f"unknown worker fault kind {fault.kind!r} "
+                    f"(valid: {', '.join(WORKER_FAULT_KINDS)})")
+            if fault.at_packet < 0:
+                raise FaultPlanError("worker fault at_packet must be "
+                                     "non-negative")
+            if fault.factor < 1.0:
+                raise FaultPlanError("worker fault factor must be >= 1.0")
 
     @property
     def first_failure_cycle(self) -> float | None:
@@ -145,7 +187,7 @@ class FaultPlan:
 
     def is_empty(self) -> bool:
         return (not self.channel_failures and not self.latency_spikes
-                and not self.me_stalls
+                and not self.me_stalls and not self.worker_faults
                 and self.drop_rate == 0.0 and self.corrupt_rate == 0.0)
 
     # -- serving-layer projections ----------------------------------------
@@ -172,6 +214,19 @@ class FaultPlan:
             for s in self.latency_spikes if s.channel == channel
         )
 
+    def worker_fault_schedule(self) -> dict[int, tuple[WorkerFault, ...]]:
+        """Process-level faults grouped by injection request index.
+
+        The fabric's chaos soak consults this once per offered request:
+        ``schedule.get(idx, ())`` are the faults to inject before
+        request ``idx``.  Order within one index is plan order, so the
+        schedule — like everything else in the plan — is deterministic.
+        """
+        schedule: dict[int, list[WorkerFault]] = {}
+        for fault in self.worker_faults:
+            schedule.setdefault(fault.at_packet, []).append(fault)
+        return {idx: tuple(faults) for idx, faults in schedule.items()}
+
     def to_dict(self) -> dict:
         """A JSON-friendly rendering (the documented schema)."""
         return {
@@ -189,6 +244,11 @@ class FaultPlan:
                 {"me_index": s.me_index, "at_cycle": s.at_cycle,
                  "duration_cycles": s.duration_cycles}
                 for s in self.me_stalls
+            ],
+            "worker_faults": [
+                {"shard": f.shard, "kind": f.kind,
+                 "at_packet": f.at_packet, "factor": f.factor}
+                for f in self.worker_faults
             ],
             "drop_rate": self.drop_rate,
             "corrupt_rate": self.corrupt_rate,
@@ -214,6 +274,11 @@ class FaultPlan:
                     MicroengineStall(int(s["me_index"]), float(s["at_cycle"]),
                                      float(s["duration_cycles"]))
                     for s in data.get("me_stalls", ())
+                ),
+                worker_faults=tuple(
+                    WorkerFault(f["shard"], f["kind"], int(f["at_packet"]),
+                                float(f.get("factor", 4.0)))
+                    for f in data.get("worker_faults", ())
                 ),
                 drop_rate=float(data.get("drop_rate", 0.0)),
                 corrupt_rate=float(data.get("corrupt_rate", 0.0)),

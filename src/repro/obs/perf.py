@@ -10,6 +10,7 @@ fresh run regresses against the last committed record.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
@@ -86,7 +87,15 @@ def write_bench_record(name: str, metrics: dict[str, float],
     if extra:
         payload["extra"] = {k: extra[k] for k in sorted(extra)}
     path = root / f"{BENCH_PREFIX}{name}.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    # Atomic publish: a Ctrl-C (or crash) mid-write must leave the old
+    # committed record, never a truncated JSON that turns every later
+    # check_bench_regression.py run into exit 2.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 

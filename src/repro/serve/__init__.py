@@ -5,24 +5,58 @@
 enforces end-to-end robustness policy on every request: bounded
 admission with load shedding, per-request deadlines, retry with
 deterministic backoff, per-replica circuit breakers with failover, and
-graceful drain/stop.  See ``docs/serving.md``.
+graceful drain/stop.
+
+``Fabric`` scales the same guarantees across OS processes: the ruleset
+is range-partitioned into shards served by supervised worker processes
+that restart warm from content-verified snapshots; a dead shard sheds
+with a typed reason instead of blocking.  See ``docs/serving.md``.
 """
 
+from .admission import AdmissionGate
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
+from .fabric import Fabric, ShardPlan
 from .policy import ManualClock, RetryPolicy, ServicePolicy, TokenBucket
 from .service import RETRYABLE_ERRORS, ClassificationService, Replica
+from .supervisor import (
+    DOWN,
+    OutageRecord,
+    PARKED,
+    RUNNING,
+    SPAWNING,
+    STOPPED,
+    SupervisionPolicy,
+    Supervisor,
+    WorkerHandle,
+)
+from .transport import SHARD_SNAPSHOT_KIND, ShardSpec, write_shard_snapshot
 
 __all__ = [
+    "AdmissionGate",
     "CLOSED",
+    "DOWN",
     "HALF_OPEN",
     "OPEN",
+    "PARKED",
+    "RUNNING",
+    "SPAWNING",
+    "STOPPED",
     "BreakerTransition",
     "CircuitBreaker",
     "ClassificationService",
+    "Fabric",
     "ManualClock",
+    "OutageRecord",
     "RETRYABLE_ERRORS",
     "Replica",
     "RetryPolicy",
+    "SHARD_SNAPSHOT_KIND",
     "ServicePolicy",
+    "ShardPlan",
+    "ShardSpec",
+    "SupervisionPolicy",
+    "Supervisor",
     "TokenBucket",
+    "WorkerHandle",
+    "write_shard_snapshot",
 ]

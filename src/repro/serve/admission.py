@@ -1,0 +1,123 @@
+"""Shared admission control for the serving front-ends.
+
+:class:`AdmissionGate` is the one implementation of "shed early, shed
+typed" used by both the single-process
+:class:`~repro.serve.service.ClassificationService` and the
+multi-process :class:`~repro.serve.fabric.Fabric`: a bounded in-flight
+limit, an optional token bucket, and the drain/stop lifecycle, with
+every decision counted under ``<scope>.requests`` / ``<scope>.admitted``
+/ ``<scope>.shed.<reason>`` so the two layers expose the same metric
+shape (``serve.*`` and ``fabric.*`` respectively).
+
+The gate owns the lock it needs and exposes it (:attr:`AdmissionGate.lock`)
+so an owner can serialise its own structure access under the *same*
+lock — the single-lock discipline the breaker and the update machinery
+rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..core.errors import AdmissionRejected, ConfigurationError, ServiceStopped
+from ..obs.metrics import MetricScope
+
+
+class AdmissionGate:
+    """Bounded, token-bucket-limited, drainable admission control.
+
+    The decision order is fixed and documented behaviour: stopped →
+    stopping → queue_full → rate_limited.  A request shed for being
+    over the in-flight bound must not also consume a token.
+    """
+
+    def __init__(self, scope: MetricScope, max_in_flight: int,
+                 bucket=None, lock: threading.RLock | None = None) -> None:
+        if max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1")
+        self._scope = scope
+        self._max_in_flight = max_in_flight
+        self._bucket = bucket
+        self.lock = lock or threading.RLock()
+        self._cond = threading.Condition(self.lock)
+        self._in_flight = 0
+        self._seq = 0
+        self._draining = False
+        self._stopped = False
+
+    @property
+    def in_flight(self) -> int:
+        with self.lock:
+            return self._in_flight
+
+    @property
+    def stopped(self) -> bool:
+        with self.lock:
+            return self._stopped
+
+    @property
+    def draining(self) -> bool:
+        with self.lock:
+            return self._draining
+
+    def admit(self, tokens: float = 1.0) -> int:
+        """Shed or admit; returns the request sequence number.
+
+        Raises :class:`ServiceStopped` (reasons ``stopped``/``stopping``)
+        or :class:`AdmissionRejected` (``queue_full``/``rate_limited``),
+        each already counted under ``<scope>.shed.<reason>``.
+        """
+        with self.lock:
+            self._scope.counter("requests").inc()
+            if self._stopped:
+                self._shed("stopped")
+            if self._draining:
+                self._shed("stopping")
+            if self._in_flight >= self._max_in_flight:
+                self._shed("queue_full")
+            if self._bucket is not None and not self._bucket.try_acquire(tokens):
+                self._shed("rate_limited")
+            self._scope.counter("admitted").inc()
+            self._in_flight += 1
+            self._seq += 1
+            return self._seq
+
+    def _shed(self, reason: str) -> None:
+        self._scope.counter(f"shed.{reason}").inc()
+        if reason in ("stopped", "stopping"):
+            raise ServiceStopped(reason)
+        raise AdmissionRejected(reason)
+
+    def release(self) -> None:
+        """An admitted request finished (served or failed)."""
+        with self.lock:
+            self._in_flight -= 1
+            self._cond.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """New requests shed ``stopping``; in-flight ones may finish."""
+        with self.lock:
+            self._draining = True
+
+    def wait_drained(self, timeout_s: float,
+                     wall: Callable[[], float] = time.monotonic) -> bool:
+        """Wait (bounded, real time) for in-flight work to finish.
+
+        Real time on purpose: drain waits on OS threads, so the owner's
+        injectable clock deliberately does not govern it.
+        """
+        with self.lock:
+            limit = wall() + timeout_s
+            while self._in_flight > 0 and wall() < limit:
+                self._cond.wait(timeout=0.05)
+            return self._in_flight == 0
+
+    def mark_stopped(self) -> None:
+        """New requests shed ``stopped`` from here on."""
+        with self.lock:
+            self._draining = True
+            self._stopped = True

@@ -1,0 +1,432 @@
+"""Sharded, crash-tolerant multi-process serving fabric.
+
+The single-process :class:`~repro.serve.service.ClassificationService`
+survives hostile *load*; this module survives hostile *processes*.  The
+ruleset is range-partitioned on the source-IP dimension into shards,
+each served by a supervised worker process
+(:mod:`repro.serve.transport`, :mod:`repro.serve.supervisor`) that is
+expendable by design: SIGKILL any worker at any instant and the fabric
+sheds that shard's traffic with a typed reason while supervision
+restarts it warm from its content-verified snapshot.
+
+**Routing is correctness-preserving.**  Shard ``i`` owns the dim-0
+value range ``[start_i, end_i]`` and receives every rule whose dim-0
+interval *overlaps* that range (wildcard rules replicate to all
+shards).  A header routes by its dim-0 value, and any rule matching the
+header necessarily contains that value, hence overlaps the routed
+shard's range, hence lives on that shard — so the shard-local first
+match (mapped through the shard's ``global_map``) *is* the global first
+match.  The in-lock linear-oracle audit re-proves this on live traffic.
+
+Routing by source address is also the fabric's **flow affinity**: every
+packet of a flow carries the same source IP, so a flow always lands on
+the same worker and observes monotone rule-version history even while
+other shards restart.
+
+Failure handling lifts the service's machinery to fabric level:
+
+- admission (in-flight bound + token bucket + drain/stop) through the
+  shared :class:`~repro.serve.admission.AdmissionGate`, counted under
+  ``fabric.*``;
+- a per-shard :class:`~repro.serve.breaker.CircuitBreaker` — a dead or
+  restarting shard *sheds* (:class:`~repro.core.errors.ShardUnavailable`,
+  reason ``shard_down``) and trips its breaker instead of blocking the
+  caller behind the restart;
+- supervision restarts with exponential backoff under a crash-loop
+  budget; a corrupt snapshot is quarantined, rebuilt cold, and the
+  fabric re-publishes a healthy snapshot from its kept base.
+
+Deliberate non-goals (see ``docs/serving.md``): the fabric does not do
+deadlines, retries, or live rule updates — deadlines and retries belong
+to the caller-facing service layer, and update propagation across
+worker processes is roadmap work.  A down shard never blocks: the
+caller retries after supervision recovers it.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..classifiers import ALGORITHMS
+from ..classifiers.updates import UpdatableClassifier
+from ..core.budget import BuildBudget
+from ..core.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    ShardUnavailable,
+)
+from ..core.fields import FIELD_WIDTHS
+from ..core.rule import Rule, RuleSet
+from ..obs.metrics import MetricsRegistry, get_registry
+from .admission import AdmissionGate
+from .breaker import CircuitBreaker
+from .policy import ServicePolicy
+from .supervisor import RUNNING, SupervisionPolicy, Supervisor
+from .transport import ShardSpec, write_shard_snapshot
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Range partition of a ruleset over one header dimension.
+
+    ``bounds[i]`` is shard ``i``'s closed value range on ``dim`` and
+    ``assignments[i]`` the global indices of the rules whose ``dim``
+    interval overlaps it, in global priority order.
+    """
+
+    dim: int
+    bounds: tuple[tuple[int, int], ...]
+    assignments: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def build(cls, rules: Sequence[Rule], num_shards: int,
+              dim: int = 0) -> "ShardPlan":
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if not 0 <= dim < len(FIELD_WIDTHS):
+            raise ConfigurationError(f"no header dimension {dim}")
+        span = 1 << FIELD_WIDTHS[dim]
+        if num_shards > span:
+            raise ConfigurationError(
+                f"cannot cut a {FIELD_WIDTHS[dim]}-bit dimension "
+                f"into {num_shards} shards")
+        width = span // num_shards
+        bounds = []
+        for i in range(num_shards):
+            lo = i * width
+            hi = span - 1 if i == num_shards - 1 else (i + 1) * width - 1
+            bounds.append((lo, hi))
+        assignments: list[tuple[int, ...]] = []
+        for lo, hi in bounds:
+            picked = tuple(
+                idx for idx, rule in enumerate(rules)
+                if rule.intervals[dim].lo <= hi and rule.intervals[dim].hi >= lo
+            )
+            assignments.append(picked)
+        return cls(dim, tuple(bounds), tuple(assignments))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds)
+
+    def route(self, header: Sequence[int]) -> int:
+        """The shard owning ``header`` (by its ``dim`` value)."""
+        value = header[self.dim]
+        starts = [lo for lo, _ in self.bounds]
+        return min(bisect_right(starts, value) - 1, self.num_shards - 1)
+
+    def replication_factor(self) -> float:
+        """Mean copies per rule (1.0 = perfect cut, N = all wildcards)."""
+        total_rules = max(1, len({i for a in self.assignments for i in a}))
+        return sum(len(a) for a in self.assignments) / total_rules
+
+
+class Fabric:
+    """Front a ruleset with supervised, sharded worker processes.
+
+    Thread-safe under the same single-lock discipline as the service:
+    the admission gate's lock serialises routing, breaker updates,
+    supervision and the oracle audit.  Construction builds each shard's
+    structure once, publishes it as a verified snapshot (so worker
+    starts — including every restart — are warm), then spawns the
+    workers.
+    """
+
+    def __init__(self, rules: Sequence[Rule], snapshot_dir,
+                 num_shards: int = 3,
+                 policy: ServicePolicy | None = None,
+                 supervision: SupervisionPolicy | None = None,
+                 algorithm: str = "expcuts",
+                 build_params: dict | None = None,
+                 budget: BuildBudget | None = None,
+                 clock: Callable[[], float] | None = None,
+                 charge: Callable[[float], None] | None = None,
+                 lookup_cost_s: float = 0.0,
+                 start: bool = True) -> None:
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        self.policy = policy or ServicePolicy()
+        self._clock = clock or time.monotonic
+        self._charge = charge
+        self._lookup_cost_s = lookup_cost_s
+        self.rules = list(rules)
+        self._oracle = RuleSet(self.rules, name="fabric-oracle")
+        self.plan = ShardPlan.build(self.rules, num_shards)
+        self.metrics = MetricsRegistry()
+        self._fabric = self.metrics.scope("fabric")
+        bucket = None
+        if self.policy.rate_limit_per_s is not None:
+            from .policy import TokenBucket
+
+            bucket = TokenBucket(self.policy.rate_limit_per_s,
+                                 self.policy.burst, clock=self._clock)
+        self._gate = AdmissionGate(self._fabric, self.policy.max_in_flight,
+                                   bucket=bucket)
+        self._lock = self._gate.lock
+
+        snapshot_dir = Path(snapshot_dir)
+        snapshot_dir.mkdir(parents=True, exist_ok=True)
+        build_params = dict(build_params or {})
+        self.specs: list[ShardSpec] = []
+        self._bases: dict[str, object] = {}
+        self.breakers: dict[str, CircuitBreaker] = {}
+        for i, assignment in enumerate(self.plan.assignments):
+            name = f"shard{i}"
+            spec = ShardSpec(
+                name=name,
+                rules=tuple(self.rules[g] for g in assignment),
+                global_map=tuple(assignment),
+                snapshot_path=str(snapshot_dir / f"{name}.snap"),
+                algorithm=algorithm,
+                build_params=build_params,
+                budget=budget,
+            )
+            self.specs.append(spec)
+            self._publish_shard(spec)
+            self.breakers[name] = CircuitBreaker(self.policy,
+                                                 clock=self._clock, name=name)
+        self.supervisor = Supervisor(
+            self.specs,
+            policy=supervision,
+            clock=self._clock,
+            charge=charge,
+            metrics=self._fabric,
+            reseed_snapshot=self._reseed_shard,
+        )
+        if start:
+            self.supervisor.start()
+
+    # -- snapshot publication ----------------------------------------------
+
+    def _publish_shard(self, spec: ShardSpec) -> None:
+        """Build the shard's structure and publish it as its snapshot.
+
+        The built base is kept in the parent so a corruption-triggered
+        cold restart can be healed by re-publishing from memory rather
+        than paying a second build.
+        """
+        base = self._bases.get(spec.name)
+        if base is None:
+            ruleset = RuleSet(list(spec.rules), name=f"shard-{spec.name}")
+            base = UpdatableClassifier(
+                ruleset, ALGORITHMS[spec.algorithm],
+                rebuild_threshold=spec.rebuild_threshold,
+                budget=spec.budget, degrade=True, **spec.build_params)
+            self._bases[spec.name] = base
+        write_shard_snapshot(Path(spec.snapshot_path), spec, base)
+
+    def _reseed_shard(self, spec: ShardSpec) -> None:
+        """Supervision callback after a corrupt-snapshot cold start."""
+        self._publish_shard(spec)
+        self._fabric.counter("snapshot_reseeds").inc()
+
+    # -- the request path --------------------------------------------------
+
+    def classify(self, header: Sequence[int]) -> int | None:
+        """Global first-match rule index for ``header``.
+
+        Sheds with :class:`~repro.core.errors.AdmissionRejected`
+        subclasses; :class:`ShardUnavailable` (reason ``shard_down``)
+        when the owning shard is dead, restarting, parked, or its
+        breaker is open.  Any answer returned was produced by the owning
+        worker and (policy permitting) audited against the full-ruleset
+        linear oracle in-lock.
+        """
+        self._gate.admit()
+        try:
+            with self._lock:
+                return self._classify_admitted(header)
+        finally:
+            self._gate.release()
+
+    def _classify_admitted(self, header: Sequence[int]) -> int | None:
+        shard = self.specs[self.plan.route(header)].name
+        breaker = self.breakers[shard]
+        now = self._clock()
+        if not breaker.allow():
+            self._shed_shard(shard, "breaker_open")
+        if self.supervisor.state(shard) != RUNNING:
+            # Dead/restarting/parked: shed and tell the breaker, so a
+            # long outage opens the circuit and later requests shed at
+            # the breaker without even poking the supervisor.
+            breaker.record_failure(0.0)
+            phase = {"down": "restarting", "spawning": "restarting",
+                     "parked": "parked"}.get(self.supervisor.state(shard),
+                                             "down")
+            self._shed_shard(shard, phase)
+        try:
+            answers = self.supervisor.request(shard, [tuple(header)], now)
+        except ShardUnavailable:
+            breaker.record_failure(self._clock() - now)
+            self._fabric.counter("shed.shard_down").inc()
+            self._fabric.counter("shed_phase.mid_request").inc()
+            raise
+        cost = self._lookup_cost_s
+        if self._charge is not None and cost > 0:
+            self._charge(cost)
+        elapsed = max(self._clock() - now, cost)
+        breaker.record_success(elapsed)
+        self._audit(header, answers[0])
+        self._fabric.counter("served").inc()
+        self._fabric.histogram("latency_us").observe(elapsed * 1e6)
+        return answers[0]
+
+    def _shed_shard(self, shard: str, phase: str) -> None:
+        self._fabric.counter("shed.shard_down").inc()
+        self._fabric.counter(f"shed_phase.{phase}").inc()
+        raise ShardUnavailable(shard, phase)
+
+    def classify_batch(self, headers: Sequence[Sequence[int]]) -> list[dict]:
+        """Classify a batch, grouping headers per shard (one pipe round
+        trip per shard instead of per header).
+
+        Never raises per-header conditions; returns one outcome dict per
+        header, in order: ``{"status": "served", "rule": idx|None}`` or
+        ``{"status": "shed", "reason": ..., "shard": ...}``.
+        """
+        outcomes: list[dict] = [{} for _ in headers]
+        groups: dict[str, list[int]] = {}
+        admitted = 0
+        with self._lock:
+            for pos, header in enumerate(headers):
+                try:
+                    self._gate.admit()
+                except AdmissionRejected as exc:
+                    outcomes[pos] = {"status": "shed", "reason": exc.reason}
+                    continue
+                admitted += 1
+                shard = self.specs[self.plan.route(header)].name
+                groups.setdefault(shard, []).append(pos)
+            try:
+                for shard, positions in groups.items():
+                    batch = [tuple(headers[pos]) for pos in positions]
+                    breaker = self.breakers[shard]
+                    now = self._clock()
+                    try:
+                        if not breaker.allow():
+                            raise ShardUnavailable(shard, "breaker_open")
+                        if self.supervisor.state(shard) != RUNNING:
+                            breaker.record_failure(0.0)
+                            raise ShardUnavailable(shard, "restarting")
+                        answers = self.supervisor.request(shard, batch, now)
+                    except ShardUnavailable as exc:
+                        if exc.phase not in ("breaker_open",):
+                            breaker.record_failure(self._clock() - now)
+                        self._fabric.counter("shed.shard_down").inc(
+                            len(positions))
+                        self._fabric.counter(f"shed_phase.{exc.phase}").inc(
+                            len(positions))
+                        for pos in positions:
+                            outcomes[pos] = {"status": "shed",
+                                             "reason": "shard_down",
+                                             "shard": shard,
+                                             "phase": exc.phase}
+                        continue
+                    cost = self._lookup_cost_s * len(positions)
+                    if self._charge is not None and cost > 0:
+                        self._charge(cost)
+                    breaker.record_success(max(self._clock() - now, cost))
+                    for pos, answer in zip(positions, answers):
+                        self._audit(headers[pos], answer)
+                        outcomes[pos] = {"status": "served", "rule": answer}
+                    self._fabric.counter("served").inc(len(positions))
+            finally:
+                for _ in range(admitted):
+                    self._gate.release()
+        return outcomes
+
+    def _audit(self, header, result: int | None) -> None:
+        """In-lock differential check against the full-ruleset oracle."""
+        if not self.policy.oracle_check:
+            return
+        self._fabric.counter("oracle.checks").inc()
+        want = self._oracle.first_match(header)
+        if want != result:
+            self._fabric.counter("oracle.divergences").inc()
+
+    # -- supervision passthrough -------------------------------------------
+
+    def tick(self, now: float | None = None) -> None:
+        """Periodic supervision pass (heartbeats due, restarts due)."""
+        with self._lock:
+            self.supervisor.tick(self._clock() if now is None else now)
+
+    def probe(self, shard: str, now: float | None = None) -> bool:
+        """Immediately heartbeat one shard; returns liveness."""
+        with self._lock:
+            return self.supervisor.probe(shard, now)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self, drain: bool = True, snapshot_path=None,
+             drain_timeout_s: float = 5.0) -> dict:
+        """Drain, stop every worker, optionally snapshot fabric state."""
+        self._gate.begin_drain()
+        drained = (self._gate.wait_drained(drain_timeout_s) if drain
+                   else self._gate.in_flight == 0)
+        self._gate.mark_stopped()
+        with self._lock:
+            worker_stats = self.supervisor.stop()
+            state = {
+                "rules": list(self.rules),
+                "drained": drained,
+                "stopped_at": self._clock(),
+                "metrics": self.metrics.snapshot(),
+                "workers": worker_stats,
+                "supervision": self.supervisor.report(),
+            }
+        if snapshot_path is not None:
+            from ..harness.cache import CACHE_VERSION
+            from ..harness.snapshots import write_snapshot
+
+            write_snapshot(snapshot_path, state, kind="fabric-state",
+                           cache_version=CACHE_VERSION)
+        return state
+
+    # -- reporting ---------------------------------------------------------
+
+    def counter(self, name: str) -> int | float:
+        """Convenience read of one ``fabric.*`` counter value."""
+        return self.metrics.counter(f"fabric.{name}").value
+
+    def report(self) -> dict:
+        """JSON-friendly view: metrics, breakers, supervision, plan."""
+        with self._lock:
+            return {
+                "metrics": self.metrics.snapshot(),
+                "plan": {
+                    "num_shards": self.plan.num_shards,
+                    "dim": self.plan.dim,
+                    "bounds": list(self.plan.bounds),
+                    "rules_per_shard": [len(a) for a in
+                                        self.plan.assignments],
+                    "replication_factor": self.plan.replication_factor(),
+                },
+                "breakers": {
+                    name: {
+                        "state": b.state,
+                        "open_count": b.open_count(),
+                        "transitions": [
+                            (t.at, t.from_state, t.to_state, t.reason)
+                            for t in b.transitions
+                        ],
+                    }
+                    for name, b in self.breakers.items()
+                },
+                "supervision": self.supervisor.report(),
+                "outages": [
+                    {"shard": o.shard, "down_at": o.down_at, "up_at": o.up_at,
+                     "why": o.why, "warm": o.warm}
+                    for o in self.supervisor.outages
+                ],
+            }
+
+    def publish_metrics(self) -> None:
+        """Fold the private registry into the process registry (if on)."""
+        registry = get_registry()
+        if registry is not None:
+            registry.merge(self.metrics)

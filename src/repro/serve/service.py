@@ -44,18 +44,17 @@ from typing import Callable, Sequence
 from ..classifiers.updates import UpdatableClassifier
 from ..core.budget import Deadline
 from ..core.errors import (
-    AdmissionRejected,
     ChannelOfflineError,
     CircuitOpenError,
     ConfigurationError,
     DeadlineExceeded,
     RetriesExhausted,
-    ServiceStopped,
     SnapshotError,
     TransientServiceError,
 )
 from ..core.rule import Rule
 from ..obs.metrics import MetricsRegistry, get_registry
+from .admission import AdmissionGate
 from .breaker import CircuitBreaker
 from .policy import ServicePolicy
 
@@ -120,48 +119,18 @@ class ClassificationService:
         # (zero divergences, nonzero sheds) read.
         self.metrics = MetricsRegistry()
         self._serve = self.metrics.scope("serve")
-        self._lock = threading.RLock()
-        self._cond = threading.Condition(self._lock)
-        self._in_flight = 0
-        self._seq = 0
-        self._draining = False
-        self._stopped = False
-        self._bucket = None
+        bucket = None
         if self.policy.rate_limit_per_s is not None:
             from .policy import TokenBucket
 
-            self._bucket = TokenBucket(self.policy.rate_limit_per_s,
-                                       self.policy.burst, clock=self._clock)
-
-    # -- admission ---------------------------------------------------------
-
-    def _admit(self) -> int:
-        """Shed or admit; returns the request sequence number."""
-        with self._lock:
-            self._serve.counter("requests").inc()
-            if self._stopped:
-                self._shed("stopped")
-            if self._draining:
-                self._shed("stopping")
-            if self._in_flight >= self.policy.max_in_flight:
-                self._shed("queue_full")
-            if self._bucket is not None and not self._bucket.try_acquire():
-                self._shed("rate_limited")
-            self._serve.counter("admitted").inc()
-            self._in_flight += 1
-            self._seq += 1
-            return self._seq
-
-    def _shed(self, reason: str) -> None:
-        self._serve.counter(f"shed.{reason}").inc()
-        if reason in ("stopped", "stopping"):
-            raise ServiceStopped(reason)
-        raise AdmissionRejected(reason)
-
-    def _release(self) -> None:
-        with self._lock:
-            self._in_flight -= 1
-            self._cond.notify_all()
+            bucket = TokenBucket(self.policy.rate_limit_per_s,
+                                 self.policy.burst, clock=self._clock)
+        # Admission (shed early, shed typed) is shared with the fabric;
+        # the gate owns the lock so structure access below serialises
+        # under the same lock admission decisions take.
+        self._gate = AdmissionGate(self._serve, self.policy.max_in_flight,
+                                   bucket=bucket)
+        self._lock = self._gate.lock
 
     # -- the request pipeline ---------------------------------------------
 
@@ -174,14 +143,14 @@ class ClassificationService:
         :class:`RetriesExhausted`; any answer actually returned was
         produced within the deadline by a breaker-approved replica.
         """
-        seq = self._admit()
+        seq = self._gate.admit()
         try:
             budget = (self.policy.default_deadline_s
                       if deadline_s is None else deadline_s)
             deadline = Deadline(budget, clock=self._clock)
             return self._classify_admitted(header, seq, deadline)
         finally:
-            self._release()
+            self._gate.release()
 
     def _classify_admitted(self, header, seq: int,
                            deadline: Deadline) -> int | None:
@@ -350,15 +319,11 @@ class ClassificationService:
 
         Returns a summary dict (also the snapshot payload).
         """
-        wall = time.monotonic
         with self._lock:
-            self._draining = True
-            if drain:
-                limit = wall() + drain_timeout_s
-                while self._in_flight > 0 and wall() < limit:
-                    self._cond.wait(timeout=0.05)
-            self._stopped = True
-            drained = self._in_flight == 0
+            self._gate.begin_drain()
+            drained = (self._gate.wait_drained(drain_timeout_s) if drain
+                       else self._gate.in_flight == 0)
+            self._gate.mark_stopped()
             state = {
                 "rules": list(self.replicas[0].classifier.rules),
                 "drained": drained,

@@ -1,0 +1,183 @@
+"""Worker-process transport for the sharded serving fabric.
+
+One fabric shard = one OS process running :func:`worker_main` over a
+duplex pipe.  The module defines the *entire* parent/worker contract so
+the supervisor and the worker cannot drift apart:
+
+parent → worker messages::
+
+    ("ping", seq)          liveness probe; a healthy worker answers pong
+    ("classify", headers)  classify a batch; answers ("result", [...])
+    ("stop",)              graceful shutdown; answers ("bye", stats)
+    ("hang",)              chaos hook: stop reading the pipe forever
+    ("exit", code)         chaos hook: abrupt os._exit (no goodbye)
+
+worker → parent messages::
+
+    ("ready", info)        sent once after the serving structure exists
+    ("pong", seq, stats)   liveness answer
+    ("result", answers)    global rule indices for one classify batch
+    ("error", message)     a lookup failed; the request is retryable
+    ("bye", stats)         graceful-stop acknowledgement
+
+The worker is **expendable by design**: all durable state lives in the
+shard's content-verified snapshot (:mod:`repro.harness.snapshots`), so a
+SIGKILL at any instant costs only the restart.  On start the worker
+walks the same degradation ladder the single-process service uses:
+
+1. **warm** — load the shard's snapshot (verified before unpickling);
+2. **cold** — on a missing or corrupt snapshot (quarantined first),
+   rebuild from the shard's rules under the budget-guarded
+   :class:`~repro.classifiers.updates.UpdatableClassifier` chain
+   (coarser parameters → linear slow path);
+3. **linear** — if even the cold build raises, serve the linear scan:
+   always correct, merely slow.
+
+Answers are *global* rule indices: the worker classifies within its
+shard and maps the local result through ``spec.global_map``, so the
+fabric can audit every answer against the full-ruleset linear oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..classifiers import ALGORITHMS, LinearSearchClassifier
+from ..classifiers.updates import UpdatableClassifier
+from ..core.budget import BuildBudget
+from ..core.errors import ReproError, SnapshotIntegrityError
+from ..core.rule import Rule, RuleSet
+
+#: Snapshot ``kind`` for a shard's published build (rules + structure).
+SHARD_SNAPSHOT_KIND = "fabric-shard"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to serve one shard.
+
+    Specs travel to the worker by fork-time inheritance (cheap, no
+    serialisation); the snapshot at ``snapshot_path`` additionally
+    carries the *built* structure so a restart is warm.  ``rules`` are
+    the shard's rules in global priority order and ``global_map[i]`` is
+    the global index of local rule ``i``.
+    """
+
+    name: str
+    rules: tuple[Rule, ...]
+    global_map: tuple[int, ...]
+    snapshot_path: str
+    algorithm: str = "expcuts"
+    build_params: dict = field(default_factory=dict)
+    budget: BuildBudget | None = None
+    rebuild_threshold: int = 32
+    #: Test hook: die before sending ``ready`` (exercises the
+    #: supervisor's failed-start and crash-loop paths).
+    crash_on_start: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.rules) != len(self.global_map):
+            raise ValueError("global_map must cover every shard rule")
+
+
+def write_shard_snapshot(path: Path, spec: ShardSpec, base) -> None:
+    """Publish one shard's immutable build as a verified snapshot."""
+    from ..harness.cache import CACHE_VERSION
+    from ..harness.snapshots import write_snapshot
+
+    payload = {
+        "shard": spec.name,
+        "rules": list(spec.rules),
+        "global_map": list(spec.global_map),
+        "base": base,
+    }
+    write_snapshot(Path(path), payload, kind=SHARD_SNAPSHOT_KIND,
+                   cache_version=CACHE_VERSION)
+
+
+def _load_or_build(spec: ShardSpec) -> tuple[object, dict]:
+    """The worker-side start ladder: warm snapshot → cold rebuild → linear.
+
+    Returns ``(classifier, info)`` where ``info`` is the ``ready``
+    payload (``warm``, ``degradation``, ``quarantined``).
+    """
+    from ..harness.cache import CACHE_VERSION
+    from ..harness.snapshots import quarantine, read_snapshot
+
+    info: dict = {"shard": spec.name, "pid": os.getpid(),
+                  "warm": False, "quarantined": False, "degradation": None}
+    path = Path(spec.snapshot_path)
+    if path.exists():
+        try:
+            payload = read_snapshot(path, kind=SHARD_SNAPSHOT_KIND,
+                                    cache_version=CACHE_VERSION)
+            info["warm"] = True
+            return payload["base"], info
+        except SnapshotIntegrityError as exc:
+            # The published image is unusable: set it aside for the
+            # post-mortem and fall through to a cold rebuild — the
+            # restart must *survive* corruption, not crash on it.
+            quarantine(path, exc.reason)
+            info["quarantined"] = True
+            info["quarantine_reason"] = exc.reason
+    ruleset = RuleSet(list(spec.rules), name=f"shard-{spec.name}")
+    try:
+        classifier = UpdatableClassifier(
+            ruleset, ALGORITHMS[spec.algorithm],
+            rebuild_threshold=spec.rebuild_threshold,
+            budget=spec.budget, degrade=True, **spec.build_params)
+        info["degradation"] = classifier.degradation
+        return classifier, info
+    except ReproError as exc:
+        # Last rung: the linear scan over the shard's rules is the
+        # oracle itself — slow, but a worker that serves slowly beats a
+        # shard that stays dark.
+        info["degradation"] = "linear"
+        info["build_error"] = repr(exc)
+        return LinearSearchClassifier(ruleset), info
+
+
+def worker_main(conn, spec: ShardSpec) -> None:
+    """Process target: serve one shard until told (or made) to stop."""
+    if spec.crash_on_start:
+        os._exit(3)
+    classifier, info = _load_or_build(spec)
+    conn.send(("ready", info))
+    served = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away: nothing left to serve
+        kind = message[0]
+        if kind == "ping":
+            conn.send(("pong", message[1], {"served": served}))
+        elif kind == "classify":
+            headers: Sequence[Sequence[int]] = message[1]
+            try:
+                answers = []
+                for header in headers:
+                    local = classifier.classify(header)
+                    answers.append(None if local is None
+                                   else spec.global_map[local])
+                served += len(headers)
+                conn.send(("result", answers))
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal
+                conn.send(("error", repr(exc)))
+        elif kind == "stop":
+            conn.send(("bye", {"served": served}))
+            break
+        elif kind == "hang":
+            # Chaos hook: alive but unresponsive — only the liveness
+            # deadline can catch this failure mode.
+            while True:
+                time.sleep(3600.0)
+        elif kind == "exit":
+            os._exit(message[1])
+        else:
+            conn.send(("error", f"unknown message kind {kind!r}"))
+    conn.close()

@@ -35,6 +35,8 @@ EXPECTED_CODES = {
     errors.ServiceError: "serve",
     errors.AdmissionRejected: "serve.shed",
     errors.ServiceStopped: "serve.stopped",
+    errors.ShardUnavailable: "serve.shard_down",
+    errors.WorkerCrashLoop: "serve.crash_loop",
     errors.DeadlineExceeded: "serve.deadline",
     errors.TransientServiceError: "serve.transient",
     errors.CircuitOpenError: "serve.breaker_open",

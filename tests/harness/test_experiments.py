@@ -19,7 +19,7 @@ class TestRegistry:
     def test_every_paper_artifact_registered(self):
         expected = {"table1", "table2", "table3", "table4", "table5",
                     "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "resilience", "profile", "serve-soak"}
+                    "resilience", "profile", "serve-soak", "chaos-soak"}
         assert set(REGISTRY) == expected
 
     def test_list(self):

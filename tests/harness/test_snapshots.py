@@ -266,6 +266,84 @@ class TestAtomicWrite:
         assert offset + header.payload_bytes == snap.stat().st_size
 
 
+class TestInterruptSafety:
+    """Ctrl-C (or any crash) mid-write must never tear the store.
+
+    The committed snapshot stays readable, no ``*.tmp`` debris survives,
+    and concurrent writers can never share a temp path.
+    """
+
+    def test_interrupt_mid_write_preserves_old(self, tmp_path, monkeypatch):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, {"v": 1}, kind="k", cache_version=1)
+
+        import os as _os
+
+        def boom(fd):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(_os, "fsync", boom)
+        with pytest.raises(KeyboardInterrupt):
+            write_snapshot(path, {"v": 2}, kind="k", cache_version=1)
+        monkeypatch.undo()
+
+        assert read_snapshot(path, kind="k", cache_version=1) == {"v": 1}
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.snap"]
+        report = verify_store(tmp_path, cache_version=1)
+        assert report.healthy
+        assert report.ok == [path]
+
+    def test_interrupt_before_replace_leaves_no_partial(self, tmp_path,
+                                                        monkeypatch):
+        """A first-ever write that dies must not leave *any* file at path."""
+        path = tmp_path / "fresh.snap"
+        import os as _os
+
+        real_replace = _os.replace
+
+        def boom(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(KeyboardInterrupt):
+            write_snapshot(path, PAYLOAD, kind="k", cache_version=1)
+        monkeypatch.setattr(_os, "replace", real_replace)
+
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_writers_never_share_tmp_names(self, tmp_path, monkeypatch):
+        path = tmp_path / "a.snap"
+        import os as _os
+
+        seen = []
+        real_replace = _os.replace
+
+        def spy(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(_os, "replace", spy)
+        write_snapshot(path, {"v": 1}, kind="k", cache_version=1)
+        write_snapshot(path, {"v": 2}, kind="k", cache_version=1)
+
+        assert len(seen) == 2
+        assert len(set(seen)) == 2, "temp paths must be unique per write"
+        assert all(name.endswith(".tmp") for name in seen)
+
+    def test_gc_sweeps_interrupted_writer_debris(self, tmp_path):
+        write_snapshot(tmp_path / "a.snap", PAYLOAD, kind="k",
+                       cache_version=1)
+        # Debris in the shape write_snapshot's temp names actually take:
+        # <name>.<pid>.<serial>.tmp from a writer that died pre-replace.
+        debris = tmp_path / "a.snap.12345.7.tmp"
+        debris.write_bytes(b"partial")
+        report = gc_store(tmp_path, cache_version=1)
+        assert debris in report.removed
+        assert not debris.exists()
+        assert read_snapshot(tmp_path / "a.snap") == PAYLOAD
+
+
 # -- fuzzing ------------------------------------------------------------------
 
 class TestFuzz:

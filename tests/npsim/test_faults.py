@@ -5,7 +5,13 @@ import pytest
 from repro.classifiers import ExpCutsClassifier
 from repro.classifiers.base import MemoryRegion
 from repro.core.errors import FaultPlanError
-from repro.npsim import ChannelFailure, FaultPlan, LatencySpike, MicroengineStall
+from repro.npsim import (
+    ChannelFailure,
+    FaultPlan,
+    LatencySpike,
+    MicroengineStall,
+    WorkerFault,
+)
 from repro.npsim.allocator import place
 from repro.npsim.chip import IXP2850
 from repro.npsim.faults import (
@@ -77,6 +83,43 @@ class TestFaultPlanValidation:
     def test_malformed_dict_rejected(self):
         with pytest.raises(FaultPlanError):
             FaultPlan.from_dict({"channel_failures": [{"channel": "sram0"}]})
+
+
+class TestWorkerFaults:
+    """Process-level faults the serving fabric's chaos soak injects."""
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown worker fault"):
+            FaultPlan(worker_faults=(WorkerFault("shard0", "segfault", 10),))
+
+    def test_negative_packet_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(worker_faults=(WorkerFault("shard0", "kill", -1),))
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(worker_faults=(
+                WorkerFault("shard0", "slow_start", 5, factor=0.5),))
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(seed=2007, worker_faults=(
+            WorkerFault("shard0", "kill", 100),
+            WorkerFault("shard2", "corrupt_snapshot", 470),
+            WorkerFault("shard1", "slow_start", 790, factor=4.0),
+        ))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert not plan.is_empty()
+
+    def test_schedule_groups_by_packet(self):
+        plan = FaultPlan(worker_faults=(
+            WorkerFault("shard0", "kill", 100),
+            WorkerFault("shard1", "hang", 100),
+            WorkerFault("shard2", "kill", 300),
+        ))
+        schedule = plan.worker_fault_schedule()
+        assert set(schedule) == {100, 300}
+        assert [f.shard for f in schedule[100]] == ["shard0", "shard1"]
+        assert [f.kind for f in schedule[300]] == ["kill"]
 
     def test_unknown_channel_rejected_at_prepare(self, fw_setup):
         clf, trace = fw_setup

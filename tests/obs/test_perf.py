@@ -5,6 +5,8 @@ import json
 import sys
 from pathlib import Path
 
+import pytest
+
 from repro.obs import extract_throughput, read_bench_record, write_bench_record
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -78,6 +80,29 @@ class TestBenchRecords:
             extra={"p99_us": 90.0, "shed_rate": 0.3}))
         assert rich["extra"] == {"p99_us": 90.0, "shed_rate": 0.3}
 
+    def test_interrupt_mid_write_preserves_old_record(self, tmp_path,
+                                                      monkeypatch):
+        """Ctrl-C during a bench-record publish must leave the previous
+        committed record intact and drop no temp debris."""
+        import os as _os
+
+        path = write_bench_record("soak", {"gbps": 5.0}, 1.0, root=tmp_path)
+        real_replace = _os.replace
+
+        def boom(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(_os, "replace", boom)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                write_bench_record("soak", {"gbps": 9.0}, 1.0, root=tmp_path)
+        finally:
+            monkeypatch.setattr(_os, "replace", real_replace)
+
+        assert read_bench_record(path)["metrics"] == {"gbps": 5.0}
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["BENCH_soak.json"]
+
 
 class TestRegressionCompare:
     def test_within_tolerance_passes(self):
@@ -142,6 +167,31 @@ class TestRecordValidation:
         record = {"benchmark": "x", "wall_time_s": 1.0, "date": "d",
                   "metrics": {}, "extra": [1]}
         assert any("extra" in p for p in checker.validate(record))
+
+    def test_empty_metrics_flagged(self):
+        """A record that measures *nothing* must fail validation — an
+        empty metrics dict passes every future comparison vacuously."""
+        checker = _load_checker()
+        record = {"benchmark": "x", "wall_time_s": 1.0, "date": "d",
+                  "metrics": {}}
+        problems = checker.validate(record)
+        assert any("empty" in p for p in problems)
+
+    def test_cli_exits_2_on_empty_metrics(self, tmp_path):
+        import subprocess
+
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "BENCH_hollow.json").write_text(json.dumps({
+            "benchmark": "hollow", "metrics": {}, "wall_time_s": 1.0,
+            "date": "2026-01-01T00:00:00+00:00",
+        }))
+        out = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts"
+                                 / "check_bench_regression.py")],
+            cwd=tmp_path, capture_output=True, text=True,
+        )
+        assert out.returncode == 2
+        assert "MALFORMED" in out.stdout
 
     def test_cli_exits_2_on_malformed_record(self, tmp_path):
         import subprocess

@@ -129,3 +129,100 @@ class TestHistory:
         breaker.allow()
         breaker.record_failure()  # reopen
         assert breaker.open_count() == 2
+
+
+class TestHalfOpenRace:
+    """Seeded multi-thread hammering around the OPEN→HALF_OPEN→* edges.
+
+    The breaker is documented as externally serialised (the service's
+    lock), so these tests drive it the same way — many threads, one
+    lock — and pin the invariants a scheduling race would break:
+
+    * the transition chain is connected (each ``from_state`` equals the
+      previous ``to_state``) and only legal edges appear;
+    * HALF_OPEN never admits more than ``half_open_probes`` in-flight
+      probes, no matter how many threads call ``allow()`` at once;
+    * a trip is never lost: every OPEN entry is matched by a clear
+      failure/slow condition, never silently overwritten by a
+      concurrent close.
+    """
+
+    LEGAL_EDGES = {
+        (CLOSED, OPEN),
+        (OPEN, HALF_OPEN),
+        (HALF_OPEN, OPEN),
+        (HALF_OPEN, CLOSED),
+    }
+
+    def _hammer(self, seed, threads=6, iterations=400):
+        import random
+        import threading
+
+        clock = ManualClock()
+        breaker = CircuitBreaker(POLICY, clock=clock, name="raced")
+        lock = threading.Lock()
+        max_probes_seen = [0]
+
+        def worker(worker_seed):
+            rng = random.Random(worker_seed)
+            for _ in range(iterations):
+                with lock:
+                    if rng.random() < 0.15:
+                        # Nudge time forward so cool-downs elapse and
+                        # the OPEN→HALF_OPEN edge gets exercised a lot.
+                        clock.advance(POLICY.open_s * rng.uniform(0.3, 1.5))
+                    if not breaker.allow():
+                        continue
+                    if breaker.state == HALF_OPEN:
+                        max_probes_seen[0] = max(
+                            max_probes_seen[0],
+                            breaker._half_open_in_flight)
+                    if rng.random() < 0.4:
+                        breaker.record_failure()
+                    else:
+                        slow = (POLICY.slow_call_s * 2
+                                if rng.random() < 0.2 else 1e-6)
+                        breaker.record_success(elapsed_s=slow)
+
+        pool = [threading.Thread(target=worker, args=(seed * 1000 + i,),
+                                 daemon=True)
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=60)
+            assert not t.is_alive(), "hammer thread wedged"
+        return breaker, max_probes_seen[0]
+
+    @pytest.mark.parametrize("seed", [1, 7, 2007])
+    def test_transition_chain_stays_connected(self, seed):
+        breaker, max_probes = self._hammer(seed)
+        chain = breaker.transitions
+        assert chain, "the hammer must actually trip the breaker"
+        assert chain[0].from_state == CLOSED
+        for prev, cur in zip(chain, chain[1:]):
+            assert cur.from_state == prev.to_state, (
+                f"disconnected chain: {prev} -> {cur}")
+        for t in chain:
+            assert (t.from_state, t.to_state) in self.LEGAL_EDGES, (
+                f"illegal edge {t.from_state} -> {t.to_state}")
+        assert max_probes <= POLICY.half_open_probes
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_no_double_close_or_lost_trip(self, seed):
+        breaker, _ = self._hammer(seed)
+        chain = breaker.transitions
+        closes = [t for t in chain if t.to_state == CLOSED]
+        # Every close must come from HALF_OPEN with the full probe
+        # quota — a "double close" would show as CLOSED→CLOSED or a
+        # close out of OPEN.
+        for t in closes:
+            assert t.from_state == HALF_OPEN
+            assert t.reason == "probes succeeded"
+        # Every trip is recorded with its cause; none vanish.
+        opens = [t for t in chain if t.to_state == OPEN]
+        assert len(opens) == breaker.open_count()
+        for t in opens:
+            assert ("failure rate" in t.reason
+                    or "slow-call rate" in t.reason
+                    or "probe" in t.reason)

@@ -1,0 +1,208 @@
+"""Sharded multi-process fabric: partition correctness, oracle
+equivalence with the single-process service, and shedding behaviour.
+
+Process-spawning tests share one module-scoped fabric where possible —
+each fork+build costs real wall time.
+"""
+
+import pytest
+
+from repro.core.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    ShardUnavailable,
+)
+from repro.core.fields import FIELD_WIDTHS
+from repro.core.rule import Rule, RuleSet
+from repro.rulesets import generate
+from repro.rulesets.profiles import PROFILES
+from repro.serve import (
+    ClassificationService,
+    Fabric,
+    ManualClock,
+    RUNNING,
+    Replica,
+    ServicePolicy,
+    ShardPlan,
+    SupervisionPolicy,
+)
+from repro.traffic import matched_trace
+
+POLICY = ServicePolicy(max_in_flight=64, breaker_window=8,
+                       breaker_min_calls=4, open_s=1e-3, half_open_probes=2,
+                       oracle_check=True)
+SUPERVISION = SupervisionPolicy(
+    heartbeat_interval_s=0.02, heartbeat_timeout_s=0.5, liveness_misses=2,
+    restart_backoff_base_s=1e-3, restart_backoff_max_s=0.05,
+    warm_restart_cost_s=1e-3, cold_restart_cost_s=5e-3,
+    crash_loop_window_s=5.0, crash_loop_budget=4)
+
+
+@pytest.fixture(scope="module")
+def fw_ruleset():
+    return generate(PROFILES["FW01"], size=40, seed=11).with_default()
+
+
+@pytest.fixture(scope="module")
+def fw_headers(fw_ruleset):
+    return list(matched_trace(fw_ruleset, 120, seed=21).headers())
+
+
+@pytest.fixture(scope="module")
+def fabric(fw_ruleset, tmp_path_factory):
+    clock = ManualClock()
+    fab = Fabric(list(fw_ruleset), tmp_path_factory.mktemp("fabric"),
+                 num_shards=3, policy=POLICY, supervision=SUPERVISION,
+                 clock=clock, charge=clock.advance)
+    fab.manual_clock = clock  # test-side handle for advancing time
+    yield fab
+    fab.supervisor.stop()
+
+
+# -- partition plan ------------------------------------------------------------
+
+class TestShardPlan:
+    def test_bounds_tile_the_dimension(self, fw_ruleset):
+        plan = ShardPlan.build(list(fw_ruleset), 3)
+        span = 1 << FIELD_WIDTHS[plan.dim]
+        assert plan.bounds[0][0] == 0
+        assert plan.bounds[-1][1] == span - 1
+        for (_, hi), (lo, _) in zip(plan.bounds, plan.bounds[1:]):
+            assert lo == hi + 1  # contiguous, no gap, no overlap
+
+    def test_every_rule_lands_somewhere(self, fw_ruleset):
+        plan = ShardPlan.build(list(fw_ruleset), 4)
+        covered = {idx for a in plan.assignments for idx in a}
+        assert covered == set(range(len(fw_ruleset)))
+
+    def test_rule_on_shard_iff_interval_overlaps(self, fw_ruleset):
+        rules = list(fw_ruleset)
+        plan = ShardPlan.build(rules, 3)
+        for (lo, hi), assignment in zip(plan.bounds, plan.assignments):
+            for idx, rule in enumerate(rules):
+                overlaps = (rule.intervals[plan.dim].lo <= hi
+                            and rule.intervals[plan.dim].hi >= lo)
+                assert (idx in assignment) == overlaps
+
+    def test_route_respects_bounds(self, fw_ruleset, fw_headers):
+        plan = ShardPlan.build(list(fw_ruleset), 3)
+        for header in fw_headers:
+            shard = plan.route(header)
+            lo, hi = plan.bounds[shard]
+            assert lo <= header[plan.dim] <= hi
+
+    def test_route_boundary_values(self, fw_ruleset):
+        plan = ShardPlan.build(list(fw_ruleset), 3)
+        span = 1 << FIELD_WIDTHS[plan.dim]
+        header = [0, 0, 0, 0, 0]
+        for value, want in [(0, 0), (plan.bounds[0][1], 0),
+                            (plan.bounds[1][0], 1), (span - 1, 2)]:
+            header[plan.dim] = value
+            assert plan.route(header) == want
+
+    def test_wildcards_replicate_everywhere(self):
+        rules = [Rule.any(), Rule.from_prefixes(sip="10.0.0.0/8")]
+        plan = ShardPlan.build(rules, 4)
+        for assignment in plan.assignments:
+            assert 0 in assignment  # the wildcard is on every shard
+        assert plan.replication_factor() >= 1.0
+
+    def test_single_shard_owns_everything(self, fw_ruleset):
+        plan = ShardPlan.build(list(fw_ruleset), 1)
+        assert plan.assignments[0] == tuple(range(len(fw_ruleset)))
+
+    def test_bad_arguments_rejected(self, fw_ruleset):
+        with pytest.raises(ConfigurationError):
+            ShardPlan.build(list(fw_ruleset), 0)
+        with pytest.raises(ConfigurationError):
+            ShardPlan.build(list(fw_ruleset), 2, dim=99)
+
+
+# -- no-fault equivalence ------------------------------------------------------
+
+class TestOracleEquivalence:
+    """Acceptance criterion: with no faults, the fabric's answers are
+    identical to the single-process service's and the linear oracle's."""
+
+    def test_fabric_matches_service_and_oracle(self, fabric, fw_ruleset,
+                                               fw_headers):
+        from repro.classifiers import LinearSearchClassifier
+
+        oracle = RuleSet(list(fw_ruleset), name="oracle")
+        service = ClassificationService(
+            [Replica("sram0", LinearSearchClassifier(fw_ruleset))],
+            policy=ServicePolicy(), clock=ManualClock())
+        for header in fw_headers:
+            want = oracle.first_match(header)
+            assert fabric.classify(header) == want
+            assert service.classify(header) == want
+        assert fabric.counter("oracle.divergences") == 0
+        assert fabric.counter("oracle.checks") >= len(fw_headers)
+
+    def test_batch_matches_scalar(self, fabric, fw_headers):
+        headers = fw_headers[:40]
+        outcomes = fabric.classify_batch(headers)
+        assert all(o["status"] == "served" for o in outcomes)
+        for header, outcome in zip(headers, outcomes):
+            assert outcome["rule"] == fabric.classify(header)
+
+
+# -- failure behaviour ---------------------------------------------------------
+
+class TestSheddingAndRecovery:
+    def test_dead_shard_sheds_then_recovers(self, fabric, fw_headers):
+        clock = fabric.manual_clock
+        headers = fw_headers
+        victim_idx = fabric.plan.route(headers[0])
+        victim = fabric.specs[victim_idx].name
+
+        fabric.supervisor.inject_kill(victim)
+        fabric.probe(victim, clock.now)  # detect the EOF now
+        assert fabric.supervisor.state(victim) != RUNNING
+
+        with pytest.raises(ShardUnavailable) as exc:
+            fabric.classify(headers[0])
+        assert exc.value.shard == victim
+        assert fabric.counter("shed.shard_down") >= 1
+        assert isinstance(exc.value, AdmissionRejected)  # typed shed
+
+        # Other shards keep serving through the outage.
+        other = next(h for h in headers
+                     if fabric.specs[fabric.plan.route(h)].name != victim)
+        assert fabric.classify(other) is not None
+
+        # Past the backoff, a tick restarts the worker warm.
+        for _ in range(200):
+            clock.advance(5e-3)
+            fabric.tick(clock.now)
+            if fabric.supervisor.state(victim) == RUNNING:
+                break
+        assert fabric.supervisor.state(victim) == RUNNING
+        assert fabric.counter("warm_restarts") >= 1
+        # Breaker may still be open from the outage; let it cool down.
+        clock.advance(POLICY.open_s * 2)
+        for _ in range(POLICY.half_open_probes + 1):
+            try:
+                assert fabric.classify(headers[0]) is not None
+            except ShardUnavailable:
+                clock.advance(POLICY.open_s)
+        assert fabric.counter("oracle.divergences") == 0
+
+    def test_stop_writes_fabric_state_snapshot(self, fw_ruleset, tmp_path):
+        from repro.harness.cache import CACHE_VERSION
+        from repro.harness.snapshots import read_snapshot
+
+        clock = ManualClock()
+        fab = Fabric(list(fw_ruleset), tmp_path / "shards", num_shards=2,
+                     policy=POLICY, supervision=SUPERVISION,
+                     clock=clock, charge=clock.advance)
+        try:
+            fab.classify((0, 0, 0, 0, 0))
+            path = tmp_path / "state.snap"
+            state = fab.stop(drain=True, snapshot_path=path)
+            assert state["drained"] is True
+            loaded = read_snapshot(path, kind="fabric-state",
+                                   cache_version=CACHE_VERSION)
+            assert loaded["metrics"]["counters"]["fabric.served"] >= 1
+        finally:
+            fab.supervisor.stop()

@@ -304,6 +304,28 @@ class TestStopAndSnapshot:
         assert loaded["drained"] is True
         assert len(loaded["rules"]) == len(tiny_ruleset)
 
+    def test_interrupted_stop_snapshot_leaves_no_partial(self, tiny_ruleset,
+                                                         tmp_path,
+                                                         monkeypatch):
+        """Ctrl-C during the stop-time snapshot write must not leave a
+        torn file for the next start to trip over."""
+        import os as _os
+
+        svc, _ = service_for(tiny_ruleset)
+        svc.classify(HEADER)
+        path = tmp_path / "serve_state.snap"
+
+        def boom(fd):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(_os, "fsync", boom)
+        with pytest.raises(KeyboardInterrupt):
+            svc.stop(drain=True, snapshot_path=path)
+        monkeypatch.undo()
+
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
     def test_report_shape(self, tiny_ruleset):
         svc, _ = service_for(tiny_ruleset)
         svc.classify(HEADER)
