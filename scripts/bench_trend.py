@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Render the committed BENCH_*.json history as a markdown trend table.
+
+Every heavyweight benchmark commits one ``BENCH_<name>.json`` at the
+repo root (see ``repro.obs.perf.write_bench_record``), so the git
+history of those files *is* the repository's performance trajectory.
+This script walks that history — every commit that touched a BENCH
+record — and renders one markdown table per benchmark: commit, date,
+each throughput metric, and a flag on any metric that dropped more
+than ``--threshold`` (default 15%) against the previous committed
+record.  The uncommitted working-tree record, when it differs from
+HEAD's, appears as a final ``worktree`` row.
+
+Usage::
+
+    python scripts/bench_trend.py [--out TREND.md] [--advisory]
+                                  [--threshold 0.15]
+
+Exit status: 0 = trajectory rendered, no regressions (or
+``--advisory``), 1 = at least one flagged drop, 2 = a malformed record
+or an unknown ``schema_version`` (records predating the field are
+implicitly version 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_PREFIX = "BENCH_"
+
+#: Payload schema versions this renderer understands (absent = 1).
+KNOWN_SCHEMA_VERSIONS = (1, 2)
+
+
+def repo_root() -> Path:
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                        capture_output=True, text=True)
+    if out.returncode != 0:
+        raise SystemExit(2)
+    return Path(out.stdout.strip())
+
+
+def _git(root: Path, *args: str) -> str | None:
+    out = subprocess.run(["git", *args], cwd=root,
+                         capture_output=True, text=True)
+    return out.stdout if out.returncode == 0 else None
+
+
+def bench_commits(root: Path) -> list[tuple[str, str, list[str]]]:
+    """(sha, date, touched bench files) per commit, oldest first."""
+    raw = _git(root, "log", "--reverse", "--format=%H %cs",
+               "--name-only", "--", f"{BENCH_PREFIX}*.json")
+    if raw is None:
+        return []  # no commits yet: the worktree rows still render
+    commits: list[tuple[str, str, list[str]]] = []
+    sha = date = None
+    files: list[str] = []
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if len(line.split()) == 2 and len(line.split()[0]) == 40:
+            if sha is not None and files:
+                commits.append((sha, date, files))
+            sha, date = line.split()
+            files = []
+        elif line.startswith(BENCH_PREFIX) and line.endswith(".json"):
+            files.append(line)
+    if sha is not None and files:
+        commits.append((sha, date, files))
+    return commits
+
+
+def record_at(root: Path, rev: str, name: str) -> dict | None:
+    raw = _git(root, "show", f"{rev}:{name}")
+    if raw is None:
+        return None
+    try:
+        record = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def check_schema(name: str, label: str, record: dict) -> list[str]:
+    """Problems that make a record untrustworthy for the trajectory."""
+    problems = []
+    version = record.get("schema_version", 1)
+    if isinstance(version, bool) or not isinstance(version, int):
+        problems.append(f"{name} at {label}: 'schema_version' is "
+                        f"{version!r}, expected an integer")
+    elif version not in KNOWN_SCHEMA_VERSIONS:
+        problems.append(
+            f"{name} at {label}: schema_version {version} is unknown "
+            f"(knows {list(KNOWN_SCHEMA_VERSIONS)}); update "
+            f"scripts/bench_trend.py")
+    if not isinstance(record.get("metrics"), dict):
+        problems.append(f"{name} at {label}: 'metrics' missing or "
+                        f"not an object")
+    return problems
+
+
+def collect(root: Path) -> tuple[dict[str, list[dict]], list[str]]:
+    """Per-benchmark rows (oldest first) and any schema problems."""
+    series: dict[str, list[dict]] = {}
+    problems: list[str] = []
+    for sha, date, files in bench_commits(root):
+        for name in files:
+            record = record_at(root, sha, name)
+            if record is None:
+                continue  # deleted or unreadable at this commit
+            problems.extend(check_schema(name, sha[:7], record))
+            series.setdefault(name, []).append({
+                "label": sha[:7], "date": date,
+                "metrics": record.get("metrics") or {},
+            })
+    for path in sorted(root.glob(f"{BENCH_PREFIX}*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            problems.append(f"{path.name} in worktree: not valid JSON")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{path.name} in worktree: not an object")
+            continue
+        problems.extend(check_schema(path.name, "worktree", record))
+        rows = series.setdefault(path.name, [])
+        metrics = record.get("metrics") or {}
+        if not rows or rows[-1]["metrics"] != metrics:
+            rows.append({"label": "worktree",
+                         "date": str(record.get("date", ""))[:10],
+                         "metrics": metrics})
+    return series, problems
+
+
+def render(series: dict[str, list[dict]],
+           threshold: float) -> tuple[str, list[str]]:
+    """The markdown report and the list of flagged regressions."""
+    lines = ["# Benchmark trend", "",
+             f"Committed `BENCH_*.json` history; drops > "
+             f"{threshold:.0%} against the previous record are flagged.",
+             ""]
+    regressions: list[str] = []
+    for name in sorted(series):
+        rows = series[name]
+        metric_names = sorted({m for row in rows for m in row["metrics"]})
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("| commit | date | " + " | ".join(metric_names)
+                     + " | flags |")
+        lines.append("|---" * (len(metric_names) + 3) + "|")
+        previous: dict[str, float] = {}
+        for row in rows:
+            flags = []
+            cells = []
+            for metric in metric_names:
+                value = row["metrics"].get(metric)
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    cells.append("—")
+                    continue
+                cells.append(f"{value:.4g}")
+                old = previous.get(metric)
+                if isinstance(old, (int, float)) and old > 0:
+                    drop = (old - value) / old
+                    if drop > threshold:
+                        flag = f"{metric} {drop:+.1%}"
+                        flags.append(flag)
+                        regressions.append(
+                            f"{name} @ {row['label']}: {metric} "
+                            f"{old:.4g} -> {value:.4g} ({drop:+.1%} drop)")
+                previous[metric] = float(value)
+            lines.append(f"| {row['label']} | {row['date']} | "
+                         + " | ".join(cells) + " | "
+                         + ("; ".join(flags) if flags else "") + " |")
+        lines.append("")
+    return "\n".join(lines), regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative drop that flags a regression "
+                             "(default: 0.15)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the markdown report here "
+                             "(default: stdout)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but exit 0 anyway "
+                             "(malformed records still exit 2)")
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    series, problems = collect(root)
+    if not series:
+        print("no BENCH_*.json history found; nothing to render")
+        return 0
+    report, regressions = render(series, args.threshold)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"trend written to {out} "
+              f"({len(series)} benchmark(s))")
+    else:
+        print(report)
+    for problem in problems:
+        print(f"MALFORMED: {problem}", file=sys.stderr)
+    if problems:
+        return 2
+    if regressions:
+        print(f"{len(regressions)} flagged drop(s):", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 0 if args.advisory else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

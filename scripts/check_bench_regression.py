@@ -28,6 +28,12 @@ from pathlib import Path
 
 BENCH_PREFIX = "BENCH_"
 
+#: Payload schema versions this checker understands.  Records written
+#: before the field existed are implicitly version 1; an unknown version
+#: means the record shape may have changed under us, so the checker
+#: refuses it (exit 2) instead of comparing blind.
+KNOWN_SCHEMA_VERSIONS = (1, 2)
+
 
 def repo_root() -> Path:
     out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
@@ -53,7 +59,8 @@ def validate(record: object) -> list[str]:
     """Schema problems in one BENCH record (empty when well-formed).
 
     The schema is what :func:`repro.obs.perf.write_bench_record` emits:
-    ``benchmark`` (str), ``metrics`` (str -> number, higher-is-better),
+    ``benchmark`` (str), ``schema_version`` (known int; absent means
+    version 1), ``metrics`` (str -> number, higher-is-better),
     ``wall_time_s`` (number), ``date`` (str), optional ``extra`` (dict).
     A malformed committed record would otherwise make every future
     comparison silently vacuous, so the checker refuses it outright.
@@ -63,6 +70,15 @@ def validate(record: object) -> list[str]:
         return [f"  record is {type(record).__name__}, expected object"]
     if not isinstance(record.get("benchmark"), str):
         problems.append("  'benchmark' missing or not a string")
+    version = record.get("schema_version", 1)
+    if isinstance(version, bool) or not isinstance(version, int):
+        problems.append(
+            f"  'schema_version' is {version!r}, expected an integer")
+    elif version not in KNOWN_SCHEMA_VERSIONS:
+        problems.append(
+            f"  'schema_version' {version} is unknown to this checker "
+            f"(knows {list(KNOWN_SCHEMA_VERSIONS)}); update "
+            f"scripts/check_bench_regression.py for the new schema")
     metrics = record.get("metrics")
     if not isinstance(metrics, dict):
         problems.append("  'metrics' missing or not an object")

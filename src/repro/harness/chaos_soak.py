@@ -48,7 +48,10 @@ from pathlib import Path
 
 from ..core.errors import AdmissionRejected, ReproError
 from ..npsim import FaultPlan, WorkerFault
+from ..obs.metrics import LogHistogram
 from ..obs.perf import write_bench_record
+from ..obs.slo import SLO, SLOMonitor
+from ..obs.span import StageTimer
 from ..serve import Fabric, ManualClock, ServicePolicy, SupervisionPolicy
 from ..traffic import burst_arrivals
 from .cache import cache_dir, get_ruleset, get_trace
@@ -84,6 +87,29 @@ SUPERVISION = SupervisionPolicy(
     crash_loop_window_s=5.0,
     crash_loop_budget=4,
 )
+
+
+#: SLO evaluation window (simulated seconds).
+SLO_WINDOW_S = 0.25
+SLO_WINDOW_QUICK_S = 0.05
+
+
+def _slos() -> list[SLO]:
+    """The chaos soak's acceptance bar as burn-rate SLOs.
+
+    Recovery windows legitimately shed a downed shard's traffic, so
+    the shed-rate ceiling and goodput floor both carry error budget;
+    correctness carries none.
+    """
+    return [
+        SLO("no-divergence", "divergences", 0.0, kind="ceiling"),
+        SLO("goodput-floor", "goodput_kpps", 1.0, kind="floor",
+            budget_fraction=0.3),
+        SLO("p99-latency", "latency_us_p99", 500.0, kind="ceiling",
+            budget_fraction=0.2),
+        SLO("shed-ceiling", "shed_rate", 0.7, kind="ceiling",
+            budget_fraction=0.3),
+    ]
 
 
 def _fault_plan(quick: bool) -> FaultPlan:
@@ -161,11 +187,17 @@ def run_chaos_soak(quick: bool = False) -> ExperimentResult:
     schedule = plan.worker_fault_schedule()
 
     clock = ManualClock()
+    timer = StageTimer(clock=clock)
     snapshot_dir = cache_dir() / "fabric_chaos"
     fabric = Fabric(list(ruleset), snapshot_dir, num_shards=3,
                     policy=POLICY, supervision=SUPERVISION,
                     algorithm="expcuts", clock=clock, charge=clock.advance,
-                    lookup_cost_s=LOOKUP_COST_S)
+                    lookup_cost_s=LOOKUP_COST_S, stage_timer=timer)
+    monitor = SLOMonitor(_slos(),
+                         window_s=SLO_WINDOW_QUICK_S if quick
+                         else SLO_WINDOW_S)
+    request_latency = LogHistogram("request_latency_us")
+    divergence_counter = fabric.metrics.counter("fabric.oracle.divergences")
 
     outcomes = {"served": 0, "shed": 0, "error": 0}
     window = {True: {"offered": 0, "served": 0},    # >= 1 shard down
@@ -174,29 +206,43 @@ def run_chaos_soak(quick: bool = False) -> ExperimentResult:
     try:
         for idx in range(packets):
             if arrivals[idx] > clock.now:
-                clock.advance(arrivals[idx] - clock.now)
+                with timer.span("idle"):
+                    clock.advance(arrivals[idx] - clock.now)
             for fault in schedule.get(idx, ()):
                 _apply_fault(fabric, fault, clock.now)
                 injected += 1
             fabric.tick(clock.now)
             in_recovery = fabric.supervisor.any_down()
             window[in_recovery]["offered"] += 1
+            t0 = clock.now
+            divergences_before = divergence_counter.value
+            monitor.count(t0, "offered")
             try:
                 fabric.classify(trace.header(idx))
             except AdmissionRejected:
                 outcomes["shed"] += 1
+                monitor.count(t0, "shed")
             except ReproError:
                 outcomes["error"] += 1
+                monitor.count(t0, "errors")
             else:
                 outcomes["served"] += 1
                 window[in_recovery]["served"] += 1
+                monitor.count(t0, "served")
+                latency_us = (clock.now - t0) * 1e6
+                request_latency.observe(latency_us)
+                monitor.observe_latency(t0, latency_us)
+            delta = divergence_counter.value - divergences_before
+            if delta:
+                monitor.count(t0, "divergences", delta)
         # Quiesce: let supervision finish backed-off restarts injected
         # near the end of the trace, so the run's accounting covers
         # every fault's full detect->restart->recover arc.
         for _ in range(1_000):
             if not fabric.supervisor.any_down():
                 break
-            clock.advance(5e-3)
+            with timer.span("idle"):
+                clock.advance(5e-3)
             fabric.tick(clock.now)
         state = fabric.stop(snapshot_path=cache_dir() / "fabric_state.snap")
     finally:
@@ -249,6 +295,9 @@ def run_chaos_soak(quick: bool = False) -> ExperimentResult:
             f"must shed its own traffic only")
 
     span_s = clock.now
+    attribution = timer.check_attribution(span_s)
+    slo_report = monitor.check()
+    attempt_latency = fabric.metrics.log_histogram("fabric.latency_us")
     served = outcomes["served"]
     goodput_kpps = served / span_s / 1e3 if span_s > 0 else 0.0
     metrics = {
@@ -286,6 +335,28 @@ def run_chaos_soak(quick: bool = False) -> ExperimentResult:
         "drained": state["drained"],
         "sim_span_s": round(span_s, 6),
         "outages": len(report["outages"]),
+        "latency_us_p50": round(attempt_latency.percentile(0.50), 3),
+        "latency_us_p99": round(attempt_latency.percentile(0.99), 3),
+        "latency_us_p999": round(attempt_latency.percentile(0.999), 3),
+        "latency_us_max": round(attempt_latency.max, 3),
+        "request_latency_us_p50": round(request_latency.percentile(0.50), 3),
+        "request_latency_us_p99": round(request_latency.percentile(0.99), 3),
+        "request_latency_us_p999": round(request_latency.percentile(0.999), 3),
+        "request_latency_us_max": round(request_latency.max, 3),
+        "stage_breakdown": {
+            name: {"seconds": round(stage["seconds"], 6),
+                   "fraction": round(stage["fraction"], 4),
+                   "calls": stage["calls"]}
+            for name, stage in attribution["stages"].items()
+        },
+        "stage_coverage": round(attribution["coverage"], 6),
+        "slo": {
+            name: {"violations": s["violations"],
+                   "windows": s["windows_evaluated"],
+                   "compliant": s["compliant"]}
+            for name, s in slo_report["slos"].items()
+        },
+        "slo_windows": slo_report["windows"],
     }
 
     rows = [
@@ -302,6 +373,11 @@ def run_chaos_soak(quick: bool = False) -> ExperimentResult:
          "hang caught by the liveness deadline"),
         ("goodput", f"{goodput_kpps:.1f} kpps",
          f"recovery/healthy ratio {goodput_ratio:.2f} (floor 0.50)"),
+        ("request latency p50 / p99 / p99.9",
+         f"{request_latency.percentile(0.5):.0f} / "
+         f"{request_latency.percentile(0.99):.0f} / "
+         f"{request_latency.percentile(0.999):.0f} µs",
+         "shard pipe + simulated lookup cost"),
         ("oracle divergences", str(divergences), "must be 0"),
     ]
     text = render_table(
@@ -314,6 +390,16 @@ def run_chaos_soak(quick: bool = False) -> ExperimentResult:
              "full-ruleset linear oracle; every death restarted warm "
              "from a verified snapshot (cold only after the injected "
              "corruption, then reseeded).")
+    text += "\n\n" + render_table(
+        f"Stage attribution (simulated time, coverage "
+        f"{attribution['coverage'] * 100:.2f}%)",
+        ["Stage", "Time", "Share"],
+        timer.table_rows(span_s),
+    )
+    compliant = sum(1 for s in slo_report["slos"].values() if s["compliant"])
+    text += (f"\nSLOs: {compliant}/{len(slo_report['slos'])} compliant over "
+             f"{slo_report['windows']} windows of "
+             f"{monitor.window_s * 1e3:.0f} ms")
 
     wall = time.time() - wall_start
     if not quick:

@@ -101,7 +101,8 @@ def _main(argv: list[str] | None = None) -> int:
                         help="also write each experiment's data as "
                              "DIR/<experiment>.json")
     profile_group = parser.add_argument_group(
-        "profile options", "only honoured by the 'profile' experiment")
+        "profile options",
+        "only honoured by the 'profile' and 'perf-report' experiments")
     profile_group.add_argument("--algorithms", default=None,
                                help="comma-separated algorithm list "
                                     "(default: expcuts,hicuts)")
@@ -109,8 +110,8 @@ def _main(argv: list[str] | None = None) -> int:
                                help="rule set to profile (default: CR04, "
                                     "CR01 with --quick)")
     profile_group.add_argument("--out", default="results",
-                               help="directory for profile reports and "
-                                    "Chrome traces (default: results/)")
+                               help="directory for profile/perf-report "
+                                    "artifacts (default: results/)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -147,6 +148,10 @@ def _main(argv: list[str] | None = None) -> int:
                 return 2
             result = run_profile(quick=args.quick, algorithms=algorithms,
                                  ruleset=args.ruleset, out_dir=args.out)
+        elif name == "perf-report" and args.out != "results":
+            from .perf_report import run_perf_report
+
+            result = run_perf_report(quick=args.quick, out_dir=args.out)
         else:
             result = run_experiment(name, quick=args.quick)
         print(result.text)

@@ -59,6 +59,11 @@ REGISTRY: dict[str, tuple[str, str]] = {
     "profile": ("repro.harness.profile",
                 "Profile: lookup depth/access histograms, hot nodes and "
                 "DES timeline export (writes results/profile_*.json)"),
+    "perf-report": ("repro.harness.perf_report",
+                    "Perf-report: pipeline stage attribution, log-bucketed "
+                    "latency histograms and SLO burn rates "
+                    "(writes results/perf_report_*.json|.prom and "
+                    "BENCH_perf_report.json)"),
 }
 
 

@@ -1,0 +1,245 @@
+"""Perf-report — one instrumented serving run rolled up into artifacts.
+
+Not a paper figure: this experiment replays the serve-soak's traffic
+and fault schedule through a fully instrumented
+:class:`~repro.serve.service.ClassificationService` and turns the run
+into the repository's performance-observability artifacts:
+
+* a **stage-attribution table** — where every simulated microsecond
+  went (idle, admission, classify, backoff, audit, drain), audited so
+  the stage sum matches the end-to-end clock within 1%;
+* **log-bucketed latency histograms** (per-attempt and request-level,
+  retries and backoff included), exported both as JSON and in the
+  Prometheus text exposition format;
+* an **SLO burn-rate report** with the per-window metric timeseries
+  the windows were judged on.
+
+Everything runs on a :class:`~repro.serve.ManualClock` with seeded
+arrivals, jitter and faults, so the artifacts are bit-reproducible:
+``results/perf_report_<ruleset>.json`` and ``.prom`` contain no wall
+times, hostnames or dates.  The full run also writes
+``BENCH_perf_report.json`` (goodput in ``metrics``, the breakdown in
+``extra``) so the committed perf trajectory picks the report up;
+``scripts/bench_trend.py`` renders that history.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from ..classifiers import ALGORITHMS
+from ..classifiers.updates import UpdatableClassifier
+from ..core.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ReproError,
+)
+from ..obs.export import write_prometheus
+from ..obs.perf import write_bench_record
+from ..obs.slo import SLOMonitor
+from ..obs.span import StageTimer
+from ..serve import ClassificationService, ManualClock, Replica
+from ..traffic import burst_arrivals
+from .cache import get_ruleset, get_trace
+from .experiments import ExperimentResult
+from .report import render_table
+from .serve_soak import (
+    POLICY,
+    PRIMARY_SERVICE_S,
+    SLO_WINDOW_QUICK_S,
+    SLO_WINDOW_S,
+    STANDBY_SERVICE_S,
+    _fault_plan,
+    _replica_hook,
+    _slos,
+)
+
+
+def _json_safe(obj):
+    """Replace non-finite floats (an SLO's infinite burn rate) with
+    ``None`` so the artifact stays strict JSON."""
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    return obj
+
+
+def run_perf_report(quick: bool = False,
+                    out_dir: str | Path = "results") -> ExperimentResult:
+    wall_start = time.time()
+    ruleset_name = "FW01" if quick else "CR01"
+    packets = 1_200 if quick else 8_000
+    ruleset = get_ruleset(ruleset_name)
+    trace = get_trace(ruleset_name, count=packets, seed=7)
+    arrivals = burst_arrivals(packets, base_rate_per_s=3_000.0,
+                              burst_factor=8.0, period_s=0.05,
+                              burst_fraction=0.25, seed=7)
+
+    clock = ManualClock()
+    timer = StageTimer(clock=clock)
+    plan = _fault_plan(quick)
+    expcuts = ALGORITHMS["expcuts"]
+    replicas = [
+        Replica(name, UpdatableClassifier(ruleset, expcuts,
+                                          rebuild_threshold=8),
+                fault_hook=_replica_hook(clock, plan, name, service_s))
+        for name, service_s in (("sram0", PRIMARY_SERVICE_S),
+                                ("sram1", STANDBY_SERVICE_S))
+    ]
+    service = ClassificationService(replicas, policy=POLICY, clock=clock,
+                                    sleep=clock.sleep, stage_timer=timer)
+    monitor = SLOMonitor(_slos(),
+                         window_s=SLO_WINDOW_QUICK_S if quick
+                         else SLO_WINDOW_S)
+    # Driver-side instruments live in the service's registry so one
+    # export captures the whole story (they get the ``driver.`` scope).
+    request_latency = service.metrics.log_histogram(
+        "driver.request_latency_us")
+    divergence_counter = service.metrics.counter("serve.oracle.divergences")
+
+    outcomes = {"served": 0, "shed": 0, "deadline": 0, "error": 0}
+    for idx in range(packets):
+        if arrivals[idx] > clock.now:
+            with timer.span("idle"):
+                clock.advance(arrivals[idx] - clock.now)
+        header = trace.header(idx)
+        t0 = clock.now
+        divergences_before = divergence_counter.value
+        monitor.count(t0, "offered")
+        try:
+            service.classify(header)
+        except AdmissionRejected:
+            outcomes["shed"] += 1
+            monitor.count(t0, "shed")
+        except DeadlineExceeded:
+            outcomes["deadline"] += 1
+            monitor.count(t0, "errors")
+        except ReproError:
+            outcomes["error"] += 1
+            monitor.count(t0, "errors")
+        else:
+            outcomes["served"] += 1
+            monitor.count(t0, "served")
+            latency_us = (clock.now - t0) * 1e6
+            request_latency.observe(latency_us)
+            monitor.observe_latency(t0, latency_us)
+        delta = divergence_counter.value - divergences_before
+        if delta:
+            monitor.count(t0, "divergences", delta)
+    service.stop(drain=True)
+
+    span_s = clock.now
+    attribution = timer.check_attribution(span_s)
+    slo_report = monitor.evaluate()
+    attempt_latency = service.metrics.log_histogram("serve.latency_us")
+    served = outcomes["served"]
+    goodput_kpps = served / span_s / 1e3 if span_s > 0 else 0.0
+
+    # -- artifacts ---------------------------------------------------------
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    report_payload = _json_safe({
+        "experiment": "perf-report",
+        "ruleset": ruleset_name,
+        "quick": quick,
+        "packets_offered": packets,
+        "outcomes": outcomes,
+        "sim_span_s": round(span_s, 9),
+        "goodput_kpps": round(goodput_kpps, 3),
+        "stage_attribution": attribution,
+        "histograms": {
+            "attempt_latency_us": attempt_latency.to_dict(),
+            "request_latency_us": request_latency.to_dict(),
+        },
+        "slo": slo_report,
+        "counters": dict(sorted(
+            service.metrics.snapshot()["counters"].items())),
+    })
+    json_path = out / f"perf_report_{ruleset_name}.json"
+    json_path.write_text(json.dumps(report_payload, indent=2,
+                                    sort_keys=True) + "\n")
+    prom_path = write_prometheus(service.metrics,
+                                 out / f"perf_report_{ruleset_name}.prom")
+
+    metrics = {
+        "goodput_kpps": round(goodput_kpps, 3),
+        "served_fraction": round(served / packets, 4),
+    }
+    compliant = sum(1 for s in slo_report["slos"].values() if s["compliant"])
+    extra = {
+        "packets_offered": packets,
+        "served": served,
+        "shed": outcomes["shed"],
+        "latency_us_p50": round(attempt_latency.percentile(0.50), 3),
+        "latency_us_p99": round(attempt_latency.percentile(0.99), 3),
+        "latency_us_p999": round(attempt_latency.percentile(0.999), 3),
+        "request_latency_us_p50": round(request_latency.percentile(0.50), 3),
+        "request_latency_us_p99": round(request_latency.percentile(0.99), 3),
+        "request_latency_us_p999": round(request_latency.percentile(0.999),
+                                         3),
+        "request_latency_us_max": round(request_latency.max, 3),
+        "stage_breakdown": {
+            name: {"seconds": round(stage["seconds"], 6),
+                   "fraction": round(stage["fraction"], 4),
+                   "calls": stage["calls"]}
+            for name, stage in attribution["stages"].items()
+        },
+        "stage_coverage": round(attribution["coverage"], 6),
+        "slo_compliant": compliant,
+        "slo_total": len(slo_report["slos"]),
+        "slo_windows": slo_report["windows"],
+        "sim_span_s": round(span_s, 6),
+    }
+
+    rows = timer.table_rows(span_s)
+    text = render_table(
+        f"Perf-report: stage attribution ({ruleset_name}, "
+        f"simulated {span_s:.2f}s, coverage "
+        f"{attribution['coverage'] * 100:.2f}%)",
+        ["Stage", "Time", "Share"],
+        rows,
+    )
+    text += "\n" + render_table(
+        "Latency (log-bucketed histograms)",
+        ["Quantity", "Value", "Note"],
+        [
+            ("attempt p50 / p99 / p99.9",
+             f"{attempt_latency.percentile(0.5):.0f} / "
+             f"{attempt_latency.percentile(0.99):.0f} / "
+             f"{attempt_latency.percentile(0.999):.0f} µs",
+             f"{attempt_latency.total} attempts"),
+            ("request p50 / p99 / p99.9",
+             f"{request_latency.percentile(0.5):.0f} / "
+             f"{request_latency.percentile(0.99):.0f} / "
+             f"{request_latency.percentile(0.999):.0f} µs",
+             "retries and backoff included"),
+            ("request max", f"{request_latency.max:.0f} µs",
+             f"exact (not a bucket edge); {served} served"),
+        ],
+    )
+    text += (f"\nSLOs: {compliant}/{len(slo_report['slos'])} compliant over "
+             f"{slo_report['windows']} windows of "
+             f"{monitor.window_s * 1e3:.0f} ms simulated time"
+             f"\nArtifacts: {json_path} (breakdown, histograms, per-window "
+             f"timeseries), {prom_path} (Prometheus text exposition)")
+
+    wall = time.time() - wall_start
+    if not quick:
+        write_bench_record("perf_report", metrics, wall, extra=extra)
+    return ExperimentResult(
+        "perf-report",
+        "Stage attribution, latency histograms and SLO burn rates",
+        text,
+        {"metrics": metrics, "extra": extra, "outcomes": outcomes,
+         "artifacts": [str(json_path), str(prom_path)]},
+    )
+
+
+#: Registry-compatible alias (the registry falls back to ``run``).
+run = run_perf_report

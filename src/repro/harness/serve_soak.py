@@ -40,7 +40,10 @@ from ..core.errors import (
     TransientServiceError,
 )
 from ..npsim import ChannelFailure, FaultPlan, LatencySpike
+from ..obs.metrics import LogHistogram
 from ..obs.perf import write_bench_record
+from ..obs.slo import SLO, SLOMonitor
+from ..obs.span import StageTimer
 from ..serve import ClassificationService, ManualClock, Replica, RetryPolicy, ServicePolicy
 from ..traffic import burst_arrivals
 from .cache import cache_dir, get_ruleset, get_trace
@@ -71,6 +74,35 @@ POLICY = ServicePolicy(
     shadow=False,  # the oracle audit below is the stronger check
     oracle_check=True,
 )
+
+
+#: SLO evaluation window (simulated seconds).  The full soak spans a
+#: couple of simulated seconds, so 0.25 s windows give a dozen-odd
+#: verdicts; the quick soak is ~10x shorter.
+SLO_WINDOW_S = 0.25
+SLO_WINDOW_QUICK_S = 0.05
+
+
+def _slos() -> list[SLO]:
+    """The soak's acceptance bar, as burn-rate SLOs per time window.
+
+    Latency objectives judge *request-level* latency (admission to
+    answer, retries and backoff included) — the number a client would
+    see — so the bounds sit above the per-attempt deadline.  Bursts
+    legitimately shed and the fault windows legitimately slow the
+    primary, hence the non-zero error budgets everywhere except
+    correctness, which tolerates nothing.
+    """
+    return [
+        SLO("no-divergence", "divergences", 0.0, kind="ceiling"),
+        SLO("goodput-floor", "goodput_kpps", 1.0, kind="floor",
+            budget_fraction=0.25),
+        SLO("p99-request-latency", "latency_us_p99",
+            2.0 * POLICY.default_deadline_s * 1e6, kind="ceiling",
+            budget_fraction=0.2),
+        SLO("shed-ceiling", "shed_rate", 0.6, kind="ceiling",
+            budget_fraction=0.25),
+    ]
 
 
 def _fault_plan(quick: bool) -> FaultPlan:
@@ -139,8 +171,17 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
         for name, service_s in (("sram0", PRIMARY_SERVICE_S),
                                 ("sram1", STANDBY_SERVICE_S))
     ]
+    timer = StageTimer(clock=clock)
     service = ClassificationService(replicas, policy=POLICY, clock=clock,
-                                    sleep=clock.sleep)
+                                    sleep=clock.sleep, stage_timer=timer)
+    monitor = SLOMonitor(_slos(),
+                         window_s=SLO_WINDOW_QUICK_S if quick
+                         else SLO_WINDOW_S)
+    #: Request-level latency (admission to answer, retries and backoff
+    #: included) — the per-attempt ``serve.latency_us`` histogram can't
+    #: see a retried request's full story.
+    request_latency = LogHistogram("request_latency_us")
+    divergence_counter = service.metrics.counter("serve.oracle.divergences")
 
     # Churn source: re-insert clones of existing rules and remove them
     # again, so the live rule count oscillates and rebuilds trigger.
@@ -150,7 +191,11 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
     outcomes = {"served": 0, "shed": 0, "deadline": 0, "error": 0}
     for idx in range(packets):
         if arrivals[idx] > clock.now:
-            clock.advance(arrivals[idx] - clock.now)
+            # Waiting for the next arrival is where simulated time not
+            # spent serving goes; spanning it keeps the stage sum equal
+            # to the end-to-end clock.
+            with timer.span("idle"):
+                clock.advance(arrivals[idx] - clock.now)
         if idx and idx % update_every == 0:
             if len(inserted_positions) >= 8:
                 service.remove(inserted_positions.pop())
@@ -160,24 +205,41 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
         if idx and idx % poll_every == 0:
             service.poll()
         header = trace.header(idx)
+        t0 = clock.now
+        divergences_before = divergence_counter.value
+        monitor.count(t0, "offered")
         try:
             service.classify(header)
         except AdmissionRejected:
             outcomes["shed"] += 1
+            monitor.count(t0, "shed")
         except DeadlineExceeded:
             outcomes["deadline"] += 1
+            monitor.count(t0, "errors")
         except ReproError:
             outcomes["error"] += 1
+            monitor.count(t0, "errors")
         else:
             outcomes["served"] += 1
+            monitor.count(t0, "served")
+            latency_us = (clock.now - t0) * 1e6
+            request_latency.observe(latency_us)
+            monitor.observe_latency(t0, latency_us)
+        delta = divergence_counter.value - divergences_before
+        if delta:
+            monitor.count(t0, "divergences", delta)
 
     snapshot_path = cache_dir() / "serve_soak_state.snap"
     state = service.stop(drain=True, snapshot_path=snapshot_path)
     report = service.report()
     counters = report["metrics"]["counters"]
-    latency = service.metrics.histogram("serve.latency_us")
+    latency = service.metrics.log_histogram("serve.latency_us")
 
     span_s = clock.now
+    # The accounting audit: every simulated microsecond must fall inside
+    # exactly one stage span, or this raises with the gap spelled out.
+    attribution = timer.check_attribution(span_s)
+    slo_report = monitor.check()
     served = outcomes["served"]
     shed = sum(v for k, v in counters.items() if k.startswith("serve.shed."))
     divergences = counters.get("serve.oracle.divergences", 0)
@@ -216,15 +278,34 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
         "transient_failures": counters.get("serve.transient_failures", 0),
         "retries": counters.get("serve.retries", 0),
         "failovers": counters.get("serve.failovers", 0),
-        "latency_us_p50": latency.percentile(0.50),
-        "latency_us_p99": latency.percentile(0.99),
-        "latency_us_p999": latency.percentile(0.999),
+        "latency_us_p50": round(latency.percentile(0.50), 3),
+        "latency_us_p99": round(latency.percentile(0.99), 3),
+        "latency_us_p999": round(latency.percentile(0.999), 3),
+        "latency_us_max": round(latency.max, 3),
+        "request_latency_us_p50": round(request_latency.percentile(0.50), 3),
+        "request_latency_us_p99": round(request_latency.percentile(0.99), 3),
+        "request_latency_us_p999": round(request_latency.percentile(0.999), 3),
+        "request_latency_us_max": round(request_latency.max, 3),
         "breaker_opens": breaker_opens,
         "breaker_transitions": transitions,
         "oracle_checks": counters.get("serve.oracle.checks", 0),
         "oracle_divergences": divergences,
         "drained": state["drained"],
         "sim_span_s": round(span_s, 6),
+        "stage_breakdown": {
+            name: {"seconds": round(stage["seconds"], 6),
+                   "fraction": round(stage["fraction"], 4),
+                   "calls": stage["calls"]}
+            for name, stage in attribution["stages"].items()
+        },
+        "stage_coverage": round(attribution["coverage"], 6),
+        "slo": {
+            name: {"violations": s["violations"],
+                   "windows": s["windows_evaluated"],
+                   "compliant": s["compliant"]}
+            for name, s in slo_report["slos"].items()
+        },
+        "slo_windows": slo_report["windows"],
     }
 
     rows = [
@@ -232,10 +313,15 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
          f"{packets} / {served} / {shed}", ""),
         ("goodput", f"{goodput_kpps:.1f} kpps",
          f"{served / packets * 100:.1f}% of offered"),
-        ("latency p50 / p99 / p99.9",
+        ("attempt latency p50 / p99 / p99.9",
          f"{latency.percentile(0.5):.0f} / {latency.percentile(0.99):.0f} / "
          f"{latency.percentile(0.999):.0f} µs",
          f"deadline {POLICY.default_deadline_s * 1e6:.0f} µs"),
+        ("request latency p50 / p99 / p99.9",
+         f"{request_latency.percentile(0.5):.0f} / "
+         f"{request_latency.percentile(0.99):.0f} / "
+         f"{request_latency.percentile(0.999):.0f} µs",
+         "retries and backoff included"),
         ("deadline misses", str(extra["deadline_exceeded"]),
          "late answers dropped, never returned"),
         ("retries / failovers",
@@ -253,6 +339,16 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
     text += ("\nEvery answer audited against the linear oracle; "
              f"final state snapshot: {snapshot_path.name} "
              f"(drained={state['drained']})")
+    text += "\n\n" + render_table(
+        f"Stage attribution (simulated time, coverage "
+        f"{attribution['coverage'] * 100:.2f}%)",
+        ["Stage", "Time", "Share"],
+        timer.table_rows(span_s),
+    )
+    compliant = sum(1 for s in slo_report["slos"].values() if s["compliant"])
+    text += (f"\nSLOs: {compliant}/{len(slo_report['slos'])} compliant over "
+             f"{slo_report['windows']} windows of "
+             f"{monitor.window_s * 1e3:.0f} ms")
 
     wall = time.time() - wall_start
     if not quick:

@@ -25,6 +25,7 @@ Enable around a region of interest::
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass, field
 
 #: Operational warnings (snapshot quarantines, degraded builds, ...) go
@@ -123,6 +124,16 @@ class Histogram:
                 return float(bucket)
         return float(max(self.counts))
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another exact histogram's buckets into this one."""
+        for bucket, count in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + count
+        self.total += other.total
+        self._sum += other._sum
+        if other._max is not None and (self._max is None
+                                       or other._max > self._max):
+            self._max = other._max
+
     def to_dict(self) -> dict:
         return {
             "counts": {str(k): v for k, v in sorted(self.counts.items())},
@@ -133,6 +144,154 @@ class Histogram:
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.total} mean={self.mean:.2f}>"
+
+
+class LogHistogram:
+    """An HDR-style log-bucketed histogram: fixed memory, bounded error.
+
+    Latencies span orders of magnitude, so fixed-width or exact-integer
+    buckets either blur the tail or grow without bound.  This histogram
+    buckets each observation by ``floor(log_g(value))`` with growth
+    factor ``g = 1.04``: every bucket spans 4% of its value, so any
+    reported quantile is within half a bucket — under 2% relative error,
+    comfortably inside the 5% the trajectory tooling assumes — while the
+    clamped index range bounds the bucket count (``MAX_BUCKETS``) no
+    matter how adversarial the value range is.
+
+    The exact minimum and maximum are tracked on the side: reported
+    percentiles are clamped into ``[min, max]``, so ``percentile(1.0)``
+    (and ``max``) are exact, not bucket edges.
+
+    Histograms **merge**: worker registries fold into the parent by
+    adding bucket counts, which is associative and loses nothing —
+    merged percentiles equal the percentiles of the pooled data (to the
+    same bucket resolution).
+    """
+
+    GROWTH = 1.04
+    _LOG_GROWTH = math.log(GROWTH)
+    #: Values below this are counted in the dedicated zero bucket;
+    #: values above ``MAX_TRACKABLE`` clamp to the top bucket.
+    MIN_TRACKABLE = 1e-9
+    MAX_TRACKABLE = 1e15
+    _MIN_INDEX = math.floor(math.log(MIN_TRACKABLE) / _LOG_GROWTH)
+    _MAX_INDEX = math.floor(math.log(MAX_TRACKABLE) / _LOG_GROWTH)
+    #: Hard bound on distinct buckets (indices plus the zero bucket).
+    MAX_BUCKETS = _MAX_INDEX - _MIN_INDEX + 2
+    #: Sentinel index for observations at or below zero.
+    ZERO_BUCKET = _MIN_INDEX - 1
+
+    __slots__ = ("name", "counts", "total", "_sum", "_min", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: dict[int, int] = {}
+        self.total = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def _index(self, value: float) -> int:
+        if value < self.MIN_TRACKABLE:
+            return self.ZERO_BUCKET
+        if value >= self.MAX_TRACKABLE:
+            return self._MAX_INDEX
+        idx = math.floor(math.log(value) / self._LOG_GROWTH)
+        return min(max(idx, self._MIN_INDEX), self._MAX_INDEX)
+
+    def observe(self, value: float) -> None:
+        if value != value:  # NaN: an instrument must never raise
+            return
+        value = min(max(float(value), 0.0), self.MAX_TRACKABLE)
+        idx = self._index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.total += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.total if self.total else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def _representative(self, idx: int) -> float:
+        """The geometric midpoint of bucket ``idx``, clamped to data."""
+        if idx == self.ZERO_BUCKET:
+            rep = 0.0
+        else:
+            rep = self.GROWTH ** (idx + 0.5)
+        if self._min is not None:
+            rep = min(max(rep, self._min), self._max)
+        return rep
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` (0 <= q <= 1), within bucket error."""
+        if not self.total:
+            return 0.0
+        if q >= 1.0:
+            return self.max  # exact by the side-tracked maximum
+        need = q * self.total
+        seen = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen >= need:
+                return self._representative(idx)
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The quantile summary every latency consumer wants."""
+        return {
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+            "max": self.max,
+        }
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another log histogram's buckets into this one."""
+        for idx, count in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + count
+        self.total += other.total
+        self._sum += other._sum
+        if other._min is not None and (self._min is None
+                                       or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None
+                                       or other._max > self._max):
+            self._max = other._max
+
+    def bucket_bounds(self, idx: int) -> tuple[float, float]:
+        """The ``[lo, hi)`` value range bucket ``idx`` covers."""
+        if idx == self.ZERO_BUCKET:
+            return (0.0, self.MIN_TRACKABLE)
+        return (self.GROWTH ** idx, self.GROWTH ** (idx + 1))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "log",
+            "growth": self.GROWTH,
+            "buckets": {str(k): v for k, v in sorted(self.counts.items())},
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            **self.percentiles(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<LogHistogram {self.name} n={self.total} "
+                f"p50={self.percentile(0.5):.3g} max={self.max:.3g}>")
 
 
 class _NullInstrument:
@@ -167,6 +326,9 @@ class _NullScope:
     def histogram(self, name: str) -> _NullInstrument:
         return _NULL
 
+    def log_histogram(self, name: str) -> _NullInstrument:
+        return _NULL
+
     def scope(self, name: str) -> "_NullScope":
         return self
 
@@ -193,6 +355,9 @@ class MetricScope:
     def histogram(self, name: str) -> Histogram:
         return self.registry.histogram(self._qualify(name))
 
+    def log_histogram(self, name: str) -> LogHistogram:
+        return self.registry.log_histogram(self._qualify(name))
+
     def scope(self, name: str) -> "MetricScope":
         return MetricScope(self.registry, self._qualify(name))
 
@@ -203,7 +368,10 @@ class MetricsRegistry:
 
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
-    histograms: dict[str, Histogram] = field(default_factory=dict)
+    #: Exact integer histograms and log-bucketed latency histograms
+    #: share one namespace — a name is one kind or the other, never both.
+    histograms: dict[str, "Histogram | LogHistogram"] = field(
+        default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         inst = self.counters.get(name)
@@ -218,9 +386,19 @@ class MetricsRegistry:
         return inst
 
     def histogram(self, name: str) -> Histogram:
+        return self._histogram(name, Histogram)
+
+    def log_histogram(self, name: str) -> LogHistogram:
+        return self._histogram(name, LogHistogram)
+
+    def _histogram(self, name: str, cls):
         inst = self.histograms.get(name)
         if inst is None:
-            inst = self.histograms[name] = Histogram(name)
+            inst = self.histograms[name] = cls(name)
+        elif not isinstance(inst, cls):
+            raise ValueError(
+                f"histogram {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}")
         return inst
 
     def scope(self, name: str) -> MetricScope:
@@ -241,14 +419,7 @@ class MetricsRegistry:
         for name, gauge in other.gauges.items():
             self.gauge(name).set(gauge.value)
         for name, hist in other.histograms.items():
-            mine = self.histogram(name)
-            for bucket, count in hist.counts.items():
-                mine.counts[bucket] = mine.counts.get(bucket, 0) + count
-            mine.total += hist.total
-            mine._sum += hist._sum
-            if hist._max is not None and (mine._max is None
-                                          or hist._max > mine._max):
-                mine._max = hist._max
+            self._histogram(name, type(hist)).merge(hist)
 
     def snapshot(self) -> dict:
         """A JSON-friendly dump of every instrument, sorted by name."""

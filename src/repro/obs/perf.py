@@ -17,6 +17,17 @@ from pathlib import Path
 
 BENCH_PREFIX = "BENCH_"
 
+#: Version of the BENCH_*.json payload schema.  Bump when the shape
+#: changes incompatibly; ``scripts/check_bench_regression.py`` and
+#: ``scripts/bench_trend.py`` refuse records from versions they do not
+#: know (records predating the field are implicitly version 1).
+SCHEMA_VERSION = 2
+
+#: Key fragments that mark a numeric leaf as a throughput figure.
+#: ``kpps``/``goodput`` cover the serving layer, whose goodput numbers
+#: were silently dropped while only the link-rate units matched.
+THROUGHPUT_UNITS = ("gbps", "mbps", "mpps", "kpps", "goodput")
+
 
 def repo_root(start: Path | None = None) -> Path:
     """The enclosing git work tree (fallback: two levels above here)."""
@@ -43,7 +54,8 @@ def extract_throughput(data: object, _prefix: str = "",
                        _out: dict | None = None) -> dict[str, float]:
     """Recursively pull throughput-shaped numbers out of a result payload.
 
-    Any numeric leaf whose key path mentions gbps/mbps/mpps is kept,
+    Any numeric leaf whose key path mentions one of
+    :data:`THROUGHPUT_UNITS` (gbps/mbps/mpps/kpps/goodput) is kept,
     flattened to a dotted key — enough to turn every experiment's
     ``ExperimentResult.data`` into a comparable record without
     per-benchmark schemas.
@@ -59,7 +71,7 @@ def extract_throughput(data: object, _prefix: str = "",
         path = f"{_prefix}.{key}" if _prefix else key
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             lowered = path.lower()
-            if any(unit in lowered for unit in ("gbps", "mbps", "mpps")):
+            if any(unit in lowered for unit in THROUGHPUT_UNITS):
                 out[path] = float(value)
         else:
             extract_throughput(value, path, out)
@@ -79,6 +91,7 @@ def write_bench_record(name: str, metrics: dict[str, float],
     root = root if root is not None else repo_root()
     payload = {
         "benchmark": name,
+        "schema_version": SCHEMA_VERSION,
         "metrics": {k: metrics[k] for k in sorted(metrics)},
         "wall_time_s": round(wall_time_s, 3),
         "git_sha": git_sha(root),

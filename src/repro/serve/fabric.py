@@ -62,6 +62,7 @@ from ..core.errors import (
 from ..core.fields import FIELD_WIDTHS
 from ..core.rule import Rule, RuleSet
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.span import NULL_STAGE_TIMER, StageTimer
 from .admission import AdmissionGate
 from .breaker import CircuitBreaker
 from .policy import ServicePolicy
@@ -146,11 +147,13 @@ class Fabric:
                  clock: Callable[[], float] | None = None,
                  charge: Callable[[float], None] | None = None,
                  lookup_cost_s: float = 0.0,
-                 start: bool = True) -> None:
+                 start: bool = True,
+                 stage_timer: StageTimer | None = None) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigurationError(f"unknown algorithm {algorithm!r}")
         self.policy = policy or ServicePolicy()
         self._clock = clock or time.monotonic
+        self.stages = stage_timer or NULL_STAGE_TIMER
         self._charge = charge
         self._lookup_cost_s = lookup_cost_s
         self.rules = list(rules)
@@ -196,6 +199,7 @@ class Fabric:
             charge=charge,
             metrics=self._fabric,
             reseed_snapshot=self._reseed_shard,
+            stage_timer=self.stages,
         )
         if start:
             self.supervisor.start()
@@ -236,7 +240,8 @@ class Fabric:
         worker and (policy permitting) audited against the full-ruleset
         linear oracle in-lock.
         """
-        self._gate.admit()
+        with self.stages.span("admission"):
+            self._gate.admit()
         try:
             with self._lock:
                 return self._classify_admitted(header)
@@ -259,7 +264,8 @@ class Fabric:
                                              "down")
             self._shed_shard(shard, phase)
         try:
-            answers = self.supervisor.request(shard, [tuple(header)], now)
+            with self.stages.span("transport"):
+                answers = self.supervisor.request(shard, [tuple(header)], now)
         except ShardUnavailable:
             breaker.record_failure(self._clock() - now)
             self._fabric.counter("shed.shard_down").inc()
@@ -267,12 +273,17 @@ class Fabric:
             raise
         cost = self._lookup_cost_s
         if self._charge is not None and cost > 0:
-            self._charge(cost)
+            # The modelled lookup cost is the classify stage; the pipe
+            # round trip above is transport (real time, so it reads as
+            # zero on a simulated clock — by design).
+            with self.stages.span("classify"):
+                self._charge(cost)
         elapsed = max(self._clock() - now, cost)
         breaker.record_success(elapsed)
-        self._audit(header, answers[0])
+        with self.stages.span("audit"):
+            self._audit(header, answers[0])
         self._fabric.counter("served").inc()
-        self._fabric.histogram("latency_us").observe(elapsed * 1e6)
+        self._fabric.log_histogram("latency_us").observe(elapsed * 1e6)
         return answers[0]
 
     def _shed_shard(self, shard: str, phase: str) -> None:
@@ -312,7 +323,9 @@ class Fabric:
                         if self.supervisor.state(shard) != RUNNING:
                             breaker.record_failure(0.0)
                             raise ShardUnavailable(shard, "restarting")
-                        answers = self.supervisor.request(shard, batch, now)
+                        with self.stages.span("transport"):
+                            answers = self.supervisor.request(shard, batch,
+                                                              now)
                     except ShardUnavailable as exc:
                         if exc.phase not in ("breaker_open",):
                             breaker.record_failure(self._clock() - now)
@@ -328,11 +341,14 @@ class Fabric:
                         continue
                     cost = self._lookup_cost_s * len(positions)
                     if self._charge is not None and cost > 0:
-                        self._charge(cost)
+                        with self.stages.span("classify"):
+                            self._charge(cost)
                     breaker.record_success(max(self._clock() - now, cost))
-                    for pos, answer in zip(positions, answers):
-                        self._audit(headers[pos], answer)
-                        outcomes[pos] = {"status": "served", "rule": answer}
+                    with self.stages.span("audit"):
+                        for pos, answer in zip(positions, answers):
+                            self._audit(headers[pos], answer)
+                            outcomes[pos] = {"status": "served",
+                                             "rule": answer}
                     self._fabric.counter("served").inc(len(positions))
             finally:
                 for _ in range(admitted):
@@ -366,8 +382,9 @@ class Fabric:
              drain_timeout_s: float = 5.0) -> dict:
         """Drain, stop every worker, optionally snapshot fabric state."""
         self._gate.begin_drain()
-        drained = (self._gate.wait_drained(drain_timeout_s) if drain
-                   else self._gate.in_flight == 0)
+        with self.stages.span("drain"):
+            drained = (self._gate.wait_drained(drain_timeout_s) if drain
+                       else self._gate.in_flight == 0)
         self._gate.mark_stopped()
         with self._lock:
             worker_stats = self.supervisor.stop()

@@ -54,6 +54,7 @@ from ..core.errors import (
 )
 from ..core.rule import Rule
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.span import NULL_STAGE_TIMER, StageTimer
 from .admission import AdmissionGate
 from .breaker import CircuitBreaker
 from .policy import ServicePolicy
@@ -101,12 +102,16 @@ class ClassificationService:
     def __init__(self, replicas: Sequence[Replica | object],
                  policy: ServicePolicy | None = None,
                  clock: Callable[[], float] | None = None,
-                 sleep: Callable[[float], None] | None = None) -> None:
+                 sleep: Callable[[float], None] | None = None,
+                 stage_timer: StageTimer | None = None) -> None:
         if not replicas:
             raise ConfigurationError("need at least one replica")
         self.policy = policy or ServicePolicy()
         self._clock = clock or time.monotonic
         self._sleep = sleep or time.sleep
+        # Stage attribution is opt-in: without a timer the shared null
+        # timer makes every span a no-op (see repro.obs.span).
+        self.stages = stage_timer or NULL_STAGE_TIMER
         self.replicas: list[Replica] = []
         for idx, rep in enumerate(replicas):
             if not isinstance(rep, Replica):
@@ -143,7 +148,8 @@ class ClassificationService:
         :class:`RetriesExhausted`; any answer actually returned was
         produced within the deadline by a breaker-approved replica.
         """
-        seq = self._gate.admit()
+        with self.stages.span("admission"):
+            seq = self._gate.admit()
         try:
             budget = (self.policy.default_deadline_s
                       if deadline_s is None else deadline_s)
@@ -175,7 +181,7 @@ class ClassificationService:
                 continue
             start = self._clock()
             try:
-                with self._lock:
+                with self.stages.span("classify"), self._lock:
                     result = replica.lookup(header, start)
             except RETRYABLE_ERRORS as exc:
                 elapsed = self._clock() - start
@@ -199,9 +205,10 @@ class ClassificationService:
                 # wrong answer.  Count it, drop it, raise typed.
                 self._serve.counter("deadline_exceeded").inc()
                 raise
-            self._audit(replica, header, result)
+            with self.stages.span("audit"):
+                self._audit(replica, header, result)
             self._serve.counter("served").inc()
-            self._serve.histogram("latency_us").observe(elapsed * 1e6)
+            self._serve.log_histogram("latency_us").observe(elapsed * 1e6)
             return result
         self._serve.counter("retries_exhausted").inc()
         raise RetriesExhausted(
@@ -244,7 +251,8 @@ class ClassificationService:
         if remaining != float("inf"):
             delay = min(delay, remaining)
         if delay > 0:
-            self._sleep(delay)
+            with self.stages.span("backoff"):
+                self._sleep(delay)
 
     def _audit(self, replica: Replica, header, result: int | None) -> None:
         """Differential checks on a produced answer (policy-gated)."""
@@ -321,8 +329,9 @@ class ClassificationService:
         """
         with self._lock:
             self._gate.begin_drain()
-            drained = (self._gate.wait_drained(drain_timeout_s) if drain
-                       else self._gate.in_flight == 0)
+            with self.stages.span("drain"):
+                drained = (self._gate.wait_drained(drain_timeout_s) if drain
+                           else self._gate.in_flight == 0)
             self._gate.mark_stopped()
             state = {
                 "rules": list(self.replicas[0].classifier.rules),

@@ -47,6 +47,7 @@ from ..core.errors import (
     WorkerCrashLoop,
 )
 from ..obs.metrics import MetricScope, MetricsRegistry
+from ..obs.span import NULL_STAGE_TIMER, StageTimer
 from .transport import ShardSpec, worker_main
 
 SPAWNING = "spawning"
@@ -166,7 +167,8 @@ class Supervisor:
                  charge: Callable[[float], None] | None = None,
                  metrics: MetricsRegistry | MetricScope | None = None,
                  reseed_snapshot: Callable[[ShardSpec], None] | None = None,
-                 start_method: str = "fork") -> None:
+                 start_method: str = "fork",
+                 stage_timer: StageTimer | None = None) -> None:
         if not specs:
             raise ConfigurationError("need at least one shard spec")
         names = [spec.name for spec in specs]
@@ -179,6 +181,7 @@ class Supervisor:
         self._charge = charge
         self._ctx = multiprocessing.get_context(start_method)
         self._reseed = reseed_snapshot
+        self._stages = stage_timer or NULL_STAGE_TIMER
         if metrics is None:
             metrics = MetricsRegistry()
         if isinstance(metrics, MetricsRegistry):
@@ -288,7 +291,8 @@ class Supervisor:
         cost *= handle.slow_start_factor
         handle.slow_start_factor = 1.0
         if self._charge is not None and cost > 0:
-            self._charge(cost)
+            with self._stages.span("restart"):
+                self._charge(cost)
         if info.get("warm"):
             self._scope.counter("warm_restarts").inc()
         else:

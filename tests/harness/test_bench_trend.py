@@ -1,0 +1,106 @@
+"""bench_trend.py reconstructs the perf trajectory from git history."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "bench_trend.py"
+
+
+def _record(goodput, version=2):
+    return json.dumps({
+        "benchmark": "soak", "schema_version": version,
+        "metrics": {"goodput_kpps": goodput},
+        "wall_time_s": 1.0, "date": "2026-01-01T00:00:00+00:00",
+    })
+
+
+def _run(cwd, *args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        cwd=cwd, capture_output=True, text=True)
+
+
+@pytest.fixture
+def history_repo(tmp_path):
+    """A git repo whose BENCH record improves, then regresses."""
+    def commit(message):
+        subprocess.run(["git", "add", "-A"], cwd=tmp_path, check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-q", "-m", message],
+            cwd=tmp_path, check=True)
+
+    subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+    record = tmp_path / "BENCH_soak.json"
+    record.write_text(_record(5.0))
+    commit("add soak benchmark")
+    record.write_text(_record(6.0))
+    commit("improve goodput")
+    record.write_text(_record(3.0))  # a >15% drop vs 6.0
+    commit("regress goodput")
+    return tmp_path
+
+
+class TestTrajectory:
+    def test_reconstructs_nonempty_history(self, history_repo):
+        out = _run(history_repo)
+        assert out.returncode == 1  # regression present, non-advisory
+        table = out.stdout
+        assert "BENCH_soak.json" in table
+        for value in ("5", "6", "3"):
+            assert f"| {value} |" in table
+
+    def test_flags_only_the_regression(self, history_repo):
+        out = _run(history_repo)
+        assert "goodput_kpps +50.0%" in out.stdout  # 6.0 -> 3.0
+        assert out.stdout.count("goodput_kpps +") == 1
+        assert "1 flagged drop(s)" in out.stderr
+
+    def test_advisory_mode_exits_zero(self, history_repo):
+        out = _run(history_repo, "--advisory")
+        assert out.returncode == 0
+        assert "flagged drop" in out.stderr
+
+    def test_threshold_is_honoured(self, history_repo):
+        out = _run(history_repo, "--threshold", "0.6")
+        assert out.returncode == 0  # 50% drop within a 60% threshold
+
+    def test_out_writes_markdown_file(self, history_repo):
+        out = _run(history_repo, "--advisory", "--out", "TREND.md")
+        assert out.returncode == 0
+        report = (history_repo / "TREND.md").read_text()
+        assert report.startswith("# Benchmark trend")
+
+    def test_worktree_record_appends_a_row(self, history_repo):
+        (history_repo / "BENCH_soak.json").write_text(_record(9.0))
+        out = _run(history_repo, "--advisory")
+        assert "| worktree |" in out.stdout
+
+    def test_empty_history_is_fine(self, tmp_path):
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        out = _run(tmp_path)
+        assert out.returncode == 0
+        assert "nothing to render" in out.stdout
+
+
+class TestSchemaGuard:
+    def test_unknown_schema_version_exits_2(self, tmp_path):
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "BENCH_soak.json").write_text(_record(5.0, version=99))
+        out = _run(tmp_path)
+        assert out.returncode == 2
+        assert "schema_version 99" in out.stderr
+
+    def test_missing_version_is_implicit_v1(self, tmp_path):
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "BENCH_soak.json").write_text(json.dumps({
+            "benchmark": "soak", "metrics": {"goodput_kpps": 5.0},
+            "wall_time_s": 1.0, "date": "2026-01-01T00:00:00+00:00",
+        }))
+        out = _run(tmp_path)
+        assert out.returncode == 0

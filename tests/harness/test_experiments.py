@@ -19,7 +19,8 @@ class TestRegistry:
     def test_every_paper_artifact_registered(self):
         expected = {"table1", "table2", "table3", "table4", "table5",
                     "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "resilience", "profile", "serve-soak", "chaos-soak"}
+                    "resilience", "profile", "serve-soak", "chaos-soak",
+                    "perf-report"}
         assert set(REGISTRY) == expected
 
     def test_list(self):
@@ -31,9 +32,11 @@ class TestRegistry:
             run_experiment("fig99")
 
 
-# "profile" is exercised in test_profile.py against a tmp directory —
-# running it here would drop artifacts into the committed results/.
-@pytest.mark.parametrize("name", sorted(set(REGISTRY) - {"profile"}))
+# "profile" and "perf-report" are exercised in test_profile.py /
+# test_perf_report.py against tmp directories — running them here would
+# drop artifacts into the committed results/.
+@pytest.mark.parametrize(
+    "name", sorted(set(REGISTRY) - {"profile", "perf-report"}))
 def test_quick_mode_runs(name):
     result = run_experiment(name, quick=True)
     assert isinstance(result, ExperimentResult)

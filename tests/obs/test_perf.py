@@ -51,6 +51,20 @@ class TestExtractThroughput:
         assert extract_throughput({"gbps_ok": True, "x": 3}) == {}
         assert extract_throughput(7.0) == {}
 
+    def test_serving_layer_units_matched(self):
+        """Regression: the serving soaks report kpps/goodput figures,
+        which the link-rate-only unit list used to drop silently."""
+        data = {
+            "goodput_kpps": 5.2,
+            "serving": {"kpps": 4.4, "goodput": 0.91},
+            "latency_us_p99": 90.0,
+        }
+        assert extract_throughput(data) == {
+            "goodput_kpps": 5.2,
+            "serving.kpps": 4.4,
+            "serving.goodput": 0.91,
+        }
+
 
 class TestBenchRecords:
     def test_roundtrip(self, tmp_path):
@@ -102,6 +116,62 @@ class TestBenchRecords:
         assert read_bench_record(path)["metrics"] == {"gbps": 5.0}
         assert sorted(p.name for p in tmp_path.iterdir()) == \
             ["BENCH_soak.json"]
+
+
+class TestSchemaVersion:
+    def test_written_records_carry_current_version(self, tmp_path):
+        from repro.obs import SCHEMA_VERSION
+
+        record = read_bench_record(
+            write_bench_record("v", {"gbps": 1.0}, 0.1, root=tmp_path))
+        assert record["schema_version"] == SCHEMA_VERSION
+
+    def test_absent_version_is_implicit_v1(self):
+        checker = _load_checker()
+        record = {"benchmark": "x", "wall_time_s": 1.0, "date": "d",
+                  "metrics": {"gbps": 1.0}}
+        assert checker.validate(record) == []
+
+    def test_known_versions_pass(self):
+        checker = _load_checker()
+        for version in checker.KNOWN_SCHEMA_VERSIONS:
+            record = {"benchmark": "x", "schema_version": version,
+                      "wall_time_s": 1.0, "date": "d",
+                      "metrics": {"gbps": 1.0}}
+            assert checker.validate(record) == []
+
+    def test_unknown_version_flagged(self):
+        checker = _load_checker()
+        record = {"benchmark": "x", "schema_version": 99,
+                  "wall_time_s": 1.0, "date": "d",
+                  "metrics": {"gbps": 1.0}}
+        assert any("schema_version" in p for p in checker.validate(record))
+
+    def test_non_integer_version_flagged(self):
+        checker = _load_checker()
+        for bad in ("2", 2.5, True, None):
+            record = {"benchmark": "x", "schema_version": bad,
+                      "wall_time_s": 1.0, "date": "d",
+                      "metrics": {"gbps": 1.0}}
+            assert any("schema_version" in p
+                       for p in checker.validate(record)), bad
+
+    def test_cli_exits_2_on_unknown_version(self, tmp_path):
+        import subprocess
+
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "BENCH_future.json").write_text(json.dumps({
+            "benchmark": "future", "schema_version": 99,
+            "metrics": {"gbps": 1.0}, "wall_time_s": 1.0,
+            "date": "2026-01-01T00:00:00+00:00",
+        }))
+        out = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts"
+                                 / "check_bench_regression.py")],
+            cwd=tmp_path, capture_output=True, text=True,
+        )
+        assert out.returncode == 2
+        assert "schema_version" in out.stdout
 
 
 class TestRegressionCompare:

@@ -1,0 +1,152 @@
+"""SLO declarations, sliding-window bucketing and burn-rate math."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import SLO, SLOMonitor
+
+
+def _feed(monitor, t, offered=0, served=0, shed=0, errors=0,
+          divergences=0, latencies=()):
+    monitor.count(t, "offered", offered)
+    monitor.count(t, "served", served)
+    monitor.count(t, "shed", shed)
+    monitor.count(t, "errors", errors)
+    monitor.count(t, "divergences", divergences)
+    for latency_us in latencies:
+        monitor.observe_latency(t, latency_us)
+
+
+class TestSLODeclaration:
+    def test_floor_and_ceiling_semantics(self):
+        floor = SLO("goodput", "goodput_kpps", 5.0, kind="floor")
+        assert floor.violated_by(4.9)
+        assert not floor.violated_by(5.0)
+        ceiling = SLO("p99", "latency_us_p99", 300.0, kind="ceiling")
+        assert ceiling.violated_by(300.1)
+        assert not ceiling.violated_by(300.0)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SLO("x", "m", 1.0, kind="sideways")
+
+    def test_budget_fraction_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            SLO("x", "m", 1.0, budget_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            SLO("x", "m", 1.0, budget_fraction=-0.1)
+
+    def test_duplicate_slo_names_rejected(self):
+        slos = [SLO("same", "served", 1.0), SLO("same", "shed", 1.0)]
+        with pytest.raises(ConfigurationError):
+            SLOMonitor(slos, window_s=1.0)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SLOMonitor([], window_s=0.0)
+
+
+class TestWindowing:
+    def test_outcomes_bucket_by_timestamp(self):
+        monitor = SLOMonitor([], window_s=1.0)
+        _feed(monitor, 0.2, offered=2, served=2)
+        _feed(monitor, 0.9, offered=1, served=1)
+        _feed(monitor, 1.5, offered=4, shed=4)
+        rows = monitor.timeseries()
+        assert [row["t"] for row in rows] == [0.0, 1.0]
+        assert rows[0]["offered"] == 3 and rows[0]["served"] == 3
+        assert rows[1]["shed"] == 4 and rows[1]["shed_rate"] == 1.0
+
+    def test_derived_metrics_per_window(self):
+        monitor = SLOMonitor([], window_s=0.5)
+        _feed(monitor, 0.1, offered=10, served=8, shed=2,
+              latencies=[60.0] * 8)
+        row = monitor.timeseries()[0]
+        assert row["goodput_kpps"] == pytest.approx(8 / 0.5 / 1e3)
+        assert row["served_fraction"] == pytest.approx(0.8)
+        assert row["shed_rate"] == pytest.approx(0.2)
+        assert row["latency_us_p99"] == pytest.approx(60.0, rel=0.05)
+        assert row["latency_us_max"] == 60.0
+
+    def test_unknown_counter_name_rejected(self):
+        monitor = SLOMonitor([], window_s=1.0)
+        with pytest.raises(ConfigurationError, match="unknown window"):
+            monitor.count(0.0, "throughput")
+
+
+class TestEvaluation:
+    def test_zero_tolerance_burns_infinitely_on_any_violation(self):
+        monitor = SLOMonitor(
+            [SLO("no-div", "divergences", 0.0, kind="ceiling")],
+            window_s=1.0)
+        _feed(monitor, 0.5, offered=5, served=5)
+        _feed(monitor, 1.5, offered=5, served=4, divergences=1)
+        report = monitor.evaluate()
+        slo = report["slos"]["no-div"]
+        assert slo["violations"] == 1
+        assert math.isinf(slo["burn_rate"])
+        assert not slo["compliant"] and not report["ok"]
+        with pytest.raises(AssertionError, match="no-div"):
+            monitor.check()
+
+    def test_budget_absorbs_bounded_violations(self):
+        slo = SLO("goodput", "goodput_kpps", 4.0, kind="floor",
+                  budget_fraction=0.5)
+        monitor = SLOMonitor([slo], window_s=1.0)
+        _feed(monitor, 0.5, offered=5000, served=5000)  # 5 kpps: ok
+        _feed(monitor, 1.5, offered=5000, served=1000)  # 1 kpps: violates
+        report = monitor.evaluate()
+        judged = report["slos"]["goodput"]
+        assert judged["violations"] == 1
+        assert judged["burn_rate"] == pytest.approx(1.0)  # 0.5 / 0.5
+        assert judged["compliant"] and report["ok"]
+        monitor.check()  # must not raise at burn rate exactly 1.0
+
+    def test_burn_rate_above_one_fails(self):
+        slo = SLO("shed", "shed_rate", 0.5, kind="ceiling",
+                  budget_fraction=0.25)
+        monitor = SLOMonitor([slo], window_s=1.0)
+        for window in range(4):
+            shed = 10 if window < 2 else 0
+            _feed(monitor, window + 0.5, offered=10, served=10 - shed,
+                  shed=shed)
+        judged = monitor.evaluate()["slos"]["shed"]
+        assert judged["violation_fraction"] == pytest.approx(0.5)
+        assert judged["burn_rate"] == pytest.approx(2.0)
+        assert not judged["compliant"]
+
+    def test_idle_windows_spend_no_budget(self):
+        slo = SLO("goodput", "goodput_kpps", 4.0, kind="floor")
+        monitor = SLOMonitor([slo], window_s=1.0)
+        _feed(monitor, 0.5, offered=5000, served=5000)
+        monitor.observe_latency(1.5, 60.0)  # latency but zero offered
+        report = monitor.evaluate()
+        assert report["slos"]["goodput"]["windows_evaluated"] == 1
+        assert report["ok"]
+
+    def test_worst_value_reported_per_kind(self):
+        monitor = SLOMonitor(
+            [SLO("floor", "served_fraction", 0.1, kind="floor"),
+             SLO("ceil", "shed_rate", 0.9, kind="ceiling")],
+            window_s=1.0)
+        _feed(monitor, 0.5, offered=10, served=8, shed=2)
+        _feed(monitor, 1.5, offered=10, served=4, shed=6)
+        slos = monitor.evaluate()["slos"]
+        assert slos["floor"]["worst"] == pytest.approx(0.4)  # min
+        assert slos["ceil"]["worst"] == pytest.approx(0.6)   # max
+
+    def test_unknown_metric_name_raises(self):
+        monitor = SLOMonitor([SLO("x", "not_a_metric", 1.0)], window_s=1.0)
+        _feed(monitor, 0.5, offered=1, served=1)
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            monitor.evaluate()
+
+    def test_timeseries_rides_along_in_the_report(self):
+        monitor = SLOMonitor([], window_s=1.0)
+        _feed(monitor, 0.5, offered=1, served=1)
+        report = monitor.evaluate()
+        assert report["windows"] == 1
+        assert len(report["timeseries"]) == 1
+        assert report["ok"]

@@ -1,0 +1,137 @@
+"""StageTimer: spans tile a run and the attribution check audits it."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import NULL_STAGE_TIMER, NullStageTimer, StageTimer
+from repro.obs.span import _NULL_SPAN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSpans:
+    def test_span_records_clock_delta(self, clock):
+        timer = StageTimer(clock=clock)
+        with timer.span("classify"):
+            clock.advance(0.25)
+        stat = timer.stages["classify"]
+        assert stat.seconds == pytest.approx(0.25)
+        assert stat.calls == 1
+
+    def test_span_records_even_when_stage_raises(self, clock):
+        timer = StageTimer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with timer.span("admission"):
+                clock.advance(0.1)
+                raise RuntimeError("shed")
+        assert timer.stages["admission"].seconds == pytest.approx(0.1)
+
+    def test_record_accumulates_across_calls(self, clock):
+        timer = StageTimer(clock=clock)
+        for _ in range(3):
+            with timer.span("audit"):
+                clock.advance(0.01)
+        timer.record("audit", 0.07, calls=2)
+        assert timer.stages["audit"].seconds == pytest.approx(0.1)
+        assert timer.stages["audit"].calls == 5
+
+    def test_total_sums_every_stage(self, clock):
+        timer = StageTimer(clock=clock)
+        timer.record("a", 1.0)
+        timer.record("b", 2.0)
+        assert timer.total() == pytest.approx(3.0)
+
+    def test_merge_folds_worker_timers(self, clock):
+        parent = StageTimer(clock=clock)
+        worker = StageTimer(clock=clock)
+        parent.record("classify", 1.0)
+        worker.record("classify", 2.0, calls=4)
+        worker.record("restart", 0.5)
+        parent.merge(worker)
+        assert parent.stages["classify"].seconds == pytest.approx(3.0)
+        assert parent.stages["classify"].calls == 5
+        assert parent.stages["restart"].seconds == pytest.approx(0.5)
+
+
+class TestAttribution:
+    def test_tiling_spans_cover_the_wall(self, clock):
+        timer = StageTimer(clock=clock)
+        with timer.span("idle"):
+            clock.advance(0.4)
+        with timer.span("classify"):
+            clock.advance(0.6)
+        report = timer.check_attribution(clock.now)
+        assert report["coverage"] == pytest.approx(1.0)
+        assert report["unattributed_s"] == pytest.approx(0.0)
+        assert report["stages"]["classify"]["fraction"] == pytest.approx(0.6)
+
+    def test_missing_stage_fails_the_audit(self, clock):
+        timer = StageTimer(clock=clock)
+        with timer.span("classify"):
+            clock.advance(0.5)
+        clock.advance(0.5)  # un-spanned time: the audit must see it
+        with pytest.raises(AssertionError, match="does not add up"):
+            timer.check_attribution(clock.now)
+
+    def test_double_counted_nesting_fails_the_audit(self, clock):
+        timer = StageTimer(clock=clock)
+        with timer.span("outer"):
+            with timer.span("inner"):
+                clock.advance(1.0)
+        with pytest.raises(AssertionError):
+            timer.check_attribution(clock.now)
+
+    def test_tolerance_is_configurable_and_validated(self, clock):
+        timer = StageTimer(clock=clock)
+        with timer.span("classify"):
+            clock.advance(0.98)
+        clock.advance(0.02)
+        timer.check_attribution(clock.now, tolerance=0.05)
+        with pytest.raises(AssertionError):
+            timer.check_attribution(clock.now, tolerance=0.01)
+        with pytest.raises(ConfigurationError):
+            timer.check_attribution(clock.now, tolerance=-0.1)
+
+    def test_zero_wall_run_passes(self):
+        timer = StageTimer(clock=FakeClock())
+        report = timer.check_attribution(0.0)
+        assert report["coverage"] == 1.0
+
+    def test_table_rows_include_unattributed_line(self, clock):
+        timer = StageTimer(clock=clock)
+        with timer.span("classify"):
+            clock.advance(1.0)
+        rows = timer.table_rows(clock.now)
+        assert rows[0][0] == "classify"
+        assert rows[-1][0] == "(unattributed)"
+        assert "coverage 100.00%" in rows[-1][2]
+
+
+class TestNullTimer:
+    def test_disabled_pipeline_shares_one_span(self):
+        assert isinstance(NULL_STAGE_TIMER, NullStageTimer)
+        assert NULL_STAGE_TIMER.enabled is False
+        assert NULL_STAGE_TIMER.span("classify") is _NULL_SPAN
+        assert NULL_STAGE_TIMER.span("other") is _NULL_SPAN
+
+    def test_null_span_is_a_working_context_manager(self):
+        with NULL_STAGE_TIMER.span("classify"):
+            pass
+        NULL_STAGE_TIMER.record("classify", 1.0)  # no-op, no state
+
+    def test_enabled_flag_distinguishes_real_timer(self):
+        assert StageTimer(clock=FakeClock()).enabled is True
