@@ -34,6 +34,16 @@ BENCH_PREFIX = "BENCH_"
 #: refuses it (exit 2) instead of comparing blind.
 KNOWN_SCHEMA_VERSIONS = (1, 2)
 
+#: Metric leaves a given benchmark's record MUST carry.  A record that
+#: drops one of these has lost the very signal its CI gate exists to
+#: track (e.g. an update-storm record without a staleness reading says
+#: nothing about propagation health), so absence is a schema violation
+#: (exit 2), not a vacuously-passing comparison.
+REQUIRED_METRICS: dict[str, tuple[str, ...]] = {
+    "update_storm": ("goodput_kpps", "updates_per_s",
+                     "staleness_headroom_epochs"),
+}
+
 
 def repo_root() -> Path:
     out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
@@ -90,6 +100,12 @@ def validate(record: object) -> list[str]:
         for key, value in sorted(metrics.items()):
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 problems.append(f"  metric {key!r} is not a number")
+        name = record.get("benchmark")
+        if isinstance(name, str):
+            for key in REQUIRED_METRICS.get(name, ()):
+                if key not in metrics:
+                    problems.append(f"  required metric {key!r} missing "
+                                    f"from {name!r} record")
     if isinstance(record.get("wall_time_s"), bool) or not isinstance(
             record.get("wall_time_s"), (int, float)):
         problems.append("  'wall_time_s' missing or not a number")

@@ -8,7 +8,12 @@ import numpy as np
 
 from ..core.budget import BuildBudget, meter_for
 from ..core.engine import ExpCutsEngine, LookupTrace
-from ..core.expcuts import ExpCutsConfig, ExpCutsTree, build_expcuts
+from ..core.expcuts import (
+    ExpCutsConfig,
+    ExpCutsTree,
+    build_expcuts,
+    insert_into_tree,
+)
 from ..core.layout import TreeImage, pack_tree
 from ..core.rule import RuleSet
 from ..core.stats import TreeStats, collect_stats
@@ -59,18 +64,61 @@ class ExpCutsClassifier(PacketClassifier):
             meter.checkpoint()
         return cls(ruleset, tree, image, use_pop_count=use_pop_count)
 
+    # -- incremental edits --------------------------------------------------
+
+    #: Class-level default so pre-edit snapshots unpickle cleanly.
+    _image_dirty = False
+
+    def insert_rule(self, rule_id: int, precedes, *,
+                    edit_budget: int = 4096) -> int:
+        """Incrementally insert ``self.ruleset[rule_id]`` into the tree
+        (see :func:`repro.core.expcuts.insert_into_tree`).  The packed
+        word image goes stale: lookups fall back to the IR-level tree
+        walk until :meth:`_ensure_image` repacks it lazily."""
+        rule = self.ruleset[rule_id]
+        row: list[int] = [rule_id]
+        for iv in rule.intervals:
+            row.append(iv.lo)
+            row.append(iv.hi)
+        appended = insert_into_tree(self.tree, tuple(row), precedes,
+                                    edit_budget=edit_budget)
+        if appended:
+            self._image_dirty = True
+        return appended
+
+    def garbage_fraction(self) -> float:
+        """Fraction of tree nodes estimated unreachable after edits."""
+        garbage = self.tree.build_stats.get("garbage_words", 0)
+        live = sum(1 + n.children.compressed_slots for n in self.tree.nodes)
+        return garbage / max(live, 1)
+
+    def _ensure_image(self) -> None:
+        """Repack the word image after incremental edits (lazy: scalar
+        lookups serve from the IR tree; batch/trace/npsim paths need the
+        packed image and trigger the repack)."""
+        if self._image_dirty:
+            self.image = pack_tree(self.tree, aggregated=self.image.aggregated)
+            self.engine = ExpCutsEngine(
+                self.image, use_pop_count=self.engine.use_pop_count)
+            self._image_dirty = False
+
     def classify(self, header: Sequence[int],
                  trace: DecisionTrace | None = None) -> int | None:
         if trace is not None:
+            self._ensure_image()
             result = self.engine.classify_traced(header, trace)
             self._emit_lookup_metrics(trace)
             return result
+        if self._image_dirty:
+            return self.tree.classify(header)
         return self.engine.classify(header)
 
     def classify_batch(self, fields: Sequence[np.ndarray]) -> np.ndarray:
+        self._ensure_image()
         return self.engine.classify_batch(fields)
 
     def access_trace(self, header: Sequence[int]) -> LookupTrace:
+        self._ensure_image()
         return self.engine.access_trace(header)
 
     def memory_regions(self) -> list[MemoryRegion]:

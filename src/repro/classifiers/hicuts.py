@@ -33,6 +33,7 @@ from typing import Sequence
 
 from ..core.budget import BudgetMeter, BuildBudget, meter_for
 from ..core.engine import LookupTrace, MemRead
+from ..core.errors import IncrementalUpdateError
 from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
 from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
 from ..core.rule import RuleSet
@@ -256,6 +257,213 @@ class HiCutsClassifier(PacketClassifier):
         builder = _Builder(params, meter_for(budget, cls.name))
         root = builder.build(flat_projection(ruleset), tuple(FIELD_WIDTHS))
         return cls(ruleset, builder.nodes, root, params)
+
+    # -- incremental edits --------------------------------------------------
+
+    #: Class-level defaults so structures unpickled from snapshots that
+    #: predate incremental edits still have them.
+    _garbage_words = 0
+
+    def _node_words(self, node: _Internal | _Leaf) -> int:
+        if isinstance(node, _Internal):
+            return 1 + (1 << node.log2_cuts)
+        return 1 + RULE_WORDS * len(node.rule_ids)
+
+    def _covers_box(self, rule_id: int, box_lo: Sequence[int],
+                    widths: Sequence[int]) -> bool:
+        """Does the (absolute) rule fully cover the box at ``box_lo``?"""
+        rule = self.ruleset[rule_id]
+        for fld in range(NUM_FIELDS):
+            iv = rule.intervals[fld]
+            if iv.lo > box_lo[fld] \
+                    or iv.hi < box_lo[fld] + (1 << widths[fld]) - 1:
+                return False
+        return True
+
+    def _clip_flat(self, rule_id: int, box_lo: Sequence[int],
+                   widths: Sequence[int]) -> FlatRule:
+        """The rule's projection clipped to the box, box-relative."""
+        rule = self.ruleset[rule_id]
+        row: list[int] = [rule_id]
+        for fld in range(NUM_FIELDS):
+            iv = rule.intervals[fld]
+            top = box_lo[fld] + (1 << widths[fld]) - 1
+            row.append(max(iv.lo, box_lo[fld]) - box_lo[fld])
+            row.append(min(iv.hi, top) - box_lo[fld])
+        return tuple(row)
+
+    def _first_match_from(self, root_ref: int,
+                          header: Sequence[int]) -> int | None:
+        """Classify from a candidate root (pre-swap validation probe)."""
+        ref = root_ref
+        origin = [0] * NUM_FIELDS
+        while ref != REF_NO_MATCH:
+            node = self.nodes[ref]
+            if isinstance(node, _Leaf):
+                for rule_id in node.rule_ids:
+                    if self.ruleset[rule_id].matches(header):
+                        return rule_id
+                return None
+            local = header[node.field] - origin[node.field]
+            idx = local >> node.shift
+            origin[node.field] += idx << node.shift
+            ref = node.children[idx]
+        return None
+
+    def insert_rule(self, rule_id: int, precedes, *,
+                    edit_budget: int = 4096) -> int:
+        """Insert ``self.ruleset[rule_id]`` by copy-on-write path edits.
+
+        ``precedes(existing_id)`` says whether the new rule outranks an
+        existing one — priority lives only in leaf list order, so the
+        caller (which knows the live priority order) supplies the
+        comparison.  Nodes along every path intersecting the rule's box
+        are copied, leaves splice the rule in at its priority rank, and
+        a leaf that overflows past ``binth`` is re-cut node-locally with
+        the regular builder.  The edit is **validate-then-swap**: nothing
+        the serving root reaches is mutated; the new root is probed at
+        the rule's corner headers and only then swapped in.  On any
+        failure (``edit_budget`` node appends exceeded, ``max_nodes``,
+        probe disagreement) the appended nodes are discarded and
+        :class:`IncrementalUpdateError` is raised — the old root never
+        stopped serving.  Returns the number of nodes appended.
+        """
+        rule = self.ruleset[rule_id]
+        bounds = tuple((iv.lo, iv.hi) for iv in rule.intervals)
+        checkpoint = len(self.nodes)
+        garbage = 0
+        leaf_memo: dict[tuple[int, ...], int] = {}
+
+        def append(node: _Internal | _Leaf) -> int:
+            if len(self.nodes) - checkpoint >= edit_budget:
+                raise IncrementalUpdateError(
+                    f"{self.name}: edit touched more than "
+                    f"edit_budget={edit_budget} nodes")
+            if len(self.nodes) >= self.params.max_nodes:
+                raise IncrementalUpdateError(
+                    f"{self.name}: edit exceeded max_nodes="
+                    f"{self.params.max_nodes}")
+            self.nodes.append(node)
+            return len(self.nodes) - 1
+
+        def new_leaf(rule_ids: tuple[int, ...]) -> int:
+            cached = leaf_memo.get(rule_ids)
+            if cached is not None:
+                return cached
+            ref = append(_Leaf(rule_ids))
+            leaf_memo[rule_ids] = ref
+            return ref
+
+        def recut(rule_ids: tuple[int, ...], box_lo: list[int],
+                  widths: tuple[int, ...]) -> int:
+            flat = tuple(self._clip_flat(rid, box_lo, widths)
+                         for rid in rule_ids)
+            builder = _Builder(self.params)
+            builder.nodes = self.nodes  # append in place (copy-on-write)
+            try:
+                ref = builder.build(flat, widths)
+            except MemoryError as exc:
+                raise IncrementalUpdateError(str(exc)) from exc
+            if len(self.nodes) - checkpoint > edit_budget:
+                raise IncrementalUpdateError(
+                    f"{self.name}: node-local re-cut blew edit_budget="
+                    f"{edit_budget}")
+            return ref
+
+        def edit_leaf(node: _Leaf, box_lo: list[int],
+                      widths: tuple[int, ...]) -> int | None:
+            ids = node.rule_ids
+            rank = len(ids)
+            for idx, existing in enumerate(ids):
+                if precedes(existing):
+                    rank = idx
+                    break
+            for existing in ids[:rank]:
+                if self._covers_box(existing, box_lo, widths):
+                    return None  # shadowed by a higher-priority full cover
+            if self._covers_box(rule_id, box_lo, widths):
+                new_ids = ids[:rank] + (rule_id,)
+            else:
+                new_ids = ids[:rank] + (rule_id,) + ids[rank:]
+            if (len(new_ids) > max(self.params.binth, len(ids))
+                    and any(w > 0 for w in widths)):
+                return recut(new_ids, box_lo, widths)
+            return new_leaf(new_ids)
+
+        def descend(ref: int, box_lo: list[int],
+                    widths: tuple[int, ...]) -> int | None:
+            """New ref for this subtree, or None when unchanged."""
+            nonlocal garbage
+            if ref == REF_NO_MATCH:
+                if self._covers_box(rule_id, box_lo, widths):
+                    return new_leaf((rule_id,))
+                return recut((rule_id,), box_lo, widths)
+            node = self.nodes[ref]
+            if isinstance(node, _Leaf):
+                replacement = edit_leaf(node, box_lo, widths)
+                if replacement is not None:
+                    garbage += self._node_words(node)
+                return replacement
+            fld = node.field
+            lo, hi = bounds[fld]
+            base0 = box_lo[fld]
+            shift = node.shift
+            k_lo = (max(lo, base0) - base0) >> shift
+            k_hi = (min(hi, base0 + (1 << widths[fld]) - 1) - base0) >> shift
+            child_widths = widths[:fld] + (shift,) + widths[fld + 1:]
+            new_children: list[int] | None = None
+            for k in range(k_lo, k_hi + 1):
+                child_base = base0 + (k << shift)
+                child_lo = list(box_lo)
+                child_lo[fld] = child_base
+                new_ref = descend(node.children[k], child_lo, child_widths)
+                if new_ref is not None and new_ref != node.children[k]:
+                    if new_children is None:
+                        new_children = list(node.children)
+                    new_children[k] = new_ref
+            if new_children is None:
+                return None
+            garbage += self._node_words(node)
+            return append(_Internal(fld, node.log2_cuts, shift,
+                                    tuple(new_children)))
+
+        def rollback() -> None:
+            del self.nodes[checkpoint:]
+
+        try:
+            new_root = descend(self.root_ref, [0] * NUM_FIELDS,
+                               tuple(FIELD_WIDTHS))
+        except IncrementalUpdateError:
+            rollback()
+            raise
+        if new_root is None:
+            return 0  # rule shadowed everywhere: the tree already agrees
+        # Pre-swap probe: at the rule's own corners the winner must be
+        # the new rule or something that outranks it.
+        for header in (tuple(lo for lo, _ in bounds),
+                       tuple(hi for _, hi in bounds)):
+            got = self._first_match_from(new_root, header)
+            if got is None or (got != rule_id and precedes(got)):
+                rollback()
+                raise IncrementalUpdateError(
+                    f"{self.name}: edited tree answers {got!r} at a corner "
+                    f"of rule {rule_id}")
+        # Swap.  Nodes replaced along the copied paths become garbage
+        # (approximately: DAG sharing can keep some alive), tracked so the
+        # update layer's compaction watermark can see structure bloat.
+        self.root_ref = new_root
+        appended = len(self.nodes) - checkpoint
+        cursor = self._tree_words
+        for node_id in range(checkpoint, len(self.nodes)):
+            self._node_offsets[node_id] = cursor
+            cursor += self._node_words(self.nodes[node_id])
+        self._tree_words = cursor
+        self._garbage_words += garbage
+        return appended
+
+    def garbage_fraction(self) -> float:
+        """Fraction of the layout estimated unreachable after edits."""
+        return self._garbage_words / max(self._tree_words, 1)
 
     # -- structure accounting ---------------------------------------------
 

@@ -27,11 +27,13 @@ Figure 8 cliff; its advantage is fewer tree levels before it.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.budget import BudgetMeter, BuildBudget, meter_for
 from ..core.engine import LookupTrace, MemRead
+from ..core.errors import IncrementalUpdateError
 from ..core.expcuts import FlatRule, REF_NO_MATCH, flat_projection
 from ..core.fields import FIELD_WIDTHS, NUM_FIELDS
 from ..obs.trace import DecisionTrace
@@ -294,6 +296,203 @@ class HyperCutsClassifier(PacketClassifier):
         builder = _Builder(params, meter_for(budget, cls.name))
         root = builder.build(flat_projection(ruleset), tuple(FIELD_WIDTHS))
         return cls(ruleset, builder.nodes, root, params)
+
+    # -- incremental edits --------------------------------------------------
+
+    #: Class-level default so pre-edit snapshots unpickle cleanly.
+    _garbage_words = 0
+
+    def _node_words(self, node) -> int:
+        if isinstance(node, _Internal):
+            return 1 + len(node.children)
+        return 1 + RULE_WORDS * len(node.rule_ids)
+
+    def _covers_box(self, rule_id: int, box_lo: Sequence[int],
+                    widths: Sequence[int]) -> bool:
+        rule = self.ruleset[rule_id]
+        for fld in range(NUM_FIELDS):
+            iv = rule.intervals[fld]
+            if iv.lo > box_lo[fld] \
+                    or iv.hi < box_lo[fld] + (1 << widths[fld]) - 1:
+                return False
+        return True
+
+    def _clip_flat(self, rule_id: int, box_lo: Sequence[int],
+                   widths: Sequence[int]) -> FlatRule:
+        rule = self.ruleset[rule_id]
+        row: list[int] = [rule_id]
+        for fld in range(NUM_FIELDS):
+            iv = rule.intervals[fld]
+            top = box_lo[fld] + (1 << widths[fld]) - 1
+            row.append(max(iv.lo, box_lo[fld]) - box_lo[fld])
+            row.append(min(iv.hi, top) - box_lo[fld])
+        return tuple(row)
+
+    def _first_match_from(self, root_ref: int,
+                          header: Sequence[int]) -> int | None:
+        ref = root_ref
+        origin = [0] * NUM_FIELDS
+        while ref != REF_NO_MATCH:
+            node = self.nodes[ref]
+            if isinstance(node, _Leaf):
+                for rule_id in node.rule_ids:
+                    if self.ruleset[rule_id].matches(header):
+                        return rule_id
+                return None
+            index = 0
+            for fld, lg, shift in zip(node.dims, node.lgs, node.shifts):
+                local = header[fld] - origin[fld]
+                index = (index << lg) | (local >> shift)
+            for fld, shift in zip(node.dims, node.shifts):
+                local = header[fld] - origin[fld]
+                origin[fld] += (local >> shift) << shift
+            ref = node.children[index]
+        return None
+
+    def insert_rule(self, rule_id: int, precedes, *,
+                    edit_budget: int = 4096) -> int:
+        """Copy-on-write incremental insert; see
+        :meth:`repro.classifiers.hicuts.HiCutsClassifier.insert_rule` —
+        identical contract, with the descent fanning out over the
+        Cartesian product of per-dimension child ranges."""
+        rule = self.ruleset[rule_id]
+        bounds = tuple((iv.lo, iv.hi) for iv in rule.intervals)
+        checkpoint = len(self.nodes)
+        garbage = 0
+        leaf_memo: dict[tuple[int, ...], int] = {}
+
+        def append(node) -> int:
+            if len(self.nodes) - checkpoint >= edit_budget:
+                raise IncrementalUpdateError(
+                    f"{self.name}: edit touched more than "
+                    f"edit_budget={edit_budget} nodes")
+            if len(self.nodes) >= self.params.max_nodes:
+                raise IncrementalUpdateError(
+                    f"{self.name}: edit exceeded max_nodes="
+                    f"{self.params.max_nodes}")
+            self.nodes.append(node)
+            return len(self.nodes) - 1
+
+        def new_leaf(rule_ids: tuple[int, ...]) -> int:
+            cached = leaf_memo.get(rule_ids)
+            if cached is not None:
+                return cached
+            ref = append(_Leaf(rule_ids))
+            leaf_memo[rule_ids] = ref
+            return ref
+
+        def recut(rule_ids: tuple[int, ...], box_lo: list[int],
+                  widths: tuple[int, ...]) -> int:
+            flat = tuple(self._clip_flat(rid, box_lo, widths)
+                         for rid in rule_ids)
+            builder = _Builder(self.params)
+            builder.nodes = self.nodes
+            try:
+                ref = builder.build(flat, widths)
+            except MemoryError as exc:
+                raise IncrementalUpdateError(str(exc)) from exc
+            if len(self.nodes) - checkpoint > edit_budget:
+                raise IncrementalUpdateError(
+                    f"{self.name}: node-local re-cut blew edit_budget="
+                    f"{edit_budget}")
+            return ref
+
+        def edit_leaf(node: _Leaf, box_lo: list[int],
+                      widths: tuple[int, ...]) -> int | None:
+            ids = node.rule_ids
+            rank = len(ids)
+            for idx, existing in enumerate(ids):
+                if precedes(existing):
+                    rank = idx
+                    break
+            for existing in ids[:rank]:
+                if self._covers_box(existing, box_lo, widths):
+                    return None
+            if self._covers_box(rule_id, box_lo, widths):
+                new_ids = ids[:rank] + (rule_id,)
+            else:
+                new_ids = ids[:rank] + (rule_id,) + ids[rank:]
+            if (len(new_ids) > max(self.params.binth, len(ids))
+                    and any(w > 0 for w in widths)):
+                return recut(new_ids, box_lo, widths)
+            return new_leaf(new_ids)
+
+        def descend(ref: int, box_lo: list[int],
+                    widths: tuple[int, ...]) -> int | None:
+            nonlocal garbage
+            if ref == REF_NO_MATCH:
+                if self._covers_box(rule_id, box_lo, widths):
+                    return new_leaf((rule_id,))
+                return recut((rule_id,), box_lo, widths)
+            node = self.nodes[ref]
+            if isinstance(node, _Leaf):
+                replacement = edit_leaf(node, box_lo, widths)
+                if replacement is not None:
+                    garbage += self._node_words(node)
+                return replacement
+            child_widths = list(widths)
+            dim_ranges = []
+            for fld, shift in zip(node.dims, node.shifts):
+                lo, hi = bounds[fld]
+                base0 = box_lo[fld]
+                k_lo = (max(lo, base0) - base0) >> shift
+                k_hi = (min(hi, base0 + (1 << widths[fld]) - 1)
+                        - base0) >> shift
+                dim_ranges.append(range(k_lo, k_hi + 1))
+                child_widths[fld] = shift
+            child_widths_t = tuple(child_widths)
+            new_children: list[int] | None = None
+            for combo in itertools.product(*dim_ranges):
+                index = 0
+                child_lo = list(box_lo)
+                for fld, lg, shift, k in zip(node.dims, node.lgs,
+                                             node.shifts, combo):
+                    index = (index << lg) | k
+                    child_lo[fld] = box_lo[fld] + (k << shift)
+                new_ref = descend(node.children[index], child_lo,
+                                  child_widths_t)
+                if new_ref is not None and new_ref != node.children[index]:
+                    if new_children is None:
+                        new_children = list(node.children)
+                    new_children[index] = new_ref
+            if new_children is None:
+                return None
+            garbage += self._node_words(node)
+            return append(_Internal(node.dims, node.lgs, node.shifts,
+                                    tuple(new_children)))
+
+        def rollback() -> None:
+            del self.nodes[checkpoint:]
+
+        try:
+            new_root = descend(self.root_ref, [0] * NUM_FIELDS,
+                               tuple(FIELD_WIDTHS))
+        except IncrementalUpdateError:
+            rollback()
+            raise
+        if new_root is None:
+            return 0
+        for header in (tuple(lo for lo, _ in bounds),
+                       tuple(hi for _, hi in bounds)):
+            got = self._first_match_from(new_root, header)
+            if got is None or (got != rule_id and precedes(got)):
+                rollback()
+                raise IncrementalUpdateError(
+                    f"{self.name}: edited tree answers {got!r} at a corner "
+                    f"of rule {rule_id}")
+        self.root_ref = new_root
+        appended = len(self.nodes) - checkpoint
+        cursor = self._tree_words
+        for node_id in range(checkpoint, len(self.nodes)):
+            self._node_offsets[node_id] = cursor
+            cursor += self._node_words(self.nodes[node_id])
+        self._tree_words = cursor
+        self._garbage_words += garbage
+        return appended
+
+    def garbage_fraction(self) -> float:
+        """Fraction of the layout estimated unreachable after edits."""
+        return self._garbage_words / max(self._tree_words, 1)
 
     def _layout_words(self) -> tuple[int, dict[int, int]]:
         offsets: dict[int, int] = {}

@@ -50,6 +50,7 @@ from ..core.budget import BuildBudget
 from ..core.errors import (
     BuildBudgetExceeded,
     ConfigurationError,
+    IncrementalUpdateError,
     RebuildError,
     ReproError,
     UpdateError,
@@ -89,6 +90,12 @@ class UpdateStats:
     degraded_rebuilds: int = 0
     #: Swaps that fell all the way back to the linear slow path.
     linear_fallbacks: int = 0
+    #: Inserts absorbed by an in-place structure edit (no overlay entry).
+    incremental_inserts: int = 0
+    #: In-place edits rejected (budget/probe) and diverted to the overlay.
+    incremental_rejects: int = 0
+    #: Watermark-triggered rebuilds that reclaimed tombstones/garbage.
+    compactions: int = 0
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,9 @@ class UpdatableClassifier:
                  degrade: bool = True,
                  rebuild_retry_seconds: float | None = None,
                  clock: Callable[[], float] | None = None,
+                 incremental: bool = False,
+                 edit_budget: int = 4096,
+                 compaction_watermark: float = 0.25,
                  **build_params) -> None:
         """``spot_check_headers`` caps the validate-then-swap equivalence
         check (0 disables it).
@@ -135,6 +145,17 @@ class UpdatableClassifier:
         it, a low-write-rate deployment that failed one rebuild stays
         on the overlay slow path indefinitely.  ``clock`` is injectable
         for deterministic tests (like :class:`~repro.core.budget.BuildBudget`).
+
+        ``incremental=True`` lets inserts edit the base structure in
+        place when it supports ``insert_rule`` (the cutting trees):
+        copy-on-write node-local re-cuts bounded by ``edit_budget``
+        appended nodes per edit, validate-then-swap at subtree
+        granularity.  A rejected edit falls back to the overlay path
+        transparently.  Tombstones and replaced-node garbage accumulate
+        until either fraction crosses ``compaction_watermark``, which
+        triggers the regular budget-guarded rebuild (the *compaction*)
+        — degrading down the usual ladder when the budget trips, never
+        blocking classification.
         """
         if rebuild_threshold < 1:
             raise ConfigurationError("rebuild_threshold must be >= 1")
@@ -143,6 +164,11 @@ class UpdatableClassifier:
         if rebuild_retry_seconds is not None and rebuild_retry_seconds < 0:
             raise ConfigurationError(
                 "rebuild_retry_seconds must be non-negative")
+        if edit_budget < 1:
+            raise ConfigurationError("edit_budget must be >= 1")
+        if not 0.0 < compaction_watermark <= 1.0:
+            raise ConfigurationError(
+                "compaction_watermark must be in (0, 1]")
         self.base_class = base_class
         self.build_params = build_params
         self.rebuild_threshold = rebuild_threshold
@@ -150,6 +176,9 @@ class UpdatableClassifier:
         self.budget = budget
         self.degrade = degrade
         self.rebuild_retry_seconds = rebuild_retry_seconds
+        self.incremental = incremental
+        self.edit_budget = edit_budget
+        self.compaction_watermark = compaction_watermark
         self._clock = clock or time.monotonic
         self.rules: list[Rule] = list(ruleset.rules)
         self.name = f"updatable({base_class.name})"
@@ -306,6 +335,39 @@ class UpdatableClassifier:
         """Updates absorbed since the last rebuild (overlay + tombstones)."""
         return len(self._overlay) + self._tombstones
 
+    def _garbage_fraction(self) -> float:
+        fraction = getattr(self.base, "garbage_fraction", None)
+        return fraction() if callable(fraction) else 0.0
+
+    @property
+    def rebuild_backlog(self) -> int:
+        """Work the next rebuild/compaction must absorb: overlay entries
+        plus tombstones, plus one when the structure-garbage watermark
+        has tripped but the compaction has not yet landed.  Zero means
+        the structure is settled (the update-storm soak's drain bar)."""
+        backlog = self.pending_updates
+        if (self.incremental
+                and self._garbage_fraction() >= self.compaction_watermark):
+            backlog += 1
+        return backlog
+
+    def _maybe_compact(self) -> None:
+        """Watermark check after an in-place edit or a remove: compact
+        (full budget-guarded rebuild) once tombstones or replaced-node
+        garbage cross ``compaction_watermark``."""
+        if not self.incremental:
+            return
+        tombstone_fraction = self._tombstones / max(len(self._snapshot), 1)
+        if (tombstone_fraction < self.compaction_watermark
+                and self._garbage_fraction() < self.compaction_watermark):
+            return
+        if (self._retry_after_pending is not None
+                and not self._retry_interval_elapsed()
+                and self.pending_updates <= self._retry_after_pending):
+            return  # a recent rebuild failed: honour its backoff
+        if self._rebuild():
+            self.stats.compactions += 1
+
     def __len__(self) -> int:
         return len(self.rules)
 
@@ -328,10 +390,52 @@ class UpdatableClassifier:
         for entry in self._overlay:
             if entry.position >= position:
                 entry.position += 1
+        if self._insert_incremental(rule, position):
+            self.stats.inserts += 1
+            self._maybe_compact()
+            return position
         self._overlay.append(_OverlayEntry(rule, position))
         self.stats.inserts += 1
         self._maybe_rebuild()
         return position
+
+    def _insert_incremental(self, rule: Rule, position: int) -> bool:
+        """Absorb an insert by editing the base structure in place.
+
+        The rule is appended to the serving snapshot (the base
+        classifier's ruleset wraps the same list, so the new id resolves
+        there) and handed to the structure's ``insert_rule`` with a
+        priority comparison derived from the snapshot→current mapping.
+        Returns False — diverting to the overlay path — when incremental
+        mode is off, the base cannot edit (linear fallback), or the edit
+        was rejected (budget/probe).
+        """
+        if not self.incremental:
+            return False
+        insert_rule = getattr(self.base, "insert_rule", None)
+        if insert_rule is None:
+            return False
+        new_id = len(self._snapshot)
+        self._snapshot.append(rule)
+        self._snapshot_to_current.append(position)
+
+        def precedes(existing_id: int) -> bool:
+            current = self._snapshot_to_current[existing_id]
+            # A tombstoned winner must KEEP its leaf: the tombstone is
+            # what routes lookups to the exact slow path, which may owe
+            # the answer to *other* live rules the leaf no longer sees.
+            # Replacing it with the new rule would mask them.
+            return current is not None and position < current
+
+        try:
+            insert_rule(new_id, precedes, edit_budget=self.edit_budget)
+        except IncrementalUpdateError:
+            self._snapshot.pop()
+            self._snapshot_to_current.pop()
+            self.stats.incremental_rejects += 1
+            return False
+        self.stats.incremental_inserts += 1
+        return True
 
     def remove(self, position: int) -> Rule:
         """Remove the rule at priority ``position``; returns it."""
@@ -359,7 +463,10 @@ class UpdatableClassifier:
             if current is not None and current > position:
                 self._snapshot_to_current[idx] = current - 1
         self.stats.removes += 1
-        self._maybe_rebuild()
+        if self.incremental:
+            self._maybe_compact()
+        else:
+            self._maybe_rebuild()
         return removed
 
     def rebuild(self) -> bool:

@@ -124,6 +124,20 @@ class RebuildError(ReproError, RuntimeError):
     code = "rebuild"
 
 
+class IncrementalUpdateError(ReproError, RuntimeError):
+    """An incremental structure edit was rejected before the swap.
+
+    Raised by the tree classifiers' ``insert_rule`` when the edit blows
+    its node budget or the edited subtree fails the pre-swap validation
+    probe.  The edit is rolled back (the old root keeps serving) and the
+    update layer falls back to the overlay + rebuild path — seeing this
+    escape :class:`repro.classifiers.updates.UpdatableClassifier` means
+    the fallback chain was bypassed.
+    """
+
+    code = "update.incremental"
+
+
 class DepthBoundExceededError(ReproError, RuntimeError):
     """A lookup descended past the structure's explicit depth bound.
 

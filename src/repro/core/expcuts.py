@@ -49,6 +49,7 @@ from dataclasses import dataclass, field as dc_field
 from typing import Sequence
 
 from .budget import BudgetMeter
+from .errors import IncrementalUpdateError
 from .fields import CutStep, FIELD_WIDTHS, NUM_FIELDS, cut_schedule
 from .habs import HabsArray, compress
 from .rule import RuleSet
@@ -295,6 +296,142 @@ class _Builder:
         self.nodes.append(InternalNode(level, children))
         self.memo[key] = node_id
         return node_id
+
+
+def insert_into_tree(tree: ExpCutsTree, rule_flat: FlatRule, precedes, *,
+                     edit_budget: int = 4096,
+                     max_nodes: int = 4_000_000) -> int:
+    """Incrementally insert one rule into a built tree (copy-on-write).
+
+    ``rule_flat`` is the rule's root projection ``(rule_id, lo0, hi0,
+    ...)``; ``precedes(existing_id)`` says whether the new rule outranks
+    an existing one (priority in an ExpCuts tree lives only in which
+    rule a leaf references).  Paths intersecting the rule's box are
+    copied; a leaf whose covering rule the new rule outranks is replaced
+    by a locally rebuilt subtree (the regular builder over the two
+    rules).  Because every cut below a node depends only on box-relative
+    coordinates, the edit memoises on ``(old ref, projected rule)`` —
+    the same soundness argument as build-time node sharing.
+
+    Validate-then-swap: nothing reachable from the serving ``root_ref``
+    is mutated; the candidate root is probed at the rule's corner
+    headers and swapped only if the probes agree.  On budget overrun or
+    probe disagreement the appended nodes are discarded and
+    :class:`IncrementalUpdateError` is raised.  Returns the number of
+    nodes appended; replaced-node words accumulate in
+    ``tree.build_stats["garbage_words"]`` for compaction watermarks.
+    """
+    rule_id = rule_flat[0]
+    config = ExpCutsConfig(stride=tree.stride,
+                           habs_bits_log2=tree.habs_bits_log2,
+                           max_nodes=max_nodes)
+    builder = _Builder(config)
+    if len(builder.schedule) != len(tree.schedule):
+        raise IncrementalUpdateError(
+            "tree schedule does not match its declared stride")
+    builder.nodes = tree.nodes  # append in place (copy-on-write)
+    checkpoint = len(tree.nodes)
+    garbage = 0
+    memo: dict[tuple, int | None] = {}
+
+    def subtree(level: int, rules: tuple[FlatRule, ...]) -> int:
+        try:
+            ref = builder.build(level, rules)
+        except MemoryError as exc:
+            raise IncrementalUpdateError(str(exc)) from exc
+        if len(tree.nodes) - checkpoint > edit_budget:
+            raise IncrementalUpdateError(
+                f"expcuts: subtree rebuild blew edit_budget={edit_budget}")
+        return ref
+
+    def descend(ref: int, level: int, rel: FlatRule) -> int | None:
+        """New ref for this subtree, or None when unchanged."""
+        nonlocal garbage
+        if ref == REF_NO_MATCH:
+            return subtree(level, (rel,))
+        if ref < 0:
+            existing = ref_rule_id(ref)
+            if not precedes(existing):
+                return None  # the covering rule keeps outranking us
+            if builder.full_cover(rel, level):
+                return leaf_ref(rule_id)
+            full = builder.full_hi[level]
+            existing_rel: list[int] = [existing]
+            for fld in range(NUM_FIELDS):
+                existing_rel.extend((0, full[fld]))
+            return subtree(level, (rel, tuple(existing_rel)))
+        key = (ref, rel)
+        if key in memo:
+            return memo[key]
+        node = tree.nodes[ref]
+        step = tree.schedule[node.level]
+        fld = step.field
+        pos = 1 + 2 * fld
+        width = builder.widths[node.level][fld]
+        shift = width - step.width
+        child_full = (1 << shift) - 1
+        lo, hi = rel[pos], rel[pos + 1]
+        refs = node.children.decompress()
+        changed = False
+        for k in range(lo >> shift, (hi >> shift) + 1):
+            base = k << shift
+            clip_lo = lo - base if lo > base else 0
+            clip_hi = hi - base if hi < base + child_full else child_full
+            child_rel = rel[:pos] + (clip_lo, clip_hi) + rel[pos + 2:]
+            new_ref = descend(refs[k], node.level + 1, child_rel)
+            if new_ref is not None and new_ref != refs[k]:
+                refs[k] = new_ref
+                changed = True
+        if not changed:
+            memo[key] = None
+            return None
+        if len(tree.nodes) - checkpoint >= edit_budget:
+            raise IncrementalUpdateError(
+                f"expcuts: edit touched more than edit_budget="
+                f"{edit_budget} nodes")
+        if len(tree.nodes) >= config.max_nodes:
+            raise IncrementalUpdateError(
+                f"expcuts: edit exceeded max_nodes={config.max_nodes}")
+        garbage += 1 + node.children.compressed_slots
+        children = compress(refs, min(tree.habs_bits_log2, step.width))
+        tree.nodes.append(InternalNode(node.level, children))
+        new_ref = len(tree.nodes) - 1
+        memo[key] = new_ref
+        return new_ref
+
+    def rollback() -> None:
+        del tree.nodes[checkpoint:]
+
+    try:
+        new_root = descend(tree.root_ref, 0, rule_flat)
+    except IncrementalUpdateError:
+        rollback()
+        raise
+    if new_root is None:
+        return 0  # shadowed everywhere: the tree already agrees
+    # Pre-swap probe at the rule's corners: the winner must be the new
+    # rule or one that outranks it.
+    corners = (tuple(rule_flat[1 + 2 * f] for f in range(NUM_FIELDS)),
+               tuple(rule_flat[2 + 2 * f] for f in range(NUM_FIELDS)))
+    for header in corners:
+        ref = new_root
+        while ref >= 0:
+            node = tree.nodes[ref]
+            step = tree.schedule[node.level]
+            key = (header[step.field] >> step.shift) \
+                & ((1 << step.width) - 1)
+            ref = node.children.lookup(key)
+        got = ref_rule_id(ref)
+        if got is None or (got != rule_id and precedes(got)):
+            rollback()
+            raise IncrementalUpdateError(
+                f"expcuts: edited tree answers {got!r} at a corner of "
+                f"rule {rule_id}")
+    tree.root_ref = new_root
+    tree.num_rules = max(tree.num_rules, rule_id + 1)
+    tree.build_stats["garbage_words"] = (
+        tree.build_stats.get("garbage_words", 0) + garbage)
+    return len(tree.nodes) - checkpoint
 
 
 def build_expcuts(ruleset: RuleSet, config: ExpCutsConfig | None = None,

@@ -56,6 +56,10 @@ REGISTRY: dict[str, tuple[str, str]] = {
                    "Chaos-soak: the multi-process fabric under worker "
                    "kills, hangs and snapshot corruption "
                    "(writes BENCH_chaos_soak.json)"),
+    "update-storm": ("repro.harness.update_storm",
+                     "Update-storm: the fabric under >=1000 live rule "
+                     "updates/s with epoch-consistent propagation and "
+                     "update-path faults (writes BENCH_update_storm.json)"),
     "profile": ("repro.harness.profile",
                 "Profile: lookup depth/access histograms, hot nodes and "
                 "DES timeline export (writes results/profile_*.json)"),

@@ -36,6 +36,7 @@ import json
 import os
 import pickle
 import platform
+import re
 import struct
 import subprocess
 from dataclasses import asdict, dataclass
@@ -49,10 +50,15 @@ from ..obs import metrics_scope, obs_warn
 
 #: File magic: 8 bytes, includes the binary format generation.
 MAGIC = b"RPSNAP01"
+#: Magic of chained delta records (the RPDELTA01 format; magics are
+#: fixed at 8 bytes, so the generation digit is carried by the name).
+DELTA_MAGIC = b"RPDELTA1"
 #: On-disk snapshot container format version (the header schema).
 FORMAT_VERSION = 1
 #: Suffix of snapshot files.
 SNAPSHOT_SUFFIX = ".snap"
+#: Suffix of chained delta records (``<base>.snap.<epoch>.delta``).
+DELTA_SUFFIX = ".delta"
 #: Suffix quarantined files are renamed to.
 QUARANTINE_SUFFIX = ".corrupt"
 #: Sanity cap on the JSON header (a corrupt length field must not make
@@ -103,13 +109,36 @@ class SnapshotHeader:
     sha256: str
 
 
-def _pack(header: SnapshotHeader) -> bytes:
+def _pack(header: SnapshotHeader, magic: bytes = MAGIC) -> bytes:
     blob = json.dumps(asdict(header), sort_keys=True).encode("utf-8")
-    return MAGIC + _LEN.pack(len(blob)) + blob
+    return magic + _LEN.pack(len(blob)) + blob
 
 
 #: Per-process serial for temp-file names (see :func:`write_snapshot`).
 _TMP_SERIAL = count()
+
+
+def _atomic_write(path: Path, head: bytes, payload: bytes) -> None:
+    """Write ``head + payload`` crash-safely (tmp + fsync + rename)."""
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp")
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(head)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        try:  # directory durability is best-effort (not all FS support it)
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def write_snapshot(path: Path, obj: object, *, kind: str,
@@ -136,42 +165,24 @@ def write_snapshot(path: Path, obj: object, *, kind: str,
         payload_bytes=len(payload),
         sha256=hashlib.sha256(payload).hexdigest(),
     )
-    tmp = path.with_name(
-        f"{path.name}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp")
-    try:
-        with tmp.open("wb") as fh:
-            fh.write(_pack(header))
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-        try:  # directory durability is best-effort (not all FS support it)
-            dir_fd = os.open(path.parent, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:
-            pass
-    finally:
-        tmp.unlink(missing_ok=True)
+    _atomic_write(path, _pack(header), payload)
     metrics_scope("snapshots").counter("writes").inc()
     return header
 
 
-def read_header(path: Path) -> tuple[SnapshotHeader, int]:
-    """Parse and sanity-check a snapshot's header (no payload read).
+def _read_raw_header(path: Path, magic: bytes) -> tuple[dict, int]:
+    """Parse one container's magic + length-prefixed JSON header.
 
-    Returns the header and the payload's byte offset.  Raises
+    Returns the decoded field dict and the payload's byte offset.
+    Shared by snapshots and delta records; raises
     :class:`SnapshotIntegrityError` on any structural problem.
     """
-    path = Path(path)
     try:
         with path.open("rb") as fh:
-            magic = fh.read(len(MAGIC))
-            if len(magic) < len(MAGIC):
+            got = fh.read(len(magic))
+            if len(got) < len(magic):
                 raise SnapshotIntegrityError(path, "truncated magic")
-            if magic != MAGIC:
+            if got != magic:
                 raise SnapshotIntegrityError(path, "bad magic")
             raw_len = fh.read(_LEN.size)
             if len(raw_len) < _LEN.size:
@@ -187,8 +198,24 @@ def read_header(path: Path) -> tuple[SnapshotHeader, int]:
         raise SnapshotIntegrityError(path, f"unreadable: {exc}") from exc
     try:
         fields = json.loads(blob.decode("utf-8"))
-        header = SnapshotHeader(**fields)
+        if not isinstance(fields, dict):
+            raise TypeError("header is not an object")
     except (ValueError, TypeError) as exc:
+        raise SnapshotIntegrityError(path, f"undecodable header: {exc}") from exc
+    return fields, len(magic) + _LEN.size + header_len
+
+
+def read_header(path: Path) -> tuple[SnapshotHeader, int]:
+    """Parse and sanity-check a snapshot's header (no payload read).
+
+    Returns the header and the payload's byte offset.  Raises
+    :class:`SnapshotIntegrityError` on any structural problem.
+    """
+    path = Path(path)
+    fields, offset = _read_raw_header(path, MAGIC)
+    try:
+        header = SnapshotHeader(**fields)
+    except TypeError as exc:
         raise SnapshotIntegrityError(path, f"undecodable header: {exc}") from exc
     if header.format_version != FORMAT_VERSION:
         raise SnapshotIntegrityError(
@@ -196,7 +223,7 @@ def read_header(path: Path) -> tuple[SnapshotHeader, int]:
                   f"library {FORMAT_VERSION})")
     if not isinstance(header.payload_bytes, int) or header.payload_bytes < 0:
         raise SnapshotIntegrityError(path, "invalid payload length")
-    return header, len(MAGIC) + _LEN.size + header_len
+    return header, offset
 
 
 def read_snapshot(path: Path, *, kind: str | None = None,
@@ -223,26 +250,33 @@ def read_snapshot(path: Path, *, kind: str | None = None,
         raise SnapshotIntegrityError(
             path, f"params digest mismatch (file {header.digest!r}, "
                   f"wanted {digest!r})")
+    value = _read_verified_payload(path, offset, header.payload_bytes,
+                                   header.sha256)
+    metrics_scope("snapshots").counter("loads").inc()
+    return value
+
+
+def _read_verified_payload(path: Path, offset: int, payload_bytes: int,
+                           sha256: str) -> object:
+    """Read, checksum-verify, then unpickle one container's payload."""
     try:
         with path.open("rb") as fh:
             fh.seek(offset)
-            payload = fh.read(header.payload_bytes + 1)
+            payload = fh.read(payload_bytes + 1)
     except OSError as exc:
         raise SnapshotIntegrityError(path, f"unreadable: {exc}") from exc
-    if len(payload) < header.payload_bytes:
+    if len(payload) < payload_bytes:
         raise SnapshotIntegrityError(path, "truncated payload")
-    if len(payload) > header.payload_bytes:
+    if len(payload) > payload_bytes:
         raise SnapshotIntegrityError(path, "trailing bytes after payload")
-    if hashlib.sha256(payload).hexdigest() != header.sha256:
+    if hashlib.sha256(payload).hexdigest() != sha256:
         raise SnapshotIntegrityError(path, "payload checksum mismatch")
     try:
-        value = pickle.loads(payload)
+        return pickle.loads(payload)
     except Exception as exc:
         # Checksummed bytes that still fail to unpickle mean the writer's
         # object graph no longer matches the code (e.g. a renamed class).
         raise SnapshotIntegrityError(path, f"unpickle failed: {exc}") from exc
-    metrics_scope("snapshots").counter("loads").inc()
-    return value
 
 
 def quarantine(path: Path, reason: str = "corrupt") -> Path | None:
@@ -268,6 +302,226 @@ def quarantine(path: Path, reason: str = "corrupt") -> Path | None:
     return target
 
 
+# -- delta records (RPDELTA01) -----------------------------------------------
+#
+# A delta record persists one epoch's ordered edit log against a base
+# snapshot, so a warm restart replays ``base + deltas`` instead of
+# rebuilding from source after every rule-table change.  Records chain
+# cryptographically::
+#
+#     base.snap                     payload sha = B
+#     base.snap.00000001.delta      base_sha=B  prev_sha=B   sha = D1
+#     base.snap.00000002.delta      base_sha=B  prev_sha=D1  sha = D2
+#     ...
+#
+# ``base_sha`` pins every record to one exact base payload; ``prev_sha``
+# pins it to its predecessor, so a missing, reordered, stale or corrupt
+# link is detected *before* any pickle byte is interpreted.  Loaders
+# salvage the longest verified prefix and quarantine the broken suffix.
+
+
+@dataclass(frozen=True)
+class DeltaHeader:
+    """The verified metadata preceding a delta record's payload."""
+
+    format_version: int
+    cache_version: int
+    kind: str
+    epoch: int
+    base_sha: str
+    prev_sha: str
+    build: dict
+    payload_bytes: int
+    sha256: str
+
+
+_DELTA_NAME_RE = re.compile(
+    r"^(?P<base>.+" + re.escape(SNAPSHOT_SUFFIX) + r")"
+    r"\.(?P<epoch>\d{8})" + re.escape(DELTA_SUFFIX) + r"$")
+
+
+def delta_path(base_path: Path, epoch: int) -> Path:
+    """The canonical name of a delta record: ``<base>.snap.<epoch>.delta``.
+
+    The zero-padded epoch makes lexicographic directory order equal
+    replay order (epochs are bounded well below 10^8 in practice).
+    """
+    base_path = Path(base_path)
+    if epoch <= 0:
+        raise ValueError(f"delta epoch must be positive, got {epoch}")
+    return base_path.with_name(f"{base_path.name}.{epoch:08d}{DELTA_SUFFIX}")
+
+
+def delta_base_and_epoch(path: Path) -> tuple[Path, int] | None:
+    """Invert :func:`delta_path`; ``None`` for non-conforming names."""
+    path = Path(path)
+    match = _DELTA_NAME_RE.match(path.name)
+    if match is None:
+        return None
+    return path.with_name(match.group("base")), int(match.group("epoch"))
+
+
+def write_delta(path: Path, ops: object, *, kind: str, cache_version: int,
+                epoch: int, base_sha: str, prev_sha: str) -> DeltaHeader:
+    """Atomically persist one epoch's edit log as a chained delta record.
+
+    ``base_sha`` is the base snapshot's payload SHA-256; ``prev_sha`` is
+    the previous delta's payload SHA-256 (for the first delta of a
+    chain, the base's — i.e. ``prev_sha == base_sha``).
+    """
+    path = Path(path)
+    if epoch <= 0:
+        raise ValueError(f"delta epoch must be positive, got {epoch}")
+    payload = pickle.dumps(ops, protocol=pickle.HIGHEST_PROTOCOL)
+    header = DeltaHeader(
+        format_version=FORMAT_VERSION,
+        cache_version=cache_version,
+        kind=kind,
+        epoch=epoch,
+        base_sha=base_sha,
+        prev_sha=prev_sha,
+        build=build_info(),
+        payload_bytes=len(payload),
+        sha256=hashlib.sha256(payload).hexdigest(),
+    )
+    _atomic_write(path, _pack(header, magic=DELTA_MAGIC), payload)
+    metrics_scope("snapshots").counter("delta_writes").inc()
+    return header
+
+
+def read_delta_header(path: Path) -> tuple[DeltaHeader, int]:
+    """Parse and sanity-check a delta record's header (no payload read)."""
+    path = Path(path)
+    fields, offset = _read_raw_header(path, DELTA_MAGIC)
+    try:
+        header = DeltaHeader(**fields)
+    except TypeError as exc:
+        raise SnapshotIntegrityError(path, f"undecodable header: {exc}") from exc
+    if header.format_version != FORMAT_VERSION:
+        raise SnapshotIntegrityError(
+            path, f"format version skew (file {header.format_version}, "
+                  f"library {FORMAT_VERSION})")
+    if not isinstance(header.payload_bytes, int) or header.payload_bytes < 0:
+        raise SnapshotIntegrityError(path, "invalid payload length")
+    if not isinstance(header.epoch, int) or header.epoch <= 0:
+        raise SnapshotIntegrityError(path, "invalid epoch")
+    return header, offset
+
+
+def read_delta(path: Path, *, kind: str | None = None,
+               cache_version: int | None = None, epoch: int | None = None,
+               base_sha: str | None = None,
+               prev_sha: str | None = None) -> tuple[DeltaHeader, object]:
+    """Verify and load one delta record.
+
+    Same discipline as :func:`read_snapshot`: container structure, then
+    expectations (version skew, kind, epoch, chain hashes), then the
+    payload checksum — ``pickle.loads`` runs only after every check
+    passes.  Returns ``(header, ops)``.
+    """
+    path = Path(path)
+    header, offset = read_delta_header(path)
+    if cache_version is not None and header.cache_version != cache_version:
+        raise SnapshotIntegrityError(
+            path, f"cache version skew (file {header.cache_version}, "
+                  f"library {cache_version})")
+    if kind is not None and header.kind != kind:
+        raise SnapshotIntegrityError(
+            path, f"kind mismatch (file {header.kind!r}, wanted {kind!r})")
+    if epoch is not None and header.epoch != epoch:
+        raise SnapshotIntegrityError(
+            path, f"epoch mismatch (file {header.epoch}, wanted {epoch})")
+    if base_sha is not None and header.base_sha != base_sha:
+        raise SnapshotIntegrityError(
+            path, "base hash mismatch (delta belongs to a different base)")
+    if prev_sha is not None and header.prev_sha != prev_sha:
+        raise SnapshotIntegrityError(
+            path, "chain hash mismatch (missing or reordered predecessor)")
+    ops = _read_verified_payload(path, offset, header.payload_bytes,
+                                 header.sha256)
+    metrics_scope("snapshots").counter("delta_loads").inc()
+    return header, ops
+
+
+@dataclass
+class DeltaChain:
+    """Outcome of :func:`load_chain`: a verified base plus the longest
+    verified prefix of its delta records, in replay order."""
+
+    base_path: Path
+    base: object
+    base_header: SnapshotHeader
+    deltas: list[tuple[int, object]]
+    quarantined: list[Path]
+    broken: str | None = None
+
+    @property
+    def epoch(self) -> int:
+        """The epoch the chain settles at after replay (0 = base only)."""
+        return self.deltas[-1][0] if self.deltas else 0
+
+    @property
+    def intact(self) -> bool:
+        return self.broken is None
+
+
+def load_chain(base_path: Path, *, kind: str,
+               cache_version: int | None = None,
+               delta_kind: str | None = None,
+               digest: str | None = None) -> DeltaChain:
+    """Load a base snapshot and replay-verify its delta chain.
+
+    The base is loaded with full verification (propagating
+    :class:`SnapshotIntegrityError` — a bad base means cold rebuild, and
+    the caller owns that quarantine).  Deltas are then walked in epoch
+    order, each checked against the chain (``base_sha`` == base payload
+    hash, ``prev_sha`` == predecessor's payload hash, contiguous
+    epochs).  The first failure **quarantines that delta and every later
+    one** — a broken link makes the suffix unreplayable — and the good
+    prefix is returned with ``broken`` describing the cut.
+    """
+    base_path = Path(base_path)
+    base_header, _ = read_header(base_path)
+    base = read_snapshot(base_path, kind=kind, cache_version=cache_version,
+                         digest=digest)
+    chain = DeltaChain(base_path, base, base_header, [], [])
+
+    candidates: list[tuple[int, Path]] = []
+    for path in sorted(base_path.parent.glob(
+            f"{base_path.name}.*{DELTA_SUFFIX}")):
+        parsed = delta_base_and_epoch(path)
+        if parsed is None or parsed[0] != base_path:
+            continue
+        candidates.append((parsed[1], path))
+    candidates.sort()
+
+    # The chain may start at any epoch (a compacted base is republished
+    # at the fabric's current epoch): the first link is authenticated by
+    # ``prev_sha == base_sha``, later ones must also be contiguous.
+    prev_sha = base_header.sha256
+    next_epoch: int | None = None
+    for i, (name_epoch, path) in enumerate(candidates):
+        try:
+            if next_epoch is not None and name_epoch != next_epoch:
+                raise SnapshotIntegrityError(
+                    path, f"missing epoch {next_epoch} before this record")
+            header, ops = read_delta(
+                path, kind=delta_kind, cache_version=cache_version,
+                epoch=name_epoch, base_sha=base_header.sha256,
+                prev_sha=prev_sha)
+        except SnapshotIntegrityError as exc:
+            chain.broken = f"{path.name}: {exc.reason}"
+            for _, bad in candidates[i:]:
+                moved = quarantine(bad, f"delta chain broken: {exc.reason}")
+                if moved is not None:
+                    chain.quarantined.append(moved)
+            break
+        chain.deltas.append((name_epoch, ops))
+        prev_sha = header.sha256
+        next_epoch = name_epoch + 1
+    return chain
+
+
 @dataclass
 class StoreReport:
     """Outcome of :func:`verify_store` / :func:`gc_store` over one dir."""
@@ -291,11 +545,13 @@ class StoreReport:
 
 def verify_store(directory: Path, *, cache_version: int | None = None,
                  full: bool = True) -> StoreReport:
-    """Check every ``*.snap`` under ``directory``.
+    """Check every ``*.snap`` and ``*.delta`` under ``directory``.
 
     ``full=True`` verifies payload checksums (reads every byte);
     ``full=False`` checks headers only.  Nothing is modified — pair with
-    :func:`gc_store` to act on the findings.
+    :func:`gc_store` to act on the findings.  Chain linkage between
+    deltas and bases is a *liveness* property, not corruption: it is
+    judged (and acted on) by :func:`gc_store`, not here.
     """
     directory = Path(directory)
     report = StoreReport(directory, [], [], [], [])
@@ -313,16 +569,90 @@ def verify_store(directory: Path, *, cache_version: int | None = None,
             report.ok.append(path)
         except SnapshotIntegrityError as exc:
             report.corrupt.append((path, exc.reason))
+    for path in sorted(directory.glob(f"*{DELTA_SUFFIX}")):
+        try:
+            if full:
+                read_delta(path, cache_version=cache_version)
+            else:
+                header, _ = read_delta_header(path)
+                if (cache_version is not None
+                        and header.cache_version != cache_version):
+                    raise SnapshotIntegrityError(
+                        path, f"cache version skew (file "
+                              f"{header.cache_version}, library {cache_version})")
+            report.ok.append(path)
+        except SnapshotIntegrityError as exc:
+            report.corrupt.append((path, exc.reason))
     report.quarantined = sorted(directory.glob(f"*{QUARANTINE_SUFFIX}*"))
     return report
+
+
+def _orphaned_deltas(directory: Path, ok: list[Path]) -> list[tuple[Path, str]]:
+    """Structurally-sound delta records that can never be replayed.
+
+    A delta is orphaned when its base snapshot is gone or unhealthy,
+    when its ``base_sha`` names a *different* (republished) base
+    payload, or when the verified chain from the base breaks before
+    reaching it (missing epoch, ``prev_sha`` mismatch).  Bases are
+    never judged here: a healthy base with referenced deltas must
+    survive collection no matter what its deltas look like.
+    """
+    ok_names = {path.name for path in ok}
+    base_sha: dict[str, str] = {}
+    for path in ok:
+        if path.name.endswith(SNAPSHOT_SUFFIX):
+            try:
+                base_sha[path.name] = read_header(path)[0].sha256
+            except SnapshotIntegrityError:  # pragma: no cover - ok implies readable
+                pass
+
+    chains: dict[str, list[tuple[int, Path, DeltaHeader]]] = {}
+    orphans: list[tuple[Path, str]] = []
+    for path in ok:
+        if not path.name.endswith(DELTA_SUFFIX):
+            continue
+        parsed = delta_base_and_epoch(path)
+        if parsed is None:
+            orphans.append((path, "unparseable delta name"))
+            continue
+        base_path, epoch = parsed
+        if base_path.name not in ok_names or base_path.name not in base_sha:
+            orphans.append((path, "base snapshot missing or unhealthy"))
+            continue
+        try:
+            header, _ = read_delta_header(path)
+        except SnapshotIntegrityError:  # pragma: no cover - ok implies readable
+            continue
+        if header.base_sha != base_sha[base_path.name]:
+            orphans.append((path, "base republished (base hash mismatch)"))
+            continue
+        chains.setdefault(base_path.name, []).append((epoch, path, header))
+
+    for base_name, records in chains.items():
+        records.sort()
+        prev_sha = base_sha[base_name]
+        next_epoch: int | None = None
+        broken = False
+        for epoch, path, header in records:
+            if (broken or (next_epoch is not None and epoch != next_epoch)
+                    or header.prev_sha != prev_sha):
+                orphans.append((path, "chain broken upstream"))
+                broken = True
+                continue
+            prev_sha = header.sha256
+            next_epoch = epoch + 1
+    return orphans
 
 
 def gc_store(directory: Path, *, cache_version: int | None = None) -> StoreReport:
     """Garbage-collect one snapshot directory.
 
-    Quarantines corrupt/version-skewed ``*.snap`` files, then deletes
-    all quarantined files and stray ``*.tmp``/legacy ``*.pkl`` debris.
-    Healthy current-version snapshots are untouched.
+    Quarantines corrupt/version-skewed ``*.snap`` and ``*.delta``
+    files, deletes all quarantined files and stray ``*.tmp``/legacy
+    ``*.pkl`` debris, then deletes orphaned deltas — records whose base
+    is missing, republished, or whose chain is broken upstream (see
+    :func:`_orphaned_deltas`).  Healthy current-version snapshots are
+    untouched; a base is never collected because of its deltas.
     """
     directory = Path(directory)
     report = verify_store(directory, cache_version=cache_version)
@@ -334,6 +664,10 @@ def gc_store(directory: Path, *, cache_version: int | None = None) -> StoreRepor
     debris = (list(report.quarantined)
               + sorted(directory.glob("*.tmp"))
               + sorted(directory.glob("*.pkl")))
+    for path, reason in _orphaned_deltas(directory, report.ok):
+        obs_warn(f"orphaned delta collected: {path.name} ({reason})")
+        debris.append(path)
+        report.ok.remove(path)
     for path in debris:
         try:
             path.unlink()

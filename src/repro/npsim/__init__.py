@@ -13,6 +13,8 @@ from .faults import (
     LatencySpike,
     MicroengineStall,
     ResilienceReport,
+    UPDATE_FAULT_KINDS,
+    UpdateFault,
     WORKER_FAULT_KINDS,
     WorkerFault,
     emit_resilience_metrics,
@@ -61,6 +63,8 @@ __all__ = [
     "StagedResult",
     "StagedSimulator",
     "ThroughputResult",
+    "UPDATE_FAULT_KINDS",
+    "UpdateFault",
     "WORKER_FAULT_KINDS",
     "WorkerFault",
     "allocation_table",

@@ -95,6 +95,43 @@ class MicroengineStall:
 WORKER_FAULT_KINDS = ("kill", "hang", "slow_start", "corrupt_snapshot")
 
 
+#: Valid :attr:`UpdateFault.kind` values (the control-plane hazards the
+#: update-storm soak injects against rule-update propagation).
+UPDATE_FAULT_KINDS = ("lose_update", "dup_update", "reorder_update",
+                      "crash_mid_compaction", "corrupt_delta")
+
+
+@dataclass(frozen=True)
+class UpdateFault:
+    """A control-plane fault against one shard's update propagation.
+
+    Armed deterministically on the fabric *just before* the update
+    batch that creates epoch ``at_epoch`` is applied (epoch indices
+    keep the schedule bit-reproducible, exactly like
+    :class:`WorkerFault` packet indices).  Kinds:
+
+    * ``lose_update`` — the epoch's update message is never sent to the
+      shard's worker; anti-entropy must re-send it.
+    * ``dup_update`` — the message is delivered twice; the worker must
+      drop the duplicate by epoch.
+    * ``reorder_update`` — the message is held and delivered *after*
+      the next epoch's; the worker must buffer the gap and apply in
+      epoch order.
+    * ``crash_mid_compaction`` — a delta-chain compaction republishes
+      the shard's base and then the worker is killed before the stale
+      deltas are swept; the restart must reject them (base-hash
+      mismatch) and come up warm on the new base.
+    * ``corrupt_delta`` — the epoch's persisted delta record is
+      corrupted on disk; a later restart must detect the broken chain,
+      quarantine the unreplayable suffix and serve the salvaged prefix
+      until anti-entropy repairs the lag.
+    """
+
+    shard: str
+    kind: str
+    at_epoch: int
+
+
 @dataclass(frozen=True)
 class WorkerFault:
     """A process-level fault against one fabric shard worker.
@@ -137,6 +174,7 @@ class FaultPlan:
     latency_spikes: tuple[LatencySpike, ...] = ()
     me_stalls: tuple[MicroengineStall, ...] = ()
     worker_faults: tuple[WorkerFault, ...] = ()
+    update_faults: tuple[UpdateFault, ...] = ()
     drop_rate: float = 0.0
     corrupt_rate: float = 0.0
     recovery_cycles: float = 25_000.0
@@ -177,6 +215,15 @@ class FaultPlan:
                                      "non-negative")
             if fault.factor < 1.0:
                 raise FaultPlanError("worker fault factor must be >= 1.0")
+        for fault in self.update_faults:
+            if fault.kind not in UPDATE_FAULT_KINDS:
+                raise FaultPlanError(
+                    f"unknown update fault kind {fault.kind!r} "
+                    f"(valid: {', '.join(UPDATE_FAULT_KINDS)})")
+            if fault.at_epoch < 1:
+                raise FaultPlanError(
+                    "update fault at_epoch must be >= 1 (epoch 0 is the "
+                    "pre-update base)")
 
     @property
     def first_failure_cycle(self) -> float | None:
@@ -188,6 +235,7 @@ class FaultPlan:
     def is_empty(self) -> bool:
         return (not self.channel_failures and not self.latency_spikes
                 and not self.me_stalls and not self.worker_faults
+                and not self.update_faults
                 and self.drop_rate == 0.0 and self.corrupt_rate == 0.0)
 
     # -- serving-layer projections ----------------------------------------
@@ -227,6 +275,20 @@ class FaultPlan:
             schedule.setdefault(fault.at_packet, []).append(fault)
         return {idx: tuple(faults) for idx, faults in schedule.items()}
 
+    def update_fault_schedule(self) -> dict[int, tuple[UpdateFault, ...]]:
+        """Control-plane faults grouped by the epoch they arm before.
+
+        The update-storm soak consults this once per update batch:
+        ``schedule.get(epoch, ())`` are the faults to arm on the fabric
+        before the batch that creates ``epoch`` is applied.  Order
+        within one epoch is plan order, so the schedule is
+        deterministic.
+        """
+        schedule: dict[int, list[UpdateFault]] = {}
+        for fault in self.update_faults:
+            schedule.setdefault(fault.at_epoch, []).append(fault)
+        return {epoch: tuple(faults) for epoch, faults in schedule.items()}
+
     def to_dict(self) -> dict:
         """A JSON-friendly rendering (the documented schema)."""
         return {
@@ -249,6 +311,10 @@ class FaultPlan:
                 {"shard": f.shard, "kind": f.kind,
                  "at_packet": f.at_packet, "factor": f.factor}
                 for f in self.worker_faults
+            ],
+            "update_faults": [
+                {"shard": f.shard, "kind": f.kind, "at_epoch": f.at_epoch}
+                for f in self.update_faults
             ],
             "drop_rate": self.drop_rate,
             "corrupt_rate": self.corrupt_rate,
@@ -279,6 +345,10 @@ class FaultPlan:
                     WorkerFault(f["shard"], f["kind"], int(f["at_packet"]),
                                 float(f.get("factor", 4.0)))
                     for f in data.get("worker_faults", ())
+                ),
+                update_faults=tuple(
+                    UpdateFault(f["shard"], f["kind"], int(f["at_epoch"]))
+                    for f in data.get("update_faults", ())
                 ),
                 drop_rate=float(data.get("drop_rate", 0.0)),
                 corrupt_rate=float(data.get("corrupt_rate", 0.0)),

@@ -33,7 +33,8 @@ from ..core.errors import ConfigurationError
 from .metrics import LogHistogram
 
 #: Counters every window tracks (fed via :meth:`SLOMonitor.count`).
-WINDOW_COUNTS = ("offered", "served", "shed", "errors", "divergences")
+WINDOW_COUNTS = ("offered", "served", "shed", "errors", "divergences",
+                 "stale")
 
 FLOOR = "floor"
 CEILING = "ceiling"
@@ -131,6 +132,8 @@ class SLOMonitor:
             "goodput_kpps": counts["served"] / self.window_s / 1e3,
             "served_fraction": counts["served"] / offered if offered else 0.0,
             "shed_rate": counts["shed"] / offered if offered else 0.0,
+            "stale_rate": (counts["stale"] / counts["served"]
+                           if counts["served"] else 0.0),
             "latency_us_p50": lat.percentile(0.50),
             "latency_us_p99": lat.percentile(0.99),
             "latency_us_p999": lat.percentile(0.999),

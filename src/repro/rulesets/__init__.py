@@ -1,7 +1,7 @@
 """Synthetic rule-set generation, analysis, and the textual rule format."""
 
 from .analysis import RuleSetStats, analyze
-from .generator import generate, paper_ruleset
+from .generator import churn_sequence, generate, paper_ruleset
 from .model import RuleSetProfile
 from .parser import format_rules, load_rules, parse_rules, save_rules
 from .profiles import PAPER_ORDER, PROFILES
@@ -12,6 +12,7 @@ __all__ = [
     "RuleSetProfile",
     "RuleSetStats",
     "analyze",
+    "churn_sequence",
     "format_rules",
     "generate",
     "load_rules",

@@ -206,3 +206,95 @@ def paper_ruleset(name: str) -> RuleSet:
     """The synthetic twin of one of the paper's seven sets, with the
     conventional trailing catch-all deny."""
     return generate(PROFILES[name]).with_default(ACTION_DENY)
+
+
+def churn_sequence(ruleset: RuleSet, updates: int,
+                   seed: int | None = None,
+                   insert_fraction: float = 0.5,
+                   flap_rate: float = 0.25,
+                   locality: float = 0.5,
+                   min_size: int | None = None,
+                   profile: RuleSetProfile | str | None = None) -> list[tuple]:
+    """A seeded stream of live rule edits against ``ruleset``.
+
+    Returns ``updates`` ops, each ``("insert", position, rule)`` or
+    ``("remove", position)``, *sequentially valid* against the evolving
+    rule list (every position is in range at the moment its op applies)
+    — the input format of :meth:`repro.serve.Fabric.apply_updates` and
+    :class:`repro.classifiers.updates.UpdatableClassifier`.
+
+    The stream models the structure of real control-plane churn rather
+    than i.i.d. noise:
+
+    - ``insert_fraction`` sets the insert/remove mix; removes are
+      suppressed once the live set shrinks to ``min_size`` (default:
+      half the initial size, at least 4), so churn never empties the
+      classifier.
+    - ``flap_rate`` is the probability an insert re-adds a previously
+      removed rule (route/policy *flapping* — the worst case for naive
+      caches, since the same rule keeps toggling).
+    - ``locality`` is the probability an edit lands near the previous
+      edit's position instead of uniformly (batched policy pushes touch
+      adjacent priorities).
+
+    Fresh inserts are drawn from ``profile`` (default: the profile
+    registered under ``ruleset.name``, else ``"FW01"``) under a seed
+    derived from ``seed``, so the whole sequence — rules and positions —
+    is a pure function of its arguments.
+    """
+    if updates < 0:
+        raise GenerationError("updates must be non-negative")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise GenerationError("insert_fraction must be in [0, 1]")
+    if not 0.0 <= flap_rate <= 1.0:
+        raise GenerationError("flap_rate must be in [0, 1]")
+    if not 0.0 <= locality <= 1.0:
+        raise GenerationError("locality must be in [0, 1]")
+    if profile is None:
+        profile = ruleset.name if ruleset.name in PROFILES else "FW01"
+    rng = np.random.default_rng(seed)
+    # Fresh-rule reservoir, drawn once under a derived seed.  Cycled if
+    # a flap-light run consumes it all (re-inserting an already-seen
+    # rule at a new priority is legal churn, just not a flap).
+    reservoir = generate(profile, size=max(updates, 1),
+                         seed=(0 if seed is None else seed) + 1).rules
+    fresh_cursor = 0
+    live = len(ruleset.rules)
+    if min_size is None:
+        min_size = max(4, live // 2)
+    flap_pool: list[Rule] = []
+    # Shadow copy of the evolving rule list so removes know which rule
+    # they evicted (that is what a flap later re-inserts).
+    shadow: list[Rule] = list(ruleset.rules)
+    last_position = 0
+    ops: list[tuple] = []
+
+    def pick(upper: int) -> int:
+        # upper is inclusive for inserts, exclusive-1 handled by caller.
+        if upper <= 0:
+            return 0
+        if rng.random() < locality:
+            window = max(4, upper // 8)
+            offset = int(rng.integers(-window, window + 1))
+            return min(max(last_position + offset, 0), upper)
+        return int(rng.integers(0, upper + 1))
+
+    for _ in range(updates):
+        do_insert = live <= min_size or rng.random() < insert_fraction
+        if do_insert:
+            if flap_pool and rng.random() < flap_rate:
+                rule = flap_pool.pop(int(rng.integers(len(flap_pool))))
+            else:
+                rule = reservoir[fresh_cursor % len(reservoir)]
+                fresh_cursor += 1
+            position = pick(live)
+            ops.append(("insert", position, rule))
+            shadow.insert(position, rule)
+            live += 1
+        else:
+            position = pick(live - 1)
+            ops.append(("remove", position))
+            flap_pool.append(shadow.pop(position))
+            live -= 1
+        last_position = position
+    return ops

@@ -29,7 +29,13 @@ from .supervisor import (
     Supervisor,
     WorkerHandle,
 )
-from .transport import SHARD_SNAPSHOT_KIND, ShardSpec, write_shard_snapshot
+from .transport import (
+    SHARD_DELTA_KIND,
+    SHARD_SNAPSHOT_KIND,
+    ShardSpec,
+    apply_shard_ops,
+    write_shard_snapshot,
+)
 
 __all__ = [
     "AdmissionGate",
@@ -50,6 +56,7 @@ __all__ = [
     "RETRYABLE_ERRORS",
     "Replica",
     "RetryPolicy",
+    "SHARD_DELTA_KIND",
     "SHARD_SNAPSHOT_KIND",
     "ServicePolicy",
     "ShardPlan",
@@ -58,5 +65,6 @@ __all__ = [
     "Supervisor",
     "TokenBucket",
     "WorkerHandle",
+    "apply_shard_ops",
     "write_shard_snapshot",
 ]

@@ -36,17 +36,32 @@ Failure handling lifts the service's machinery to fabric level:
   budget; a corrupt snapshot is quarantined, rebuilt cold, and the
   fabric re-publishes a healthy snapshot from its kept base.
 
+**Live rule updates** propagate with epoch consistency
+(:meth:`Fabric.apply_updates`): each update batch bumps a fabric-wide
+monotonic epoch, is translated into shard-local edits, applied to the
+parent's kept bases, persisted as a chained delta record next to each
+shard's snapshot (:mod:`repro.harness.snapshots`), and fanned to the
+workers over the existing pipes.  Workers apply batches strictly in
+epoch order (duplicates drop, gaps buffer), report their applied epoch
+on every pong and classify result, and answers are oracle-audited
+against exactly the rule version they were served at — a lagging worker
+is *stale*, never *wrong*.  A restarted worker replays base + deltas
+before rejoining; a worker lagging beyond the retained op history is
+reseeded and recycled.  Anti-entropy (:meth:`Fabric.pump_updates`, run
+from :meth:`Fabric.tick`) re-sends missed epochs, so lost, duplicated
+or reordered update messages delay convergence but never corrupt it.
+
 Deliberate non-goals (see ``docs/serving.md``): the fabric does not do
-deadlines, retries, or live rule updates — deadlines and retries belong
-to the caller-facing service layer, and update propagation across
-worker processes is roadmap work.  A down shard never blocks: the
-caller retries after supervision recovers it.
+deadlines or retries — those belong to the caller-facing service
+layer.  A down shard never blocks: the caller retries after
+supervision recovers it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -58,16 +73,23 @@ from ..core.errors import (
     AdmissionRejected,
     ConfigurationError,
     ShardUnavailable,
+    UpdateError,
 )
 from ..core.fields import FIELD_WIDTHS
 from ..core.rule import Rule, RuleSet
+from ..npsim.faults import UPDATE_FAULT_KINDS
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.span import NULL_STAGE_TIMER, StageTimer
 from .admission import AdmissionGate
 from .breaker import CircuitBreaker
 from .policy import ServicePolicy
 from .supervisor import RUNNING, SupervisionPolicy, Supervisor
-from .transport import ShardSpec, write_shard_snapshot
+from .transport import (
+    SHARD_DELTA_KIND,
+    ShardSpec,
+    apply_shard_ops,
+    write_shard_snapshot,
+)
 
 
 @dataclass(frozen=True)
@@ -148,9 +170,23 @@ class Fabric:
                  charge: Callable[[float], None] | None = None,
                  lookup_cost_s: float = 0.0,
                  start: bool = True,
-                 stage_timer: StageTimer | None = None) -> None:
+                 stage_timer: StageTimer | None = None,
+                 incremental: bool = True,
+                 epoch_history: int = 1024,
+                 compact_every: int = 64) -> None:
+        """``incremental`` lets shard bases absorb inserts by in-place
+        structure edits; ``epoch_history`` bounds how many past epochs
+        of oracle copies and per-shard op batches are retained (for
+        settled-epoch audits and anti-entropy re-sends — a worker
+        lagging further is reseeded and recycled); ``compact_every``
+        caps a shard's delta-chain length before its base is
+        republished and the chain reset."""
         if algorithm not in ALGORITHMS:
             raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        if epoch_history < 1:
+            raise ConfigurationError("epoch_history must be >= 1")
+        if compact_every < 1:
+            raise ConfigurationError("compact_every must be >= 1")
         self.policy = policy or ServicePolicy()
         self._clock = clock or time.monotonic
         self.stages = stage_timer or NULL_STAGE_TIMER
@@ -174,8 +210,27 @@ class Fabric:
         snapshot_dir = Path(snapshot_dir)
         snapshot_dir.mkdir(parents=True, exist_ok=True)
         build_params = dict(build_params or {})
+        self.incremental = incremental
+        #: Fabric-wide monotonic update epoch (0 = the built base).
+        self.epoch = 0
+        self._epoch_history_limit = epoch_history
+        self._compact_every = compact_every
+        #: Frozen oracle copies per epoch, for settled-epoch audits of
+        #: answers served by lagging workers.
+        self._oracles: dict[int, RuleSet] = {0: RuleSet(list(self.rules),
+                                                        name="oracle@0")}
+        #: Per-shard retained op batches, for anti-entropy re-sends.
+        self._shard_ops_history: dict[str, dict[int, tuple]] = {}
+        #: Per-shard delta-chain cursor: base/prev payload hashes and
+        #: the live delta paths (swept on compaction).
+        self._delta_chain: dict[str, dict] = {}
+        #: Armed control-plane faults (see :meth:`inject_update_fault`).
+        self._armed_update_faults: dict[str, list[str]] = {}
+        #: Updates held back by an armed ``reorder_update``.
+        self._held_updates: dict[str, list[tuple[int, tuple]]] = {}
         self.specs: list[ShardSpec] = []
         self._bases: dict[str, object] = {}
+        self._shard_map: dict[str, list[int]] = {}
         self.breakers: dict[str, CircuitBreaker] = {}
         for i, assignment in enumerate(self.plan.assignments):
             name = f"shard{i}"
@@ -187,8 +242,11 @@ class Fabric:
                 algorithm=algorithm,
                 build_params=build_params,
                 budget=budget,
+                incremental=incremental,
             )
             self.specs.append(spec)
+            self._shard_map[name] = list(assignment)
+            self._shard_ops_history[name] = {}
             self._publish_shard(spec)
             self.breakers[name] = CircuitBreaker(self.policy,
                                                  clock=self._clock, name=name)
@@ -211,7 +269,11 @@ class Fabric:
 
         The built base is kept in the parent so a corruption-triggered
         cold restart can be healed by re-publishing from memory rather
-        than paying a second build.
+        than paying a second build.  The spec is refreshed to the
+        fabric's current epoch first, so the published image and any
+        future cold build agree on what epoch they represent; the
+        republished base starts a fresh delta chain, and deltas of the
+        previous base (now unreplayable) are swept.
         """
         base = self._bases.get(spec.name)
         if base is None:
@@ -219,14 +281,266 @@ class Fabric:
             base = UpdatableClassifier(
                 ruleset, ALGORITHMS[spec.algorithm],
                 rebuild_threshold=spec.rebuild_threshold,
-                budget=spec.budget, degrade=True, **spec.build_params)
+                budget=spec.budget, degrade=True,
+                incremental=spec.incremental, **spec.build_params)
             self._bases[spec.name] = base
-        write_shard_snapshot(Path(spec.snapshot_path), spec, base)
+        spec = self._refresh_spec(spec.name)
+        header = write_shard_snapshot(Path(spec.snapshot_path), spec, base)
+        self._sweep_deltas(spec.name)
+        self._delta_chain[spec.name] = {
+            "base_sha": header.sha256, "prev_sha": header.sha256,
+            "paths": [],
+        }
+
+    def _refresh_spec(self, name: str) -> ShardSpec:
+        """Re-derive one shard's spec from the parent's live state
+        (current rules, global map, epoch) and install it everywhere a
+        future worker start would read it."""
+        index = next(i for i, s in enumerate(self.specs) if s.name == name)
+        base = self._bases[name]
+        spec = dataclasses.replace(
+            self.specs[index],
+            rules=tuple(base.rules),
+            global_map=tuple(self._shard_map[name]),
+            epoch=self.epoch,
+        )
+        self.specs[index] = spec
+        supervisor = getattr(self, "supervisor", None)
+        if supervisor is not None:
+            supervisor.refresh_spec(name, spec)
+        return spec
+
+    def _sweep_deltas(self, name: str) -> None:
+        """Delete the delta files of a shard's superseded base."""
+        state = self._delta_chain.get(name)
+        stale = list(state["paths"]) if state else []
+        if not stale:
+            # No cursor yet (first publish): sweep by glob so a reused
+            # snapshot directory cannot leak another run's records.
+            path = Path(self._spec(name).snapshot_path)
+            stale = sorted(path.parent.glob(f"{path.name}.*.delta"))
+        for old in stale:
+            try:
+                Path(old).unlink()
+            except OSError:
+                pass
+
+    def _spec(self, name: str) -> ShardSpec:
+        return next(s for s in self.specs if s.name == name)
 
     def _reseed_shard(self, spec: ShardSpec) -> None:
         """Supervision callback after a corrupt-snapshot cold start."""
         self._publish_shard(spec)
         self._fabric.counter("snapshot_reseeds").inc()
+
+    # -- live rule updates -------------------------------------------------
+
+    def apply_updates(self, ops: Sequence[tuple]) -> int:
+        """Apply one batch of global rule edits as a new update epoch.
+
+        ``ops`` is an ordered sequence of ``("insert", position, rule)``
+        / ``("remove", position)`` against the evolving global rule
+        list.  The batch is atomic from the fabric's point of view: the
+        global list, the oracle history, every shard's kept base, the
+        persisted delta chain and the fan-out all advance to the same
+        new epoch under the request lock.  Returns that epoch.
+
+        Workers converge asynchronously — a request served meanwhile is
+        audited against the epoch its worker had applied, and
+        :meth:`pump_updates` (run from :meth:`tick`) re-sends anything
+        lost on the way.
+        """
+        with self._lock:
+            return self._apply_updates_locked(ops)
+
+    def _apply_updates_locked(self, ops: Sequence[tuple]) -> int:
+        epoch = self.epoch + 1
+        shard_ops: dict[str, list[tuple]] = {s.name: [] for s in self.specs}
+        for op in ops:
+            if not op or op[0] not in ("insert", "remove"):
+                raise UpdateError(f"unknown update op {op!r}")
+            if op[0] == "insert":
+                _, position, rule = op
+                if not 0 <= position <= len(self.rules):
+                    raise UpdateError(f"position {position} out of range")
+                self.rules.insert(position, rule)
+                interval = rule.intervals[self.plan.dim]
+                for i, spec in enumerate(self.specs):
+                    lo, hi = self.plan.bounds[i]
+                    gmap = self._shard_map[spec.name]
+                    if interval.lo <= hi and interval.hi >= lo:
+                        local = bisect_left(gmap, position)
+                        shard_op = ("insert", local, rule, position)
+                    else:
+                        shard_op = ("shift", position, 1)
+                    shard_ops[spec.name].append(shard_op)
+                    apply_shard_ops(self._bases[spec.name], gmap, (shard_op,))
+            else:
+                _, position = op
+                if not 0 <= position < len(self.rules):
+                    raise UpdateError(f"position {position} out of range")
+                self.rules.pop(position)
+                for spec in self.specs:
+                    gmap = self._shard_map[spec.name]
+                    local = bisect_left(gmap, position)
+                    if local < len(gmap) and gmap[local] == position:
+                        shard_op = ("remove", local, position)
+                    else:
+                        shard_op = ("shift", position, -1)
+                    shard_ops[spec.name].append(shard_op)
+                    apply_shard_ops(self._bases[spec.name], gmap, (shard_op,))
+        # Every view advanced together: commit the epoch, persist and fan
+        # out.  (Validation errors above leave a partial batch unapplied
+        # by design only for the *failing* op onward — callers treat an
+        # UpdateError as fatal for the batch source, not retryable.)
+        self.epoch = epoch
+        self._oracles[epoch] = RuleSet(list(self.rules),
+                                       name=f"oracle@{epoch}")
+        while len(self._oracles) > self._epoch_history_limit:
+            self._oracles.pop(next(iter(self._oracles)))
+        for spec in self.specs:
+            name = spec.name
+            batch = tuple(shard_ops[name])
+            history = self._shard_ops_history[name]
+            history[epoch] = batch
+            while len(history) > self._epoch_history_limit:
+                history.pop(next(iter(history)))
+            self._write_delta(spec, epoch, batch)
+            self._send_update(name, epoch, batch)
+            armed = self._armed_update_faults.get(name, [])
+            if "crash_mid_compaction" in armed:
+                armed.remove("crash_mid_compaction")
+                self._compact_shard(name, crash=True)
+            elif len(self._delta_chain[name]["paths"]) >= self._compact_every:
+                self._compact_shard(name)
+        self._fabric.counter("updates_applied").inc(len(ops))
+        self._fabric.counter("epochs").inc()
+        self._fabric.gauge("epoch").set(epoch)
+        return epoch
+
+    def _write_delta(self, spec: ShardSpec, epoch: int, batch: tuple) -> None:
+        """Persist one epoch's shard-local batch as a chained delta."""
+        from ..harness.cache import CACHE_VERSION
+        from ..harness.snapshots import delta_path, write_delta
+
+        state = self._delta_chain[spec.name]
+        path = delta_path(Path(spec.snapshot_path), epoch)
+        header = write_delta(path, list(batch), kind=SHARD_DELTA_KIND,
+                             cache_version=CACHE_VERSION, epoch=epoch,
+                             base_sha=state["base_sha"],
+                             prev_sha=state["prev_sha"])
+        state["prev_sha"] = header.sha256
+        state["paths"].append(path)
+        armed = self._armed_update_faults.get(spec.name, [])
+        if "corrupt_delta" in armed:
+            armed.remove("corrupt_delta")
+            raw = bytearray(path.read_bytes())
+            raw[-1] ^= 0xFF
+            path.write_bytes(bytes(raw))
+            self._fabric.counter("update_faults.corrupt_delta").inc()
+
+    def _send_update(self, shard: str, epoch: int, batch: tuple) -> None:
+        """Fan one epoch to one worker, applying any armed send fault."""
+        armed = self._armed_update_faults.get(shard, [])
+        fault = next((k for k in ("lose_update", "dup_update",
+                                  "reorder_update") if k in armed), None)
+        if fault is not None:
+            armed.remove(fault)
+            self._fabric.counter(f"update_faults.{fault}").inc()
+        if fault == "lose_update":
+            return
+        if fault == "reorder_update":
+            self._held_updates.setdefault(shard, []).append((epoch, batch))
+            return
+        sends = [(epoch, batch)]
+        if fault == "dup_update":
+            sends.append((epoch, batch))
+        # A held (reordered) epoch rides out *after* this newer one, so
+        # the worker sees them out of order and must buffer the gap.
+        sends.extend(self._held_updates.pop(shard, ()))
+        for send_epoch, send_batch in sends:
+            self.supervisor.send_update(shard, send_epoch, list(send_batch))
+
+    def _compact_shard(self, name: str, crash: bool = False) -> None:
+        """Republish the shard's base at the current epoch and reset its
+        delta chain (the persistence analogue of the classifier-level
+        compaction).  ``crash=True`` is the chaos hook: the new base is
+        published but the worker is killed before the stale deltas are
+        swept — the restart must reject them by base-hash mismatch."""
+        self._publish_shard(self._spec(name))
+        self._fabric.counter("delta_compactions").inc()
+        if crash:
+            self._fabric.counter("update_faults.crash_mid_compaction").inc()
+            self.supervisor.recycle(name, "crash_mid_compaction")
+
+    def inject_update_fault(self, shard: str, kind: str) -> None:
+        """Arm one control-plane fault against ``shard``'s next update
+        activity (chaos hook; see
+        :data:`repro.npsim.faults.UPDATE_FAULT_KINDS`)."""
+        if kind not in UPDATE_FAULT_KINDS:
+            raise ConfigurationError(f"unknown update fault kind {kind!r}")
+        if shard not in self._shard_map:
+            raise ConfigurationError(f"unknown shard {shard!r}")
+        self._armed_update_faults.setdefault(shard, []).append(kind)
+
+    def pump_updates(self, now: float | None = None) -> None:
+        """Anti-entropy: re-send missed epochs to lagging workers.
+
+        Runs under the caller's lock (from :meth:`tick`).  A worker
+        whose applied epoch fell behind the retained op history cannot
+        be repaired over the pipe: its shard is compacted (base
+        republished at the current epoch) and the worker recycled so it
+        restarts warm on the fresh base.
+        """
+        for spec in self.specs:
+            name = spec.name
+            handle = self.supervisor.handles[name]
+            if handle.state != RUNNING or handle.applied_epoch >= self.epoch:
+                continue
+            history = self._shard_ops_history[name]
+            missing = range(handle.applied_epoch + 1, self.epoch + 1)
+            if all(e in history for e in missing):
+                for e in missing:
+                    if not self.supervisor.send_update(name, e,
+                                                       list(history[e]), now):
+                        break
+                self._fabric.counter("update_repairs").inc()
+            else:
+                self._compact_shard(name)
+                self.supervisor.recycle(name, "stale_epoch", now)
+                self._fabric.counter("stale_recycles").inc()
+
+    def rebuild_backlog(self) -> int:
+        """Un-absorbed update work across the parent's shard bases
+        (overlay entries + tombstones + tripped garbage watermarks).
+        Zero means every structure is settled."""
+        return sum(base.rebuild_backlog for base in self._bases.values())
+
+    def max_epoch_lag(self) -> int:
+        """Worst staleness across running workers, in epochs."""
+        lags = [self.epoch - h.applied_epoch
+                for h in self.supervisor.handles.values()
+                if h.state == RUNNING]
+        return max(lags, default=0)
+
+    def settle(self, now: float | None = None) -> dict:
+        """Drain update state: compact shards with outstanding backlog
+        or live delta chains, then pump lagging workers.  Returns the
+        post-settle backlog view (the update-storm soak's drain bar)."""
+        with self._lock:
+            for spec in self.specs:
+                base = self._bases[spec.name]
+                if base.rebuild_backlog and base.rebuild():
+                    base.stats.compactions += 1
+                if (self._delta_chain[spec.name]["paths"]
+                        or base.rebuild_backlog):
+                    self._compact_shard(spec.name)
+            self.pump_updates(now)
+            return {
+                "epoch": self.epoch,
+                "rebuild_backlog": self.rebuild_backlog(),
+                "max_epoch_lag": self.max_epoch_lag(),
+            }
 
     # -- the request path --------------------------------------------------
 
@@ -280,8 +594,11 @@ class Fabric:
                 self._charge(cost)
         elapsed = max(self._clock() - now, cost)
         breaker.record_success(elapsed)
+        applied = self.supervisor.handles[shard].applied_epoch
+        self._fabric.log_histogram("epoch_lag").observe(
+            max(0, self.epoch - applied))
         with self.stages.span("audit"):
-            self._audit(header, answers[0])
+            self._audit(header, answers[0], applied)
         self._fabric.counter("served").inc()
         self._fabric.log_histogram("latency_us").observe(elapsed * 1e6)
         return answers[0]
@@ -344,9 +661,12 @@ class Fabric:
                         with self.stages.span("classify"):
                             self._charge(cost)
                     breaker.record_success(max(self._clock() - now, cost))
+                    applied = self.supervisor.handles[shard].applied_epoch
+                    self._fabric.log_histogram("epoch_lag").observe(
+                        max(0, self.epoch - applied))
                     with self.stages.span("audit"):
                         for pos, answer in zip(positions, answers):
-                            self._audit(headers[pos], answer)
+                            self._audit(headers[pos], answer, applied)
                             outcomes[pos] = {"status": "served",
                                              "rule": answer}
                     self._fabric.counter("served").inc(len(positions))
@@ -355,21 +675,37 @@ class Fabric:
                     self._gate.release()
         return outcomes
 
-    def _audit(self, header, result: int | None) -> None:
-        """In-lock differential check against the full-ruleset oracle."""
+    def _audit(self, header, result: int | None,
+               applied_epoch: int | None = None) -> None:
+        """In-lock differential check against the oracle *at the epoch
+        the answering worker had applied* — a lagging worker's answer is
+        correct for the rule version it served, so auditing it against a
+        newer ruleset would flag staleness as wrongness.  An epoch
+        evicted from history cannot be audited and is counted instead.
+        """
         if not self.policy.oracle_check:
             return
+        if applied_epoch is None or applied_epoch == self.epoch:
+            oracle = self._oracle
+        else:
+            oracle = self._oracles.get(applied_epoch)
+            if oracle is None:
+                self._fabric.counter("oracle.unauditable").inc()
+                return
         self._fabric.counter("oracle.checks").inc()
-        want = self._oracle.first_match(header)
+        want = oracle.first_match(header)
         if want != result:
             self._fabric.counter("oracle.divergences").inc()
 
     # -- supervision passthrough -------------------------------------------
 
     def tick(self, now: float | None = None) -> None:
-        """Periodic supervision pass (heartbeats due, restarts due)."""
+        """Periodic supervision pass (heartbeats due, restarts due),
+        followed by update anti-entropy for lagging workers."""
         with self._lock:
-            self.supervisor.tick(self._clock() if now is None else now)
+            at = self._clock() if now is None else now
+            self.supervisor.tick(at)
+            self.pump_updates(at)
 
     def probe(self, shard: str, now: float | None = None) -> bool:
         """Immediately heartbeat one shard; returns liveness."""
@@ -415,6 +751,19 @@ class Fabric:
         with self._lock:
             return {
                 "metrics": self.metrics.snapshot(),
+                "updates": {
+                    "epoch": self.epoch,
+                    "rebuild_backlog": self.rebuild_backlog(),
+                    "max_epoch_lag": self.max_epoch_lag(),
+                    "applied_epochs": {
+                        name: handle.applied_epoch
+                        for name, handle in self.supervisor.handles.items()
+                    },
+                    "delta_chain_lengths": {
+                        name: len(state["paths"])
+                        for name, state in self._delta_chain.items()
+                    },
+                },
                 "plan": {
                     "num_shards": self.plan.num_shards,
                     "dim": self.plan.dim,

@@ -183,6 +183,12 @@ class ClassificationService:
             try:
                 with self.stages.span("classify"), self._lock:
                     result = replica.lookup(header, start)
+                    # Capture the differential answers under the SAME
+                    # lock hold as the lookup: an update landing between
+                    # lookup and audit would otherwise be compared
+                    # against a newer rule list and flagged as a false
+                    # divergence.
+                    audit = self._capture_audit(replica, header)
             except RETRYABLE_ERRORS as exc:
                 elapsed = self._clock() - start
                 with self._lock:
@@ -206,7 +212,7 @@ class ClassificationService:
                 self._serve.counter("deadline_exceeded").inc()
                 raise
             with self.stages.span("audit"):
-                self._audit(replica, header, result)
+                self._check_audit(audit, result)
             self._serve.counter("served").inc()
             self._serve.log_histogram("latency_us").observe(elapsed * 1e6)
             return result
@@ -254,25 +260,40 @@ class ClassificationService:
             with self.stages.span("backoff"):
                 self._sleep(delay)
 
-    def _audit(self, replica: Replica, header, result: int | None) -> None:
-        """Differential checks on a produced answer (policy-gated)."""
+    def _capture_audit(self, replica: Replica, header) -> dict:
+        """Gather the differential answers (policy-gated).
+
+        Must run under the same lock hold that produced the primary
+        answer, so shadow and oracle see the exact rule state the answer
+        was served from.  Counter increments are deferred to
+        :meth:`_check_audit` so a deadline-dropped answer is never
+        counted as audited.
+        """
+        audit: dict = {}
         if self.policy.shadow and len(self.replicas) > 1:
             standby = next(r for r in self.replicas if r is not replica)
-            self._serve.counter("shadow.checks").inc()
             try:
-                with self._lock:
-                    shadow = standby.classifier.classify(header)
+                audit["shadow"] = standby.classifier.classify(header)
             except Exception:
-                self._serve.counter("shadow.errors").inc()
-            else:
-                if shadow != result:
-                    self._serve.counter("shadow.divergences").inc()
+                audit["shadow_error"] = True
         if self.policy.oracle_check and isinstance(replica.classifier,
                                                    UpdatableClassifier):
+            audit["oracle"] = (replica.classifier.current_ruleset()
+                               .first_match(header))
+        return audit
+
+    def _check_audit(self, audit: dict, result: int | None) -> None:
+        """Compare the captured differential answers; count divergences."""
+        if "shadow_error" in audit:
+            self._serve.counter("shadow.checks").inc()
+            self._serve.counter("shadow.errors").inc()
+        elif "shadow" in audit:
+            self._serve.counter("shadow.checks").inc()
+            if audit["shadow"] != result:
+                self._serve.counter("shadow.divergences").inc()
+        if "oracle" in audit:
             self._serve.counter("oracle.checks").inc()
-            with self._lock:
-                want = replica.classifier.current_ruleset().first_match(header)
-            if want != result:
+            if audit["oracle"] != result:
                 self._serve.counter("oracle.divergences").inc()
 
     # -- updates (applied to every replica) --------------------------------

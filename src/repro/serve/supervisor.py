@@ -143,6 +143,11 @@ class WorkerHandle:
         self.slow_start_factor = 1.0
         self.last_ready_info: dict = {}
         self.park_error: WorkerCrashLoop | None = None
+        #: Last update epoch the worker reported applying (from the
+        #: ``ready`` info, every pong, and every classify result).
+        self.applied_epoch = spec.epoch
+        #: Most recent pong stats (``rebuild_backlog`` etc.).
+        self.last_stats: dict = {}
 
     @property
     def name(self) -> str:
@@ -286,6 +291,8 @@ class Supervisor:
         handle.state = RUNNING
         handle.heartbeat_misses_now = 0
         handle.last_heartbeat_at = now
+        handle.applied_epoch = int(info.get("applied_epoch",
+                                            handle.spec.epoch))
         cost = (self.policy.warm_restart_cost_s if info.get("warm")
                 else self.policy.cold_restart_cost_s)
         cost *= handle.slow_start_factor
@@ -386,6 +393,10 @@ class Supervisor:
                 pass
             return False
         handle.heartbeat_misses_now = 0
+        stats = pong[2] if len(pong) > 2 and isinstance(pong[2], dict) else {}
+        handle.last_stats = stats
+        handle.applied_epoch = int(stats.get("applied_epoch",
+                                             handle.applied_epoch))
         return True
 
     def _await(self, handle: WorkerHandle, kinds: tuple[str, ...],
@@ -451,7 +462,57 @@ class Supervisor:
         if reply[0] == "error":
             raise TransientServiceError(
                 f"shard {shard} lookup failed: {reply[1]}")
+        if len(reply) > 2:
+            # Answers are stamped with the epoch they were served at so
+            # the fabric can audit against exactly that rule version.
+            handle.applied_epoch = int(reply[2])
         return reply[1]
+
+    # -- update propagation ------------------------------------------------
+
+    def send_update(self, shard: str, epoch: int, ops,
+                    now: float | None = None) -> bool:
+        """Fan one epoch's shard-local edit batch to a running worker.
+
+        One-way (the worker acknowledges via pong/result epochs); a
+        closed pipe records the death exactly like a failed heartbeat.
+        Returns False when the worker could not be reached — the caller
+        relies on anti-entropy, not retries, to converge.
+        """
+        handle = self.handles[shard]
+        if handle.state != RUNNING or handle.conn is None:
+            return False
+        try:
+            handle.conn.send(("update", epoch, ops))
+        except (BrokenPipeError, OSError):
+            self._note_death(handle, self._clock() if now is None else now,
+                             "pipe_closed")
+            return False
+        self._scope.counter("updates_sent").inc()
+        return True
+
+    def refresh_spec(self, shard: str, spec: ShardSpec) -> None:
+        """Swap the spec future (re)starts of ``shard`` will serve from.
+
+        The running worker is untouched — its in-memory state already
+        reflects (or will converge to) the new spec's epoch via update
+        messages; only the next spawn reads the spec.
+        """
+        if spec.name != shard:
+            raise ConfigurationError(
+                f"spec {spec.name!r} cannot replace shard {shard!r}")
+        self.handles[shard].spec = spec
+
+    def recycle(self, shard: str, why: str = "stale_epoch",
+                now: float | None = None) -> None:
+        """Deliberately kill a running worker so supervision restarts it
+        from the (freshly republished) snapshot — the repair of last
+        resort when a worker lags beyond the retained update history."""
+        handle = self.handles[shard]
+        if handle.state != RUNNING:
+            return
+        self.inject_kill(shard)
+        self._note_death(handle, self._clock() if now is None else now, why)
 
     # -- chaos hooks -------------------------------------------------------
     # Used by the chaos soak and tests; deliberate, bounded, and safe to
@@ -502,6 +563,9 @@ class Supervisor:
                 "warm": bool(handle.last_ready_info.get("warm")),
                 "degradation": handle.last_ready_info.get("degradation"),
                 "parked": handle.state == PARKED,
+                "applied_epoch": handle.applied_epoch,
+                "replayed_deltas": handle.last_ready_info.get(
+                    "replayed_deltas", 0),
             }
             for name, handle in self.handles.items()
         }

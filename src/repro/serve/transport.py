@@ -7,7 +7,8 @@ the supervisor and the worker cannot drift apart:
 parent → worker messages::
 
     ("ping", seq)          liveness probe; a healthy worker answers pong
-    ("classify", headers)  classify a batch; answers ("result", [...])
+    ("classify", headers)  classify a batch; answers ("result", ...)
+    ("update", epoch, ops) one epoch's shard-local rule edits (one-way)
     ("stop",)              graceful shutdown; answers ("bye", stats)
     ("hang",)              chaos hook: stop reading the pipe forever
     ("exit", code)         chaos hook: abrupt os._exit (no goodbye)
@@ -15,10 +16,29 @@ parent → worker messages::
 worker → parent messages::
 
     ("ready", info)        sent once after the serving structure exists
-    ("pong", seq, stats)   liveness answer
-    ("result", answers)    global rule indices for one classify batch
+    ("pong", seq, stats)   liveness answer (stats carry ``applied_epoch``)
+    ("result", answers, applied_epoch)
+                           global rule indices for one classify batch,
+                           stamped with the epoch they were served at
     ("error", message)     a lookup failed; the request is retryable
     ("bye", stats)         graceful-stop acknowledgement
+
+**Update epochs.**  Rule updates arrive as ``("update", epoch, ops)``
+with a fabric-wide monotonic epoch per batch.  The worker applies
+batches strictly in epoch order: a duplicate (epoch already applied) is
+dropped and counted, a gap (an epoch arrived early) is buffered until
+the missing predecessors arrive — so lost, duplicated, or reordered
+update messages can delay convergence but can never corrupt it.  Each
+``ops`` batch is a tuple of shard-local edits::
+
+    ("insert", local_pos, rule, global_pos)   rule lands on this shard
+    ("remove", local_pos, global_pos)         a shard-local rule leaves
+    ("shift", global_pos, +1 | -1)            global renumbering only
+
+applied by :func:`apply_shard_ops` — the same function the parent uses
+on its kept base and the restart path uses to replay persisted delta
+records (:mod:`repro.harness.snapshots`), so all three views of a shard
+evolve identically.
 
 The worker is **expendable by design**: all durable state lives in the
 shard's content-verified snapshot (:mod:`repro.harness.snapshots`), so a
@@ -49,11 +69,13 @@ from typing import Sequence
 from ..classifiers import ALGORITHMS, LinearSearchClassifier
 from ..classifiers.updates import UpdatableClassifier
 from ..core.budget import BuildBudget
-from ..core.errors import ReproError, SnapshotIntegrityError
+from ..core.errors import ReproError, SnapshotIntegrityError, UpdateError
 from ..core.rule import Rule, RuleSet
 
 #: Snapshot ``kind`` for a shard's published build (rules + structure).
 SHARD_SNAPSHOT_KIND = "fabric-shard"
+#: Delta-record ``kind`` for one epoch's shard-local edit log.
+SHARD_DELTA_KIND = "fabric-shard-delta"
 
 
 @dataclass(frozen=True)
@@ -75,6 +97,12 @@ class ShardSpec:
     build_params: dict = field(default_factory=dict)
     budget: BuildBudget | None = None
     rebuild_threshold: int = 32
+    #: The fabric update epoch this spec's ``rules``/``global_map``
+    #: reflect; a cold build from the spec serves at exactly this epoch.
+    epoch: int = 0
+    #: Let worker builds absorb inserts by in-place structure edits
+    #: (:meth:`~repro.classifiers.updates.UpdatableClassifier`).
+    incremental: bool = False
     #: Test hook: die before sending ``ready`` (exercises the
     #: supervisor's failed-start and crash-loop paths).
     crash_on_start: bool = False
@@ -84,8 +112,12 @@ class ShardSpec:
             raise ValueError("global_map must cover every shard rule")
 
 
-def write_shard_snapshot(path: Path, spec: ShardSpec, base) -> None:
-    """Publish one shard's immutable build as a verified snapshot."""
+def write_shard_snapshot(path: Path, spec: ShardSpec, base):
+    """Publish one shard's build as a verified snapshot.
+
+    Returns the written :class:`~repro.harness.snapshots.SnapshotHeader`
+    — its payload SHA-256 anchors the shard's delta chain.
+    """
     from ..harness.cache import CACHE_VERSION
     from ..harness.snapshots import write_snapshot
 
@@ -93,30 +125,103 @@ def write_shard_snapshot(path: Path, spec: ShardSpec, base) -> None:
         "shard": spec.name,
         "rules": list(spec.rules),
         "global_map": list(spec.global_map),
+        "epoch": spec.epoch,
         "base": base,
     }
-    write_snapshot(Path(path), payload, kind=SHARD_SNAPSHOT_KIND,
-                   cache_version=CACHE_VERSION)
+    return write_snapshot(Path(path), payload, kind=SHARD_SNAPSHOT_KIND,
+                          cache_version=CACHE_VERSION)
 
 
-def _load_or_build(spec: ShardSpec) -> tuple[object, dict]:
+def apply_shard_ops(classifier, global_map: list[int], ops) -> None:
+    """Apply one epoch's shard-local edit batch (see module docstring).
+
+    ``global_map`` stays sorted ascending (shard rules are kept in
+    global priority order), so local edit positions computed by the
+    parent at translation time remain valid here.  The classifier is an
+    :class:`~repro.classifiers.updates.UpdatableClassifier` (or, on the
+    last degradation rung, a bare linear classifier whose live rule
+    list is edited directly — its scalar ``classify`` reads that list).
+    """
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            _, local_pos, rule, global_pos = op
+            for i, g in enumerate(global_map):
+                if g >= global_pos:
+                    global_map[i] = g + 1
+            global_map.insert(local_pos, global_pos)
+            if hasattr(classifier, "insert"):
+                classifier.insert(rule, local_pos)
+            else:
+                classifier.ruleset.rules.insert(local_pos, rule)
+        elif kind == "remove":
+            _, local_pos, global_pos = op
+            if hasattr(classifier, "remove"):
+                classifier.remove(local_pos)
+            else:
+                classifier.ruleset.rules.pop(local_pos)
+            del global_map[local_pos]
+            for i, g in enumerate(global_map):
+                if g > global_pos:
+                    global_map[i] = g - 1
+        elif kind == "shift":
+            _, global_pos, delta = op
+            if delta > 0:
+                for i, g in enumerate(global_map):
+                    if g >= global_pos:
+                        global_map[i] = g + delta
+            else:
+                for i, g in enumerate(global_map):
+                    if g > global_pos:
+                        global_map[i] = g + delta
+        else:
+            raise UpdateError(f"unknown shard op kind {kind!r}")
+
+
+def _load_or_build(spec: ShardSpec) -> tuple[object, list[int], int, dict]:
     """The worker-side start ladder: warm snapshot → cold rebuild → linear.
 
-    Returns ``(classifier, info)`` where ``info`` is the ``ready``
-    payload (``warm``, ``degradation``, ``quarantined``).
+    Returns ``(classifier, global_map, applied_epoch, info)`` where
+    ``info`` is the ``ready`` payload (``warm``, ``degradation``,
+    ``quarantined``, ``applied_epoch``, ``replayed_deltas``).  A warm
+    start loads the verified base snapshot **and replays its delta
+    chain** — a broken link quarantines the unreplayable suffix (inside
+    :func:`~repro.harness.snapshots.load_chain`) and the worker serves
+    the salvaged epoch; the parent's anti-entropy pump repairs the lag
+    over the pipe.
     """
     from ..harness.cache import CACHE_VERSION
-    from ..harness.snapshots import quarantine, read_snapshot
+    from ..harness.snapshots import load_chain, quarantine
 
     info: dict = {"shard": spec.name, "pid": os.getpid(),
-                  "warm": False, "quarantined": False, "degradation": None}
+                  "warm": False, "quarantined": False, "degradation": None,
+                  "applied_epoch": spec.epoch, "replayed_deltas": 0}
     path = Path(spec.snapshot_path)
     if path.exists():
         try:
-            payload = read_snapshot(path, kind=SHARD_SNAPSHOT_KIND,
-                                    cache_version=CACHE_VERSION)
+            chain = load_chain(path, kind=SHARD_SNAPSHOT_KIND,
+                               cache_version=CACHE_VERSION,
+                               delta_kind=SHARD_DELTA_KIND)
+            payload = chain.base
+            classifier = payload["base"]
+            global_map = list(payload["global_map"])
+            applied = int(payload.get("epoch", 0))
+            for epoch, ops in chain.deltas:
+                try:
+                    apply_shard_ops(classifier, global_map, ops)
+                except ReproError as exc:
+                    # A verified record that still fails to apply means
+                    # the parent's state diverged from ours; serve the
+                    # last good epoch and let the pump repair the lag.
+                    info["replay_error"] = repr(exc)
+                    break
+                applied = epoch
+                info["replayed_deltas"] += 1
             info["warm"] = True
-            return payload["base"], info
+            info["applied_epoch"] = applied
+            if not chain.intact:
+                info["chain_broken"] = chain.broken
+            return classifier, global_map, applied, info
         except SnapshotIntegrityError as exc:
             # The published image is unusable: set it aside for the
             # post-mortem and fall through to a cold rebuild — the
@@ -125,29 +230,35 @@ def _load_or_build(spec: ShardSpec) -> tuple[object, dict]:
             info["quarantined"] = True
             info["quarantine_reason"] = exc.reason
     ruleset = RuleSet(list(spec.rules), name=f"shard-{spec.name}")
+    global_map = list(spec.global_map)
     try:
         classifier = UpdatableClassifier(
             ruleset, ALGORITHMS[spec.algorithm],
             rebuild_threshold=spec.rebuild_threshold,
-            budget=spec.budget, degrade=True, **spec.build_params)
+            budget=spec.budget, degrade=True,
+            incremental=spec.incremental, **spec.build_params)
         info["degradation"] = classifier.degradation
-        return classifier, info
+        return classifier, global_map, spec.epoch, info
     except ReproError as exc:
         # Last rung: the linear scan over the shard's rules is the
         # oracle itself — slow, but a worker that serves slowly beats a
         # shard that stays dark.
         info["degradation"] = "linear"
         info["build_error"] = repr(exc)
-        return LinearSearchClassifier(ruleset), info
+        return LinearSearchClassifier(ruleset), global_map, spec.epoch, info
 
 
 def worker_main(conn, spec: ShardSpec) -> None:
     """Process target: serve one shard until told (or made) to stop."""
     if spec.crash_on_start:
         os._exit(3)
-    classifier, info = _load_or_build(spec)
+    classifier, global_map, applied_epoch, info = _load_or_build(spec)
     conn.send(("ready", info))
     served = 0
+    dup_updates = 0
+    applied_updates = 0
+    #: Out-of-order buffer: epochs that arrived before their predecessors.
+    pending_epochs: dict[int, object] = {}
     while True:
         try:
             message = conn.recv()
@@ -155,7 +266,14 @@ def worker_main(conn, spec: ShardSpec) -> None:
             break  # parent went away: nothing left to serve
         kind = message[0]
         if kind == "ping":
-            conn.send(("pong", message[1], {"served": served}))
+            backlog = getattr(classifier, "rebuild_backlog", 0)
+            conn.send(("pong", message[1], {
+                "served": served,
+                "applied_epoch": applied_epoch,
+                "applied_updates": applied_updates,
+                "dup_updates": dup_updates,
+                "rebuild_backlog": int(backlog),
+            }))
         elif kind == "classify":
             headers: Sequence[Sequence[int]] = message[1]
             try:
@@ -163,13 +281,30 @@ def worker_main(conn, spec: ShardSpec) -> None:
                 for header in headers:
                     local = classifier.classify(header)
                     answers.append(None if local is None
-                                   else spec.global_map[local])
+                                   else global_map[local])
                 served += len(headers)
-                conn.send(("result", answers))
+                conn.send(("result", answers, applied_epoch))
             except Exception as exc:  # noqa: BLE001 - reported, not fatal
                 conn.send(("error", repr(exc)))
+        elif kind == "update":
+            # Strict in-order application: duplicates drop, gaps buffer.
+            # An op that raises kills the worker (crash-only: supervision
+            # restarts it warm and the delta chain replays the truth).
+            epoch, ops = message[1], message[2]
+            if epoch <= applied_epoch:
+                dup_updates += 1
+            else:
+                pending_epochs[epoch] = ops
+                while applied_epoch + 1 in pending_epochs:
+                    apply_shard_ops(classifier, global_map,
+                                    pending_epochs.pop(applied_epoch + 1))
+                    applied_epoch += 1
+                    applied_updates += 1
         elif kind == "stop":
-            conn.send(("bye", {"served": served}))
+            conn.send(("bye", {"served": served,
+                               "applied_epoch": applied_epoch,
+                               "applied_updates": applied_updates,
+                               "dup_updates": dup_updates}))
             break
         elif kind == "hang":
             # Chaos hook: alive but unresponsive — only the liveness

@@ -26,6 +26,7 @@ EXPECTED_CODES = {
     errors.RuleParseError: "rule.parse",
     errors.RuleFormatError: "rule.format",
     errors.UpdateError: "update",
+    errors.IncrementalUpdateError: "update.incremental",
     errors.RebuildError: "rebuild",
     errors.DepthBoundExceededError: "depth_bound",
     errors.SnapshotError: "snapshot",

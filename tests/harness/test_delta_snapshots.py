@@ -1,0 +1,235 @@
+"""Delta-snapshot chain tests: chaining, salvage, GC, interrupt safety.
+
+A delta record extends a base snapshot with one epoch's edit batch;
+``base_sha`` pins it to the exact base payload and ``prev_sha`` to its
+predecessor, so a missing, reordered, corrupted or stale record breaks
+the chain *detectably*.  These tests drive every failure mode: loads
+must salvage the longest verified prefix and quarantine the rest, the
+garbage collector must sweep orphaned deltas but never a live chain,
+and an interrupt mid-write must leave the store loadable.
+"""
+
+import os
+
+import pytest
+
+from repro.core.errors import SnapshotIntegrityError
+from repro.harness import snapshots
+from repro.harness.snapshots import (
+    DELTA_SUFFIX,
+    delta_base_and_epoch,
+    delta_path,
+    gc_store,
+    load_chain,
+    read_delta,
+    read_delta_header,
+    verify_store,
+    write_delta,
+    write_snapshot,
+)
+
+KIND = "test-base"
+DELTA_KIND = "test-delta"
+CV = 3
+
+
+def make_chain(tmp_path, epochs=(1, 2, 3), name="shard.snap"):
+    """A base snapshot plus a verified chain of one-op deltas."""
+    base_path = tmp_path / name
+    header = write_snapshot(base_path, {"rules": [0, 1, 2]}, kind=KIND,
+                            cache_version=CV)
+    prev = header.sha256
+    paths = []
+    for epoch in epochs:
+        path = delta_path(base_path, epoch)
+        dh = write_delta(path, [("insert", 0, f"rule-{epoch}", 0)],
+                         kind=DELTA_KIND, cache_version=CV, epoch=epoch,
+                         base_sha=header.sha256, prev_sha=prev)
+        prev = dh.sha256
+        paths.append(path)
+    return base_path, header, paths
+
+
+def flip_byte(path):
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestDeltaNaming:
+    def test_path_round_trip(self, tmp_path):
+        base = tmp_path / "s0.snap"
+        path = delta_path(base, 7)
+        assert path.name == "s0.snap.00000007.delta"
+        assert delta_base_and_epoch(path) == (base, 7)
+
+    def test_epoch_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            delta_path(tmp_path / "s0.snap", 0)
+
+    def test_non_delta_names_rejected(self, tmp_path):
+        assert delta_base_and_epoch(tmp_path / "s0.snap") is None
+        assert delta_base_and_epoch(tmp_path / "x.delta") is None
+
+
+class TestChainRoundTrip:
+    def test_intact_chain_loads_in_order(self, tmp_path):
+        base_path, _, _ = make_chain(tmp_path)
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert chain.intact
+        assert chain.epoch == 3
+        assert [epoch for epoch, _ in chain.deltas] == [1, 2, 3]
+        assert chain.deltas[0][1] == [("insert", 0, "rule-1", 0)]
+
+    def test_chain_may_start_past_epoch_one(self, tmp_path):
+        # A base republished at epoch N grows deltas from N+1; the
+        # first link is authenticated by prev_sha == base payload sha.
+        base_path, _, _ = make_chain(tmp_path, epochs=(5, 6))
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert chain.intact and chain.epoch == 6
+
+    def test_delta_header_readable_standalone(self, tmp_path):
+        _, header, paths = make_chain(tmp_path)
+        dh, _offset = read_delta_header(paths[1])
+        assert dh.epoch == 2
+        assert dh.base_sha == header.sha256
+
+    def test_wrong_base_sha_is_typed(self, tmp_path):
+        base_path, header, paths = make_chain(tmp_path, epochs=(1,))
+        with pytest.raises(SnapshotIntegrityError, match="different base"):
+            read_delta(paths[0], base_sha="0" * 64)
+
+    def test_wrong_prev_sha_is_typed(self, tmp_path):
+        base_path, header, paths = make_chain(tmp_path, epochs=(1,))
+        with pytest.raises(SnapshotIntegrityError, match="predecessor"):
+            read_delta(paths[0], prev_sha="0" * 64)
+
+
+class TestChainSalvage:
+    def test_corrupt_mid_chain_salvages_prefix(self, tmp_path):
+        base_path, _, paths = make_chain(tmp_path, epochs=(1, 2, 3, 4))
+        flip_byte(paths[1])
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert not chain.intact
+        assert chain.epoch == 1  # the longest verified prefix
+        assert "checksum" in chain.broken
+        # The broken record AND everything after it are quarantined:
+        # their prev_sha chain can never verify again.
+        assert not paths[1].exists()
+        assert not paths[2].exists()
+        assert not paths[3].exists()
+        assert len(chain.quarantined) == 3
+        assert paths[0].exists()
+
+    def test_missing_epoch_breaks_chain(self, tmp_path):
+        base_path, _, paths = make_chain(tmp_path, epochs=(1, 2, 3))
+        os.unlink(paths[1])
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert not chain.intact
+        assert chain.epoch == 1
+
+    def test_foreign_base_delta_rejected(self, tmp_path):
+        # A delta chained to a *previous* publication of the base (its
+        # payload hash differs) must not replay onto the new base.
+        base_path, _, paths = make_chain(tmp_path, epochs=(1, 2))
+        write_snapshot(base_path, {"rules": [9, 9, 9]}, kind=KIND,
+                       cache_version=CV)
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert not chain.intact
+        assert chain.epoch == 0
+        assert not chain.deltas
+
+
+class TestStoreMaintenanceWithDeltas:
+    def test_verify_store_covers_deltas(self, tmp_path):
+        make_chain(tmp_path)
+        report = verify_store(tmp_path, cache_version=CV)
+        assert len(report.ok) == 4  # base + three deltas
+        assert not report.corrupt
+
+    def test_gc_keeps_live_chain(self, tmp_path):
+        base_path, _, paths = make_chain(tmp_path)
+        report = gc_store(tmp_path, cache_version=CV)
+        assert base_path.exists()
+        assert all(p.exists() for p in paths)
+        assert not report.quarantined
+
+    def test_gc_never_collects_base_with_referenced_deltas(self, tmp_path):
+        base_path, _, paths = make_chain(tmp_path)
+        gc_store(tmp_path, cache_version=CV)
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert chain.intact and chain.epoch == 3
+
+    def test_gc_collects_orphans_of_missing_base(self, tmp_path):
+        base_path, _, paths = make_chain(tmp_path)
+        os.unlink(base_path)
+        gc_store(tmp_path, cache_version=CV)
+        assert not any(p.exists() for p in paths)
+
+    def test_gc_collects_orphans_of_republished_base(self, tmp_path):
+        base_path, _, paths = make_chain(tmp_path)
+        write_snapshot(base_path, {"rules": [9]}, kind=KIND,
+                       cache_version=CV)
+        gc_store(tmp_path, cache_version=CV)
+        assert base_path.exists()
+        assert not any(p.exists() for p in paths)
+
+    def test_gc_collects_suffix_after_upstream_break(self, tmp_path):
+        base_path, _, paths = make_chain(tmp_path, epochs=(1, 2, 3))
+        os.unlink(paths[0])
+        gc_store(tmp_path, cache_version=CV)
+        # Epochs 2 and 3 can never verify without epoch 1: swept.
+        assert not paths[1].exists()
+        assert not paths[2].exists()
+        assert base_path.exists()
+
+
+class TestInterruptSafety:
+    """A KeyboardInterrupt mid-write (the mid-compaction crash) must
+    leave the store loadable: old records intact, no partial files."""
+
+    def test_interrupt_mid_delta_write_preserves_chain(self, tmp_path,
+                                                       monkeypatch):
+        base_path, header, paths = make_chain(tmp_path, epochs=(1, 2))
+        real_fsync = os.fsync
+
+        def boom(fd):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(snapshots.os, "fsync", boom)
+        with pytest.raises(KeyboardInterrupt):
+            write_delta(delta_path(base_path, 3), [("remove", 0, 0)],
+                        kind=DELTA_KIND, cache_version=CV, epoch=3,
+                        base_sha=header.sha256, prev_sha="x" * 64)
+        monkeypatch.setattr(snapshots.os, "fsync", real_fsync)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not delta_path(base_path, 3).exists()
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert chain.intact and chain.epoch == 2
+
+    def test_interrupt_mid_base_republish_keeps_old_base(self, tmp_path,
+                                                         monkeypatch):
+        base_path, _, _ = make_chain(tmp_path, epochs=(1,))
+
+        def boom(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(snapshots.os, "replace", boom)
+        with pytest.raises(KeyboardInterrupt):
+            write_snapshot(base_path, {"rules": [9]}, kind=KIND,
+                           cache_version=CV)
+        monkeypatch.undo()
+        assert not list(tmp_path.glob("*.tmp"))
+        # The old base + chain still load: the interrupted compaction
+        # never published, so the previous generation keeps serving.
+        chain = load_chain(base_path, kind=KIND, cache_version=CV,
+                           delta_kind=DELTA_KIND)
+        assert chain.intact and chain.epoch == 1
+        assert chain.base == {"rules": [0, 1, 2]}

@@ -238,6 +238,25 @@ class TestRecordValidation:
                   "metrics": {}, "extra": [1]}
         assert any("extra" in p for p in checker.validate(record))
 
+    def test_required_metric_leaves_enforced_per_benchmark(self):
+        """A benchmark listed in REQUIRED_METRICS must carry every one
+        of its required leaves — an update-storm record without its
+        staleness/goodput readings has lost the signal its CI gate
+        tracks."""
+        checker = _load_checker()
+        record = {"benchmark": "update_storm", "wall_time_s": 1.0,
+                  "date": "d", "metrics": {"goodput_kpps": 4.0}}
+        problems = checker.validate(record)
+        assert any("updates_per_s" in p for p in problems)
+        assert any("staleness_headroom_epochs" in p for p in problems)
+        record["metrics"].update(updates_per_s=1500.0,
+                                 staleness_headroom_epochs=8.0)
+        assert checker.validate(record) == []
+        # Benchmarks without an entry are unaffected.
+        other = {"benchmark": "fig9_full", "wall_time_s": 1.0, "date": "d",
+                 "metrics": {"gbps": 7.0}}
+        assert checker.validate(other) == []
+
     def test_empty_metrics_flagged(self):
         """A record that measures *nothing* must fail validation — an
         empty metrics dict passes every future comparison vacuously."""
