@@ -42,6 +42,8 @@ KNOWN_SCHEMA_VERSIONS = (1, 2)
 REQUIRED_METRICS: dict[str, tuple[str, ...]] = {
     "update_storm": ("goodput_kpps", "updates_per_s",
                      "staleness_headroom_epochs"),
+    "adversarial_soak": ("attack_shed_fraction", "legit_goodput_ratio",
+                         "legit_goodput_kpps"),
 }
 
 

@@ -112,6 +112,13 @@ def _main(argv: list[str] | None = None) -> int:
     profile_group.add_argument("--out", default="results",
                                help="directory for profile/perf-report "
                                     "artifacts (default: results/)")
+    soak_group = parser.add_argument_group(
+        "soak options",
+        "only honoured by the 'serve-soak' and 'chaos-soak' experiments")
+    soak_group.add_argument("--scenario", default=None,
+                            help="traffic scenario to drive the soak with "
+                                 "(see repro.traffic.scenarios.SCENARIOS; "
+                                 "default: the canonical sampled trace)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -152,6 +159,27 @@ def _main(argv: list[str] | None = None) -> int:
             from .perf_report import run_perf_report
 
             result = run_perf_report(quick=args.quick, out_dir=args.out)
+        elif args.scenario is not None:
+            from ..traffic.scenarios import SCENARIOS
+
+            if name not in ("serve-soak", "chaos-soak"):
+                print(f"--scenario is only honoured by serve-soak and "
+                      f"chaos-soak, not {name!r}", file=sys.stderr)
+                return 2
+            if args.scenario not in SCENARIOS:
+                print(_unknown(args.scenario, SCENARIOS, "scenario"),
+                      file=sys.stderr)
+                return 2
+            if name == "serve-soak":
+                from .serve_soak import run_serve_soak
+
+                result = run_serve_soak(quick=args.quick,
+                                        scenario=args.scenario)
+            else:
+                from .chaos_soak import run_chaos_soak
+
+                result = run_chaos_soak(quick=args.quick,
+                                        scenario=args.scenario)
         else:
             result = run_experiment(name, quick=args.quick)
         print(result.text)

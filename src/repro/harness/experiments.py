@@ -56,6 +56,10 @@ REGISTRY: dict[str, tuple[str, str]] = {
                    "Chaos-soak: the multi-process fabric under worker "
                    "kills, hangs and snapshot corruption "
                    "(writes BENCH_chaos_soak.json)"),
+    "adversarial-soak": ("repro.harness.adversarial_soak",
+                         "Adversarial-soak: stateful & adversarial traffic "
+                         "scenarios vs the guarded serving stack "
+                         "(writes BENCH_adversarial_soak.json)"),
     "update-storm": ("repro.harness.update_storm",
                      "Update-storm: the fabric under >=1000 live rule "
                      "updates/s with epoch-consistent propagation and "

@@ -44,8 +44,15 @@ from ..obs.metrics import LogHistogram
 from ..obs.perf import write_bench_record
 from ..obs.slo import SLO, SLOMonitor
 from ..obs.span import StageTimer
-from ..serve import ClassificationService, ManualClock, Replica, RetryPolicy, ServicePolicy
-from ..traffic import burst_arrivals
+from ..serve import (
+    ClassificationService,
+    FloodGuard,
+    ManualClock,
+    Replica,
+    RetryPolicy,
+    ServicePolicy,
+)
+from ..traffic import build_scenario, burst_arrivals
 from .cache import cache_dir, get_ruleset, get_trace
 from .experiments import ExperimentResult
 from .report import render_table
@@ -83,7 +90,7 @@ SLO_WINDOW_S = 0.25
 SLO_WINDOW_QUICK_S = 0.05
 
 
-def _slos() -> list[SLO]:
+def _slos(shed_ceiling: float = 0.6) -> list[SLO]:
     """The soak's acceptance bar, as burn-rate SLOs per time window.
 
     Latency objectives judge *request-level* latency (admission to
@@ -91,7 +98,9 @@ def _slos() -> list[SLO]:
     see — so the bounds sit above the per-attempt deadline.  Bursts
     legitimately shed and the fault windows legitimately slow the
     primary, hence the non-zero error budgets everywhere except
-    correctness, which tolerates nothing.
+    correctness, which tolerates nothing.  ``shed_ceiling`` is raised
+    for adversarial scenarios, where shedding the attack volume is the
+    *success* condition, not a violation.
     """
     return [
         SLO("no-divergence", "divergences", 0.0, kind="ceiling"),
@@ -100,7 +109,7 @@ def _slos() -> list[SLO]:
         SLO("p99-request-latency", "latency_us_p99",
             2.0 * POLICY.default_deadline_s * 1e6, kind="ceiling",
             budget_fraction=0.2),
-        SLO("shed-ceiling", "shed_rate", 0.6, kind="ceiling",
+        SLO("shed-ceiling", "shed_rate", shed_ceiling, kind="ceiling",
             budget_fraction=0.25),
     ]
 
@@ -151,12 +160,24 @@ def _replica_hook(clock: ManualClock, plan: FaultPlan, channel: str,
     return hook
 
 
-def run_serve_soak(quick: bool = False) -> ExperimentResult:
+def run_serve_soak(quick: bool = False,
+                   scenario: str | None = None) -> ExperimentResult:
     wall_start = time.time()
     ruleset_name = "FW01" if quick else "CR01"
     packets = 1_200 if quick else 8_000
     ruleset = get_ruleset(ruleset_name)
-    trace = get_trace(ruleset_name, count=packets, seed=7)
+    # ``scenario`` swaps the sampled stateless trace for a stateful
+    # scenario trace (same packet count, same seed) while keeping the
+    # burst arrival process identical, so the existing acceptance bar
+    # (sheds from bursts, breaker opens from the fault plan) still
+    # applies; the BENCH record is only written for the canonical
+    # no-scenario full run.
+    strace = None
+    if scenario is not None:
+        strace = build_scenario(scenario, ruleset, packets, seed=7)
+        trace = strace.trace
+    else:
+        trace = get_trace(ruleset_name, count=packets, seed=7)
     arrivals = burst_arrivals(packets, base_rate_per_s=3_000.0,
                               burst_factor=8.0, period_s=0.05,
                               burst_fraction=0.25, seed=7)
@@ -174,7 +195,12 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
     timer = StageTimer(clock=clock)
     service = ClassificationService(replicas, policy=POLICY, clock=clock,
                                     sleep=clock.sleep, stage_timer=timer)
-    monitor = SLOMonitor(_slos(),
+    shed_ceiling = 0.6
+    if strace is not None and strace.attack_count:
+        # An attack scenario's sheds are the defense working; lift the
+        # ceiling by the attack's share of offered traffic.
+        shed_ceiling = min(0.95, 0.6 + strace.attack_count / len(strace))
+    monitor = SLOMonitor(_slos(shed_ceiling),
                          window_s=SLO_WINDOW_QUICK_S if quick
                          else SLO_WINDOW_S)
     #: Request-level latency (admission to answer, retries and backoff
@@ -182,6 +208,9 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
     #: see a retried request's full story.
     request_latency = LogHistogram("request_latency_us")
     divergence_counter = service.metrics.counter("serve.oracle.divergences")
+    guard = None
+    if strace is not None:
+        guard = FloodGuard(service.classify, service.metrics.scope("guard"))
 
     # Churn source: re-insert clones of existing rules and remove them
     # again, so the live rule count oscillates and rebuilds trigger.
@@ -209,7 +238,12 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
         divergences_before = divergence_counter.value
         monitor.count(t0, "offered")
         try:
-            service.classify(header)
+            if guard is not None:
+                pkt = strace.packet(idx)
+                guard.submit(pkt.header, kind=pkt.kind,
+                             checksum_ok=pkt.checksum_ok, klass=pkt.klass)
+            else:
+                service.classify(header)
         except AdmissionRejected:
             outcomes["shed"] += 1
             monitor.count(t0, "shed")
@@ -307,6 +341,14 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
         },
         "slo_windows": slo_report["windows"],
     }
+    if strace is not None:
+        extra["scenario"] = strace.scenario
+        extra["scenario_class_counts"] = strace.class_counts()
+        extra["guard"] = guard.report()
+        extra["guard_shed_reasons"] = {
+            k.removeprefix("guard.shed."): v
+            for k, v in sorted(counters.items())
+            if k.startswith("guard.shed.")}
 
     rows = [
         ("offered / served / shed",
@@ -330,9 +372,16 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
          f"{breaker_opens} / {transitions}", "primary spiked then lost"),
         ("oracle divergences", str(divergences), "must be 0"),
     ]
+    if guard is not None:
+        guard_shed = sum(v for k, v in counters.items()
+                         if k.startswith("guard.shed."))
+        rows.insert(1, ("guard sheds", str(guard_shed),
+                        f"scenario '{strace.scenario}', "
+                        f"engaged={guard.engaged}"))
+    scenario_tag = "" if strace is None else f", scenario {strace.scenario}"
     text = render_table(
         f"Serve-soak: bursty overload + fault plan ({ruleset_name}, "
-        f"2 replicas, simulated {span_s:.2f}s)",
+        f"2 replicas, simulated {span_s:.2f}s{scenario_tag})",
         ["Quantity", "Value", "Note"],
         rows,
     )
@@ -351,7 +400,7 @@ def run_serve_soak(quick: bool = False) -> ExperimentResult:
              f"{monitor.window_s * 1e3:.0f} ms")
 
     wall = time.time() - wall_start
-    if not quick:
+    if not quick and scenario is None:
         write_bench_record("serve_soak", metrics, wall, extra=extra)
     return ExperimentResult(
         "serve-soak", "Serving-layer soak under overload and faults", text,

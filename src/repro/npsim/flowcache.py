@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..core.fields import stable_header_hash
 from ..obs.metrics import metrics_enabled, metrics_scope
@@ -35,33 +36,73 @@ INSERT_COMPUTE = 10
 
 
 class FlowCache:
-    """Exact-match LRU cache over 5-tuples."""
+    """Exact-match LRU cache over 5-tuples.
+
+    Accesses may carry a traffic-class label (``klass``): hit/miss/
+    eviction counts are then attributed per class on top of the global
+    totals.  Attribution is what makes a cache-busting scan *visible* —
+    without it, a scan silently drags the global hit rate and the
+    operator cannot tell collapsing-cache from changed-workload.
+    An evicted entry's class is charged to the entry that was evicted
+    (the victim), not to the access that caused the eviction.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: OrderedDict[tuple, int] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[int, str | None]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: klass -> [hits, misses, evictions]
+        self._class_stats: dict[str, list[int]] = {}
 
-    def access(self, key: tuple, value: int = 0) -> bool:
+    def _stats(self, klass: str) -> list[int]:
+        stats = self._class_stats.get(klass)
+        if stats is None:
+            stats = self._class_stats[klass] = [0, 0, 0]
+        return stats
+
+    def access(self, key: tuple, value: int = 0,
+               klass: str | None = None) -> bool:
         """Touch ``key``; returns True on hit.  Misses install the key,
         evicting the least recently used entry when full."""
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            if klass is not None:
+                self._stats(klass)[0] += 1
             return True
         self.misses += 1
-        self._entries[key] = value
+        if klass is not None:
+            self._stats(klass)[1] += 1
+        self._entries[key] = (value, klass)
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, (_, victim_klass) = self._entries.popitem(last=False)
+            self.evictions += 1
+            if victim_klass is not None:
+                self._stats(victim_klass)[2] += 1
         return False
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def class_report(self) -> dict[str, dict[str, float]]:
+        """Per-class hit/miss/eviction counts and hit rates."""
+        report: dict[str, dict[str, float]] = {}
+        for klass, (hits, misses, evictions) in sorted(
+                self._class_stats.items()):
+            total = hits + misses
+            report[klass] = {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "hit_rate": hits / total if total else 0.0,
+            }
+        return report
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,20 +126,49 @@ def simulate_hit_rate(trace: Trace, capacity: int) -> float:
     return cache.hit_rate
 
 
+def simulate_class_hit_rates(trace: Trace, capacity: int,
+                             classes: Sequence[str]) -> dict:
+    """Per-traffic-class cache behaviour over a labelled trace.
+
+    ``classes`` labels each packet (same length as ``trace``).  Returns
+    the per-class report plus an ``"overall"`` entry, which is how a
+    scan's drag on the global hit rate is separated from the legit
+    classes' own locality.
+    """
+    if len(classes) != len(trace):
+        raise ValueError("classes must label every packet of the trace")
+    cache = FlowCache(capacity)
+    for idx, header in enumerate(trace.headers()):
+        cache.access(header, klass=classes[idx])
+    report = cache.class_report()
+    report["overall"] = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evictions": cache.evictions,
+        "hit_rate": cache.hit_rate,
+    }
+    return report
+
+
 def cached_program_set(
     program_set: ProgramSet,
     trace: Trace,
     capacity: int,
     cache_region: str = "flowcache",
+    classes: Sequence[str] | None = None,
 ) -> CacheOutcome:
     """Rewrite ``program_set`` as seen behind a flow cache.
 
     Packet ``i`` (aligned with ``trace``) becomes a bare probe on a hit,
     or probe + original lookup + insert on a miss.  The cache region is
     expected to be placed on on-chip memory (scratch) by the caller.
+    ``classes`` optionally labels each packet's traffic class so cache
+    metrics are attributed per class (``flowcache.class.<name>.*``).
     """
     if len(program_set.programs) > len(trace):
         raise ValueError("trace shorter than the program list")
+    if classes is not None and len(classes) < len(program_set.programs):
+        raise ValueError("classes shorter than the program list")
     regions = list(program_set.regions)
     if cache_region in regions:
         cache_rid = regions.index(cache_region)
@@ -112,7 +182,8 @@ def cached_program_set(
         header = trace.header(idx)
         probe = (cache_rid, stable_header_hash(header) & 0xFFFF,
                  PROBE_WORDS, PROBE_COMPUTE)
-        if cache.access(header):
+        if cache.access(header,
+                        klass=None if classes is None else classes[idx]):
             programs.append(PacketProgram(
                 reads=(probe,), tail_compute=2, result=prog.result,
             ))
@@ -126,8 +197,15 @@ def cached_program_set(
         scope = metrics_scope("flowcache")
         scope.counter("hits").inc(cache.hits)
         scope.counter("misses").inc(cache.misses)
+        scope.counter("evictions").inc(cache.evictions)
         scope.gauge("hit_rate").set(cache.hit_rate)
         scope.gauge("capacity").set(capacity)
+        for klass, stats in cache.class_report().items():
+            class_scope = scope.scope(f"class.{klass}")
+            class_scope.counter("hits").inc(stats["hits"])
+            class_scope.counter("misses").inc(stats["misses"])
+            class_scope.counter("evictions").inc(stats["evictions"])
+            class_scope.gauge("hit_rate").set(stats["hit_rate"])
     return CacheOutcome(
         program_set=ProgramSet(
             regions=regions, programs=programs,

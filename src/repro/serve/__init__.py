@@ -16,6 +16,7 @@ with a typed reason instead of blocking.  See ``docs/serving.md``.
 from .admission import AdmissionGate
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
 from .fabric import Fabric, ShardPlan
+from .guard import FloodGuard
 from .policy import ManualClock, RetryPolicy, ServicePolicy, TokenBucket
 from .service import RETRYABLE_ERRORS, ClassificationService, Replica
 from .supervisor import (
@@ -51,6 +52,7 @@ __all__ = [
     "CircuitBreaker",
     "ClassificationService",
     "Fabric",
+    "FloodGuard",
     "ManualClock",
     "OutageRecord",
     "RETRYABLE_ERRORS",

@@ -20,7 +20,7 @@ class TestRegistry:
         expected = {"table1", "table2", "table3", "table4", "table5",
                     "fig5", "fig6", "fig7", "fig8", "fig9",
                     "resilience", "profile", "serve-soak", "chaos-soak",
-                    "update-storm", "perf-report"}
+                    "update-storm", "perf-report", "adversarial-soak"}
         assert set(REGISTRY) == expected
 
     def test_list(self):

@@ -131,3 +131,71 @@ class TestCachedPrograms:
         short = Trace.from_headers(list(trace.headers())[:3])
         with pytest.raises(ValueError):
             cached_program_set(ps, short, capacity=8)
+
+
+class TestPerClassAttribution:
+    """Hit/miss/eviction attribution by traffic class — what makes a
+    cache-busting scan visible instead of an anonymous hit-rate drag."""
+
+    def test_hits_and_misses_attributed(self):
+        cache = FlowCache(8)
+        cache.access((1,), klass="bulk")      # miss
+        cache.access((1,), klass="bulk")      # hit
+        cache.access((2,), klass="scan")      # miss
+        report = cache.class_report()
+        assert report["bulk"] == {"hits": 1, "misses": 1, "evictions": 0,
+                                  "hit_rate": 0.5}
+        assert report["scan"]["misses"] == 1
+        assert report["scan"]["hit_rate"] == 0.0
+
+    def test_eviction_charged_to_victim(self):
+        cache = FlowCache(1)
+        cache.access((1,), klass="bulk")
+        cache.access((2,), klass="scan")      # evicts bulk's entry
+        report = cache.class_report()
+        assert report["bulk"]["evictions"] == 1
+        assert report["scan"]["evictions"] == 0
+        assert cache.evictions == 1
+
+    def test_unlabelled_accesses_only_count_globally(self):
+        cache = FlowCache(4)
+        cache.access((1,))
+        cache.access((1,))
+        assert cache.class_report() == {}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_simulate_class_hit_rates_scan_collapse(self):
+        from repro.npsim.flowcache import simulate_class_hit_rates
+
+        legit = [(1, 2, 3, 4, 5), (6, 7, 8, 9, 10)] * 100
+        scan = [(i, i + 1, i % 65536, i % 1024, 6) for i in range(200)]
+        headers, classes = [], []
+        for pair in zip(legit, scan):
+            headers.extend(pair)
+            classes.extend(["bulk", "scan"])
+        trace = Trace.from_headers(headers)
+        report = simulate_class_hit_rates(trace, capacity=16, classes=classes)
+        assert report["bulk"]["hit_rate"] > 0.9
+        assert report["scan"]["hit_rate"] == 0.0
+        assert report["overall"]["hits"] == \
+            report["bulk"]["hits"] + report["scan"]["hits"]
+
+    def test_simulate_class_hit_rates_length_mismatch(self):
+        from repro.npsim.flowcache import simulate_class_hit_rates
+
+        trace = Trace.from_headers([(1, 2, 3, 4, 5)] * 4)
+        with pytest.raises(ValueError):
+            simulate_class_hit_rates(trace, capacity=4, classes=["a"])
+
+    def test_cached_program_set_classes_validated(self, small_fw_ruleset):
+        from repro.classifiers import ALGORITHMS
+        from repro.traffic import matched_trace
+
+        clf = ALGORITHMS["expcuts"].build(small_fw_ruleset)
+        trace = matched_trace(small_fw_ruleset, 50, seed=3)
+        ps = compile_programs(clf, trace)
+        with pytest.raises(ValueError):
+            cached_program_set(ps, trace, capacity=8, classes=["x"] * 10)
+        outcome = cached_program_set(ps, trace, capacity=8,
+                                     classes=["bulk"] * 50)
+        assert outcome.hits + outcome.misses == 50

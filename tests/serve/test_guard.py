@@ -1,0 +1,144 @@
+"""FloodGuard: checksum shedding, half-open budget, SYN authentication."""
+
+import pytest
+
+from repro.core.errors import AdmissionRejected, ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import FloodGuard
+
+
+def make_guard(**kwargs):
+    registry = MetricsRegistry()
+    guard = FloodGuard(lambda header: 7, registry.scope("guard"), **kwargs)
+    return guard, registry
+
+
+def header(sip, sport=1000, dip=9, dport=80, proto=6):
+    return (sip, dip, sport, dport, proto)
+
+
+class TestBasics:
+    def test_passthrough_answer(self):
+        guard, _ = make_guard()
+        assert guard.submit(header(1), kind="DATA") == 7
+
+    def test_bad_checksum_shed_before_classify(self):
+        calls = []
+        registry = MetricsRegistry()
+        guard = FloodGuard(lambda h: calls.append(h),
+                           registry.scope("guard"))
+        with pytest.raises(AdmissionRejected):
+            guard.submit(header(1), kind="DATA", checksum_ok=False)
+        assert calls == []
+        assert registry.counter("guard.shed.bad_checksum").value == 1
+
+    def test_connection_key_direction_independent(self):
+        fwd = header(1, 1000, 9, 80)
+        rev = header(9, 80, 1, 1000)
+        assert FloodGuard.connection_key(fwd) == FloodGuard.connection_key(rev)
+
+    def test_bad_config(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            FloodGuard(lambda h: 0, registry.scope("g"), half_open_budget=0)
+        with pytest.raises(ConfigurationError):
+            FloodGuard(lambda h: 0, registry.scope("g"), proof_capacity=0)
+
+
+class TestHandshakeLifecycle:
+    def test_handshake_opens_then_establishes(self):
+        guard, _ = make_guard()
+        h = header(1)
+        guard.submit(h, kind="SYN")
+        assert guard.half_open_count == 1
+        guard.submit(h, kind="ACK")
+        assert guard.half_open_count == 0
+        assert guard.established_count == 1
+
+    def test_fin_clears_connection(self):
+        guard, _ = make_guard()
+        h = header(1)
+        guard.submit(h, kind="SYN")
+        guard.submit(h, kind="ACK")
+        guard.submit(h, kind="FIN")
+        assert guard.established_count == 0
+
+    def test_unknown_data_passes(self):
+        # Mid-flow packets on asymmetric paths are normal; the guard
+        # polices handshakes, not continuations.
+        guard, _ = make_guard()
+        assert guard.submit(header(5), kind="DATA") == 7
+
+
+class TestSynAuthentication:
+    def test_engages_at_budget(self):
+        guard, _ = make_guard(half_open_budget=4)
+        for sip in range(4):
+            guard.submit(header(sip), kind="SYN")
+        assert guard.engaged
+
+    def test_unproven_syn_shed_when_engaged(self):
+        guard, registry = make_guard(half_open_budget=2)
+        guard.submit(header(1), kind="SYN")
+        guard.submit(header(2), kind="SYN")
+        with pytest.raises(AdmissionRejected):
+            guard.submit(header(3), kind="SYN")
+        assert registry.counter("guard.shed.syn_unproven").value == 1
+
+    def test_retransmitted_syn_proven_and_admitted(self):
+        guard, registry = make_guard(half_open_budget=2)
+        guard.submit(header(1), kind="SYN")
+        guard.submit(header(2), kind="SYN")
+        with pytest.raises(AdmissionRejected):
+            guard.submit(header(3), kind="SYN")   # first: shed, recorded
+        assert guard.submit(header(3), kind="SYN") == 7  # retransmit: proven
+        assert registry.counter("guard.syn_proven").value == 1
+
+    def test_spoofed_flood_mostly_shed(self):
+        guard, registry = make_guard(half_open_budget=8)
+        shed = 0
+        for sip in range(200):  # every source distinct, none retransmits
+            try:
+                guard.submit(header(sip), kind="SYN")
+            except AdmissionRejected:
+                shed += 1
+        assert shed >= 0.9 * 200
+        assert guard.half_open_count <= 8
+
+    def test_established_syn_not_policed(self):
+        guard, _ = make_guard(half_open_budget=1)
+        h = header(1)
+        guard.submit(h, kind="SYN")
+        guard.submit(h, kind="ACK")  # established; table empties
+        guard.submit(header(2), kind="SYN")  # refill to budget: engaged
+        assert guard.submit(h, kind="SYN") == 7  # stray SYN on live conn
+
+    def test_proof_table_bounded(self):
+        guard, _ = make_guard(half_open_budget=1, proof_capacity=16)
+        guard.submit(header(0), kind="SYN")
+        for sip in range(1, 100):
+            with pytest.raises(AdmissionRejected):
+                guard.submit(header(sip), kind="SYN")
+        assert guard.report()["proof_pending"] <= 16
+
+
+class TestAccounting:
+    def test_per_class_counters(self):
+        guard, registry = make_guard()
+        guard.submit(header(1), kind="DATA", klass="bulk")
+        with pytest.raises(AdmissionRejected):
+            guard.submit(header(2), kind="DATA", klass="bulk",
+                         checksum_ok=False)
+        counters = registry.snapshot()["counters"]
+        assert counters["guard.class.bulk.offered"] == 2
+        assert counters["guard.class.bulk.served"] == 1
+        assert counters["guard.class.bulk.shed"] == 1
+
+    def test_report_shape(self):
+        guard, _ = make_guard()
+        guard.submit(header(1), kind="SYN")
+        report = guard.report()
+        assert report["half_open"] == 1
+        assert report["engaged"] is False
+        assert set(report) == {"half_open", "established", "proof_pending",
+                               "engaged", "engagements"}

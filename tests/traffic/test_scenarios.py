@@ -1,0 +1,197 @@
+"""Stateful & adversarial scenario generator tests.
+
+The two load-bearing properties (hypothesis-tested):
+
+* every generated flow is a *legal* transition sequence of the TCP
+  state machine, under any seed, mix component, abandon point and
+  retransmit count;
+* scenario composition never changes classification semantics — the
+  verdicts for a scenario trace's headers match the linear oracle
+  under every scenario in the catalog.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import ALGORITHMS, LinearSearchClassifier
+from repro.core.errors import ConfigurationError
+from repro.traffic import (
+    ATTACK_CLASSES,
+    LEGAL_NEXT,
+    SCENARIOS,
+    build_scenario,
+    flow_packets,
+    get_scenario,
+    is_complete_sequence,
+    is_legal_sequence,
+    scan_packets,
+    scenario_arrivals,
+    syn_flood_packets,
+)
+from repro.traffic.scenarios import DATA, FINACK, SYN, SYNACK
+
+
+class TestStateMachine:
+    def test_minimal_complete_flow(self):
+        assert is_complete_sequence(
+            [SYN, SYNACK, "ACK", DATA, "FIN", FINACK])
+
+    def test_abandoned_handshake_is_complete(self):
+        assert is_complete_sequence([SYN])
+        assert is_complete_sequence([SYN, SYNACK])
+
+    def test_illegal_transitions_rejected(self):
+        assert not is_legal_sequence([DATA])           # no handshake
+        assert not is_legal_sequence([SYN, "ACK"])     # skipped SYNACK
+        assert not is_legal_sequence([])               # empty
+        assert not is_legal_sequence(
+            [SYN, SYNACK, "ACK", DATA, FINACK])        # FINACK needs FIN
+
+    def test_prefix_legality_vs_completeness(self):
+        # A mid-data truncation is legal (a capture window sees it) but
+        # not complete (the flow never tore down).
+        kinds = [SYN, SYNACK, "ACK", DATA, DATA]
+        assert is_legal_sequence(kinds)
+        assert not is_complete_sequence(kinds)
+
+    @given(data_packets=st.integers(0, 12),
+           seed=st.integers(0, 2**32 - 1),
+           abandon=st.sampled_from([None, SYN, SYNACK]),
+           retransmits=st.integers(0, 3),
+           corrupt=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_every_generated_flow_is_legal_and_complete(
+            self, data_packets, seed, abandon, retransmits, corrupt):
+        rng = np.random.default_rng(seed)
+        pkts = flow_packets((1, 2, 3, 4, 6), data_packets, flow_id=0,
+                            klass="bulk", rng=rng, abandon_after=abandon,
+                            syn_retransmits=retransmits,
+                            corrupt_rate=corrupt)
+        kinds = [p.kind for p in pkts]
+        assert is_legal_sequence(kinds)
+        assert is_complete_sequence(kinds)
+
+    @given(seed=st.integers(0, 2**32 - 1), corrupt=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_checksum_flags_only_on_data(self, seed, corrupt):
+        rng = np.random.default_rng(seed)
+        pkts = flow_packets((1, 2, 3, 4, 6), 8, flow_id=0, klass="bulk",
+                            rng=rng, corrupt_rate=corrupt)
+        for p in pkts:
+            if not p.checksum_ok:
+                assert p.kind == DATA
+
+    def test_legal_next_closed_over_kinds(self):
+        kinds = {k for nxt in LEGAL_NEXT.values() for k in nxt}
+        assert kinds <= {k for k in LEGAL_NEXT if k is not None}
+
+
+class TestScenarioCatalog:
+    def test_catalog_names(self):
+        assert {"mixed", "syn-flood", "cache-bust", "worst-case"} \
+            <= set(SCENARIOS)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("no-such-scenario")
+
+    def test_too_small_trace_raises(self, tiny_ruleset):
+        with pytest.raises(ConfigurationError):
+            build_scenario("mixed", tiny_ruleset, 4)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestBuiltScenarios:
+    def test_every_legit_flow_prefix_legal(self, name, small_fw_ruleset):
+        """Legitimate flows obey the state machine; attack streams are
+        exempt — violating it is what makes them attacks (bare ACK-scan
+        probes, handshakes that never complete)."""
+        strace = build_scenario(name, small_fw_ruleset, 400, seed=3)
+        flow_class = dict(zip(strace.flow_ids.tolist(), strace.classes))
+        for fid, kinds in strace.flow_kind_sequences().items():
+            if flow_class[fid] in ATTACK_CLASSES:
+                continue
+            assert is_legal_sequence(kinds), (fid, kinds)
+
+    def test_verdicts_match_linear_oracle(self, name, small_fw_ruleset):
+        """Scenarios reorder and decorate traffic; they never change
+        what any header classifies to."""
+        strace = build_scenario(name, small_fw_ruleset, 300, seed=5)
+        clf = ALGORITHMS["expcuts"].build(small_fw_ruleset)
+        oracle = LinearSearchClassifier.build(small_fw_ruleset)
+        got = clf.classify_batch(strace.trace.field_arrays())
+        want = oracle.classify_batch(strace.trace.field_arrays())
+        np.testing.assert_array_equal(got, want)
+
+    def test_deterministic(self, name, small_fw_ruleset):
+        a = build_scenario(name, small_fw_ruleset, 250, seed=9)
+        b = build_scenario(name, small_fw_ruleset, 250, seed=9)
+        assert a.kinds == b.kinds
+        assert a.classes == b.classes
+        np.testing.assert_array_equal(a.flow_ids, b.flow_ids)
+        np.testing.assert_array_equal(a.checksum_ok, b.checksum_ok)
+        np.testing.assert_array_equal(a.trace.field_arrays(),
+                                      b.trace.field_arrays())
+
+    def test_requested_count(self, name, small_fw_ruleset):
+        strace = build_scenario(name, small_fw_ruleset, 300, seed=4)
+        assert len(strace) == 300
+
+    def test_attack_share_matches_ratio(self, name, small_fw_ruleset):
+        strace = build_scenario(name, small_fw_ruleset, 400, seed=7)
+        scenario = get_scenario(name)
+        share = strace.attack_count / len(strace)
+        want = scenario.attack_ratio / (1 + scenario.attack_ratio)
+        assert share == pytest.approx(want, abs=0.1)
+
+    def test_arrivals_monotone(self, name, small_fw_ruleset):
+        strace = build_scenario(name, small_fw_ruleset, 200, seed=2)
+        arrivals = scenario_arrivals(strace, 1_000.0, seed=2)
+        assert np.all(np.diff(arrivals) > 0)
+
+
+class TestAttackStreams:
+    def test_syn_flood_sources_spoofed(self, small_fw_ruleset):
+        pkts = syn_flood_packets(small_fw_ruleset, 200, seed=1,
+                                 flow_id_base=0)
+        assert all(p.kind == SYN for p in pkts)
+        assert all(p.klass == "syn_flood" for p in pkts)
+        sources = {p.header[0] for p in pkts}
+        assert len(sources) > 150  # spoofed: (almost) never repeats
+
+    def test_scan_five_tuples_all_distinct(self, small_fw_ruleset):
+        pkts = scan_packets(small_fw_ruleset, 300, seed=1, flow_id_base=0)
+        assert len({tuple(p.header) for p in pkts}) == len(pkts)
+        assert all(p.klass == "scan" for p in pkts)
+
+    def test_worst_case_headers_hit_max_depth(self, small_fw_ruleset):
+        from repro.obs.trace import DecisionTrace
+        from repro.traffic import matched_trace, worst_case_packets
+
+        clf = ALGORITHMS["expcuts"].build(small_fw_ruleset)
+        pkts = worst_case_packets(small_fw_ruleset, 40, seed=1,
+                                  flow_id_base=0, classifier=clf, pool=128)
+        sample = matched_trace(small_fw_ruleset, 128, seed=1,
+                               matched_fraction=0.8)
+
+        def depth(header):
+            t = DecisionTrace()
+            clf.classify(header, trace=t)
+            return t.depth
+
+        max_sampled = max(depth(sample.header(i)) for i in range(len(sample)))
+        assert all(depth(p.header) >= max_sampled for p in pkts)
+
+    def test_attack_classes_constant(self):
+        assert ATTACK_CLASSES == {"syn_flood", "scan", "worst_case"}
+
+    def test_syn_flood_stream_is_legal_abandonment(self, small_fw_ruleset):
+        """The flood is the one attack that *does* follow the state
+        machine — every spoofed flow is a legally abandoned [SYN]."""
+        strace = build_scenario("syn-flood", small_fw_ruleset, 400, seed=3)
+        flow_class = dict(zip(strace.flow_ids.tolist(), strace.classes))
+        for fid, kinds in strace.flow_kind_sequences().items():
+            if flow_class[fid] == "syn_flood":
+                assert is_complete_sequence(kinds), (fid, kinds)
